@@ -1,0 +1,86 @@
+//! Micro-benchmarks: CRDT and sketch primitive costs — the per-packet
+//! arithmetic the data plane performs for EWO registers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swishmem::crdt::{Crdt, GCounter, LwwCell, PnCounter, WindowedSlot};
+use swishmem_nf::CmSketch;
+use swishmem_wire::NodeId;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("crdt/gcounter_increment_read", |b| {
+        let mut g = GCounter::new(8);
+        b.iter(|| {
+            g.increment(NodeId(3), 1);
+            black_box(g.read())
+        });
+    });
+
+    c.bench_function("crdt/gcounter_merge_8slots", |b| {
+        let mut a = GCounter::new(8);
+        let mut other = GCounter::new(8);
+        for i in 0..8 {
+            other.increment(NodeId(i), u64::from(i) * 7 + 1);
+        }
+        b.iter(|| {
+            a.merge(black_box(&other));
+            black_box(a.read())
+        });
+    });
+
+    c.bench_function("crdt/pncounter_add_read", |b| {
+        let mut p = PnCounter::new(8);
+        let mut sign = 1i64;
+        b.iter(|| {
+            p.add(NodeId(1), sign * 3);
+            sign = -sign;
+            black_box(p.read())
+        });
+    });
+
+    c.bench_function("crdt/lww_merge", |b| {
+        let mut a = LwwCell::default();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            a.merge(black_box(&LwwCell {
+                version: v,
+                value: v * 2,
+            }));
+            black_box(a.read())
+        });
+    });
+
+    c.bench_function("crdt/windowed_add", |b| {
+        let mut w = WindowedSlot::default();
+        let mut e = 0u64;
+        b.iter(|| {
+            e += 1;
+            w.add(e / 16, 100);
+            black_box(w.read_at(e / 16))
+        });
+    });
+
+    c.bench_function("sketch/cm_add_d4", |b| {
+        let mut s = CmSketch::new(4, 2048);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9e37_79b9);
+            s.add(black_box(k), 1);
+        });
+    });
+
+    c.bench_function("sketch/cm_estimate_d4", |b| {
+        let mut s = CmSketch::new(4, 2048);
+        for k in 0..1000u64 {
+            s.add(k, k + 1);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 1000;
+            black_box(s.estimate(k))
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

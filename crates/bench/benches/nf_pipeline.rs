@@ -1,0 +1,173 @@
+//! Macro-benchmarks: full-pipeline packet cost per network function —
+//! how expensive one simulated packet is for each Table 1 application
+//! (parser + NF logic + SwiShmem layer + effects).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::net::Ipv4Addr;
+use swishmem::prelude::*;
+use swishmem::RegisterSpec;
+use swishmem_nf::*;
+
+const BATCH: u64 = 500;
+
+fn firewall_dep() -> Deployment {
+    let cfg = FirewallConfig {
+        conn_reg: 0,
+        keys: 8192,
+        inside_octet: 10,
+        outside_host: NodeId(HOST_BASE),
+        inside_host: NodeId(HOST_BASE + 1),
+    };
+    let mut dep = DeploymentBuilder::new(3)
+        .hosts(2)
+        .register(RegisterSpec::sro(0, "fw", 8192))
+        .build(move |_| Box::new(Firewall::new(cfg.clone(), FirewallStatsHandle::default())));
+    dep.settle();
+    dep
+}
+
+fn ddos_dep() -> Deployment {
+    let cfg = DdosConfig {
+        row_regs: vec![0, 1, 2],
+        width: 2048,
+        total_reg: 3,
+        share_millis: 1001,
+        min_total: u64::MAX,
+        min_est: u64::MAX,
+        egress_host: NodeId(HOST_BASE),
+    };
+    let mut b = DeploymentBuilder::new(3).hosts(1);
+    for r in 0..3u16 {
+        b = b.register(RegisterSpec::ewo_counter(r, &format!("cm{r}"), 2048));
+    }
+    b = b.register(RegisterSpec::ewo_counter(3, "tot", 4));
+    let mut dep =
+        b.build(move |_| Box::new(DdosDetector::new(cfg.clone(), DdosStatsHandle::default())));
+    dep.settle();
+    dep
+}
+
+fn ratelimit_dep() -> Deployment {
+    let cfg = RateLimitConfig {
+        meter_reg: 0,
+        keys: 4096,
+        bytes_per_window: u64::MAX,
+        egress_host: NodeId(HOST_BASE),
+    };
+    let mut dep = DeploymentBuilder::new(3)
+        .hosts(1)
+        .register(RegisterSpec::ewo_windowed(
+            0,
+            "m",
+            4096,
+            SimDuration::millis(10),
+        ))
+        .build(move |_| {
+            Box::new(RateLimiter::new(
+                cfg.clone(),
+                RateLimitStatsHandle::default(),
+            ))
+        });
+    dep.settle();
+    dep
+}
+
+fn run_batch(dep: &mut Deployment, mk: impl Fn(u64) -> DataPacket) {
+    let t = dep.now();
+    for i in 0..BATCH {
+        dep.inject(t + SimDuration::micros(i * 2), (i % 3) as usize, 0, mk(i));
+    }
+    dep.run_for(SimDuration::millis(30));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nf_pipeline");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(10);
+
+    g.bench_function("firewall_500pkts_established", |b| {
+        b.iter_batched(
+            || {
+                let mut dep = firewall_dep();
+                // Open one connection so the steady state is read-only.
+                let t = dep.now();
+                let syn = DataPacket::tcp(
+                    FlowKey::tcp(
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        4000,
+                        Ipv4Addr::new(8, 8, 8, 8),
+                        80,
+                    ),
+                    swishmem_wire::l4::TcpFlags::syn(),
+                    0,
+                    0,
+                );
+                dep.inject(t, 0, 0, syn);
+                dep.run_for(SimDuration::millis(10));
+                dep
+            },
+            |mut dep| {
+                run_batch(&mut dep, |i| {
+                    DataPacket::tcp(
+                        FlowKey::tcp(
+                            Ipv4Addr::new(10, 0, 0, 1),
+                            4000,
+                            Ipv4Addr::new(8, 8, 8, 8),
+                            80,
+                        ),
+                        swishmem_wire::l4::TcpFlags::data(),
+                        i as u32 + 1,
+                        200,
+                    )
+                });
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("ddos_500pkts_sketch_update", |b| {
+        b.iter_batched(
+            ddos_dep,
+            |mut dep| {
+                run_batch(&mut dep, |i| {
+                    DataPacket::udp(
+                        FlowKey::udp(
+                            Ipv4Addr::new(1, 1, 1, 1),
+                            (1000 + i) as u16,
+                            Ipv4Addr::new(20, 0, 0, (i % 200) as u8),
+                            80,
+                        ),
+                        0,
+                        64,
+                    )
+                });
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("ratelimit_500pkts_metering", |b| {
+        b.iter_batched(
+            ratelimit_dep,
+            |mut dep| {
+                run_batch(&mut dep, |i| {
+                    DataPacket::udp(
+                        FlowKey::udp(
+                            Ipv4Addr::new(10, 0, (i % 50) as u8, 1),
+                            1000,
+                            Ipv4Addr::new(99, 9, 9, 9),
+                            80,
+                        ),
+                        0,
+                        200,
+                    )
+                });
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Macro-benchmarks over whole protocol paths: simulator wall-clock cost
+//! of one SRO write (full chain round), one EWO write (apply + eager
+//! mirror + merges), an SRO local read and a tail-forwarded read — the
+//! per-operation costs behind experiments E3/E4.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use swishmem::prelude::*;
+use swishmem::{RegisterSpec, SwishConfig};
+use swishmem_bench::scenarios::{count_pkt, probe_deployment, tcp_read, udp_write, CounterNf};
+
+fn sro_dep() -> Deployment {
+    let mut dep = probe_deployment(3, RegisterSpec::sro(0, "t", 4096), SwishConfig::default());
+    dep.settle();
+    dep
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("proto/sro_write_end_to_end", |b| {
+        b.iter_batched(
+            sro_dep,
+            |mut dep| {
+                let t = dep.now();
+                dep.inject(t, 0, 0, udp_write(7, 99));
+                dep.run_for(SimDuration::millis(5));
+                assert_eq!(dep.peek(2, 0, 7), 99);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("proto/sro_read_local", |b| {
+        b.iter_batched(
+            || {
+                let mut dep = sro_dep();
+                let t = dep.now();
+                dep.inject(t, 0, 0, udp_write(7, 99));
+                dep.run_for(SimDuration::millis(5));
+                dep
+            },
+            |mut dep| {
+                let t = dep.now();
+                dep.inject(t, 0, 0, tcp_read(7, 1));
+                dep.run_for(SimDuration::millis(1));
+                assert_eq!(dep.recording(1).borrow().len(), 1);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("proto/ewo_write_with_mirror", |b| {
+        b.iter_batched(
+            || {
+                let mut dep = DeploymentBuilder::new(3)
+                    .hosts(1)
+                    .register(RegisterSpec::ewo_counter(0, "c", 256))
+                    .build(|_| Box::new(CounterNf));
+                dep.settle();
+                dep
+            },
+            |mut dep| {
+                let t = dep.now();
+                dep.inject(t, 0, 0, count_pkt(1, 0));
+                dep.run_for(SimDuration::millis(1));
+                assert_eq!(dep.peek(2, 0, 1), 1);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("proto/deployment_build_3sw", |b| {
+        b.iter(|| {
+            DeploymentBuilder::new(3)
+                .hosts(1)
+                .register(RegisterSpec::sro(0, "t", 4096))
+                .build(|_| Box::new(CounterNf))
+        });
+    });
+
+    // Sustained throughput: simulated writes per wall second.
+    let mut g = c.benchmark_group("proto_sustained");
+    g.sample_size(10);
+    g.bench_function("sro_1000_writes", |b| {
+        b.iter_batched(
+            sro_dep,
+            |mut dep| {
+                let t = dep.now();
+                for i in 0..1000u64 {
+                    dep.inject(
+                        t + SimDuration::micros(i * 25),
+                        0,
+                        0,
+                        udp_write((i % 4000) as u16, 5),
+                    );
+                }
+                dep.run_for(SimDuration::millis(40));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("ewo_1000_writes", |b| {
+        b.iter_batched(
+            || {
+                let mut dep = DeploymentBuilder::new(3)
+                    .hosts(1)
+                    .register(RegisterSpec::ewo_counter(0, "c", 4096))
+                    .build(|_| Box::new(CounterNf));
+                dep.settle();
+                dep
+            },
+            |mut dep| {
+                let t = dep.now();
+                for i in 0..1000u64 {
+                    dep.inject(
+                        t + SimDuration::micros(i),
+                        0,
+                        0,
+                        count_pkt((i % 4000) as u16, 0),
+                    );
+                }
+                dep.run_for(SimDuration::millis(5));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

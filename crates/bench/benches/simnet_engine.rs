@@ -1,0 +1,88 @@
+//! Micro-benchmarks: discrete-event engine throughput — events per second
+//! the substrate can process, which bounds how much simulated traffic
+//! every experiment can afford.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::net::Ipv4Addr;
+use swishmem_simnet::{Ctx, LinkParams, Node, SimDuration, SimTime, Simulator};
+use swishmem_wire::{DataPacket, FlowKey, NodeId, Packet, PacketBody};
+
+/// Bounces packets back and forth `ttl` times.
+struct Echo {
+    ttl: u32,
+}
+impl Node for Echo {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if let PacketBody::Data(d) = pkt.body {
+            if d.flow_seq < self.ttl {
+                let mut d2 = d;
+                d2.flow_seq += 1;
+                ctx.send(pkt.src, PacketBody::Data(d2));
+            }
+        }
+    }
+}
+
+fn pkt() -> Packet {
+    Packet::data(
+        NodeId(0),
+        NodeId(1),
+        DataPacket::udp(
+            FlowKey::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2),
+            0,
+            64,
+        ),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    const EVENTS: u64 = 10_000;
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("ping_pong_10k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(1);
+                sim.add_node(NodeId(0), Box::new(Echo { ttl: EVENTS as u32 }));
+                sim.add_node(NodeId(1), Box::new(Echo { ttl: EVENTS as u32 }));
+                sim.topology_mut()
+                    .connect(NodeId(0), NodeId(1), LinkParams::datacenter());
+                sim.inject(SimTime::ZERO, pkt());
+                sim
+            },
+            |mut sim| {
+                sim.run_until_quiescent(SimTime(10_000_000_000));
+                assert!(sim.stats().delivered_total().packets >= EVENTS);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("lossy_jittered_10k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(7);
+                sim.add_node(NodeId(0), Box::new(Echo { ttl: u32::MAX }));
+                sim.add_node(NodeId(1), Box::new(Echo { ttl: u32::MAX }));
+                sim.topology_mut().connect(
+                    NodeId(0),
+                    NodeId(1),
+                    LinkParams::lossy(0.05).with_jitter(SimDuration::micros(3)),
+                );
+                // Loss kills the ping-pong; sustain with fresh injections.
+                for i in 0..EVENTS / 4 {
+                    sim.inject(SimTime(i * 1000), pkt());
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run_until_quiescent(SimTime(10_000_000_000));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

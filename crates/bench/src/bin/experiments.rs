@@ -1,0 +1,52 @@
+//! CLI driver: runs the paper-reproduction experiments and prints the
+//! regenerated tables (optionally exporting JSON).
+
+use swishmem_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != json_path.as_deref())
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    let all = experiments::all();
+    let to_run: Vec<_> = if selected.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|(id, _)| selected.iter().any(|s| s == id))
+            .collect()
+    };
+    if to_run.is_empty() {
+        eprintln!("no matching experiments; known ids: e1..e14");
+        std::process::exit(2);
+    }
+
+    println!(
+        "SwiShmem reproduction experiments ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let mut results = Vec::new();
+    for (id, run) in to_run {
+        eprintln!("running {id} ...");
+        let started = std::time::Instant::now();
+        let res = run(quick);
+        eprintln!("  {id} done in {:.1}s", started.elapsed().as_secs_f64());
+        println!("{}", res.render());
+        results.push(res);
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("serialize results");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,163 @@
+//! E7 — §6.3 failover: when an SRO chain switch fails, "writes cannot be
+//! processed" until the controller regains connectivity by
+//! reconfiguration; EWO "is inherently robust to switch and link
+//! failures ... no explicit failover protocol is needed".
+//!
+//! SRO: a steady write stream crosses a tail failure; the write-block
+//! window is the largest gap between consecutive completed-write releases
+//! around the failure, swept over the failure-detection timeout.
+//! EWO: the same failure under a counter workload; we verify no counted
+//! increment from surviving switches is lost and the counter keeps
+//! serving.
+
+use crate::scenarios::{count_pkt, probe_deployment, udp_write, CounterNf};
+use crate::table::{ns, ExperimentResult, Table};
+use swishmem::prelude::*;
+use swishmem::{ConfigEventKind, RegisterSpec, SwishConfig};
+use swishmem_wire::PacketBody;
+
+fn sro_block_window(failure_timeout: SimDuration, quick: bool) -> (u64, u64) {
+    let mut cfg = SwishConfig::default();
+    cfg.failure_timeout = failure_timeout;
+    cfg.heartbeat_interval = SimDuration::nanos(failure_timeout.as_nanos() / 3);
+    let mut dep = probe_deployment(3, RegisterSpec::sro(0, "t", 4096), cfg);
+    dep.settle();
+    let dur = SimDuration::millis(if quick { 60 } else { 150 });
+    let gap = SimDuration::micros(100); // 10k writes/s
+    let t0 = dep.now();
+    let t_fail = t0 + SimDuration::millis(20);
+    dep.schedule_fail(t_fail, 2); // kill the tail
+    let n = dur.as_nanos() / gap.as_nanos();
+    for i in 0..n {
+        dep.inject(
+            t0 + SimDuration::nanos(i * gap.as_nanos()),
+            0,
+            0,
+            udp_write((i % 4000) as u16, 100),
+        );
+    }
+    dep.run_for(dur + SimDuration::millis(100));
+    // Completed writes release P' to host 0: find the largest release gap
+    // in a window around the failure.
+    let log = dep.recording(0).borrow();
+    let mut releases: Vec<u64> = log
+        .iter()
+        .filter(|(_, p)| matches!(p.body, PacketBody::Data(_)))
+        .map(|(t, _)| t.nanos())
+        .filter(|&t| {
+            t > t_fail.nanos().saturating_sub(5_000_000) && t < t_fail.nanos() + 100_000_000
+        })
+        .collect();
+    releases.sort_unstable();
+    let mut max_gap = 0u64;
+    for w in releases.windows(2) {
+        max_gap = max_gap.max(w[1] - w[0]);
+    }
+    // Controller reaction time from its own log.
+    let events = dep.controller_events();
+    let detect = events
+        .iter()
+        .find(|e| matches!(e.kind, ConfigEventKind::Failed(_)))
+        .map(|e| e.time.nanos().saturating_sub(t_fail.nanos()))
+        .unwrap_or(0);
+    (max_gap, detect)
+}
+
+fn ewo_failover(quick: bool) -> (u64, u64, u64) {
+    let mut dep = DeploymentBuilder::new(3)
+        .hosts(1)
+        .register(RegisterSpec::ewo_counter(0, "cnt", 16))
+        .build(|_| Box::new(CounterNf));
+    dep.settle();
+    let dur = SimDuration::millis(if quick { 40 } else { 100 });
+    let gap = SimDuration::micros(20);
+    let t0 = dep.now();
+    let t_fail = t0 + SimDuration::millis(10);
+    dep.schedule_fail(t_fail, 2);
+    let n = dur.as_nanos() / gap.as_nanos();
+    let mut survivors_sent = 0u64;
+    for i in 0..n {
+        let t = t0 + SimDuration::nanos(i * gap.as_nanos());
+        let sw = (i % 3) as usize;
+        // After the failure instant, route the failed switch's share to a
+        // survivor (ECMP re-hash, §3.2).
+        let sw = if sw == 2 && t >= t_fail { 0 } else { sw };
+        if sw != 2 || t < t_fail {
+            dep.inject(t, sw, 0, count_pkt(1, i as u32));
+            if sw != 2 {
+                survivors_sent += 1;
+            }
+        }
+    }
+    dep.run_for(dur + SimDuration::millis(100));
+    let final0 = dep.peek(0, 0, 1);
+    let final1 = dep.peek(1, 0, 1);
+    (survivors_sent, final0, final1)
+}
+
+/// Run E7.
+pub fn run(quick: bool) -> ExperimentResult {
+    let timeouts = if quick {
+        vec![SimDuration::millis(10), SimDuration::millis(30)]
+    } else {
+        vec![
+            SimDuration::millis(5),
+            SimDuration::millis(10),
+            SimDuration::millis(20),
+            SimDuration::millis(40),
+        ]
+    };
+    let mut t = Table::new(
+        "SRO write-block window after tail failure vs detection timeout",
+        &[
+            "failure timeout",
+            "detection delay",
+            "max write-release gap (block window)",
+        ],
+    );
+    let mut windows = Vec::new();
+    for &to in &timeouts {
+        let (gap, detect) = sro_block_window(to, quick);
+        t.row(vec![to.to_string(), ns(detect), ns(gap)]);
+        windows.push((to, gap));
+    }
+
+    let (survivor_incr, f0, f1) = ewo_failover(quick);
+    let mut t2 = Table::new(
+        "EWO under the same failure (counter increments from survivors)",
+        &[
+            "survivor increments",
+            "final value @sw0",
+            "final value @sw1",
+            "lost survivor updates",
+        ],
+    );
+    let lost = survivor_incr.saturating_sub(f0.min(f1));
+    t2.row(vec![
+        survivor_incr.to_string(),
+        f0.to_string(),
+        f1.to_string(),
+        lost.to_string(),
+    ]);
+
+    let tracks = windows.iter().all(|(to, gap)| *gap >= to.as_nanos() / 2);
+    let findings = vec![
+        format!(
+            "the SRO block window tracks the failure-detection timeout (writes resume right after reconfiguration): {}",
+            if tracks { "confirmed" } else { "NOT confirmed" }
+        ),
+        format!(
+            "EWO needed no failover protocol: survivors lost {} of {} increments (final counts may exceed survivor-only increments because the failed switch's pre-failure updates were already replicated)",
+            lost, survivor_incr
+        ),
+    ];
+    ExperimentResult {
+        id: "E7".into(),
+        title: "Failover: SRO write-block window vs EWO's protocol-free failover".into(),
+        paper_anchor: "§6.3 (handling failures)".into(),
+        expectation: "SRO blocks for ~detection+reconfig; EWO loses nothing and never blocks"
+            .into(),
+        tables: vec![t, t2],
+        findings,
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared scenario building blocks for the experiments: probe NFs with
+//! externally-observable reads, packet constructors, and measurement
+//! helpers.
+
+use std::net::Ipv4Addr;
+use swishmem::prelude::*;
+use swishmem::{RegisterSpec, SharedState};
+use swishmem_simnet::Recording;
+use swishmem_wire::l4::TcpFlags;
+use swishmem_wire::PacketBody;
+
+/// A probe NF over one register:
+/// * UDP packet → `write(reg0, dst_port, payload_len)`, output to host 0;
+/// * TCP packet → `read(reg0, dst_port)`, value returned in the output
+///   packet's `flow_seq`, output to host 1.
+///
+/// Because the read value leaves the fabric in a packet, experiments can
+/// measure both read latency (inject → host arrival) and staleness
+/// (value seen vs value written).
+pub struct ProbeNf;
+
+impl swishmem::NfApp for ProbeNf {
+    fn process(
+        &mut self,
+        pkt: &DataPacket,
+        _ingress: NodeId,
+        st: &mut dyn SharedState,
+    ) -> swishmem::NfDecision {
+        let key = u32::from(pkt.flow.dst_port);
+        if pkt.flow.proto == 17 {
+            st.write(0, key, u64::from(pkt.payload_len));
+            swishmem::NfDecision::Forward {
+                dst: NodeId(HOST_BASE),
+                pkt: *pkt,
+            }
+        } else {
+            let v = st.read(0, key);
+            let mut out = *pkt;
+            out.flow_seq = v as u32;
+            swishmem::NfDecision::Forward {
+                dst: NodeId(HOST_BASE + 1),
+                pkt: out,
+            }
+        }
+    }
+}
+
+/// A counting NF: every packet adds 1 to EWO register 0 at key
+/// `dst_port`, forwarding to host 0.
+pub struct CounterNf;
+
+impl swishmem::NfApp for CounterNf {
+    fn process(
+        &mut self,
+        pkt: &DataPacket,
+        _ingress: NodeId,
+        st: &mut dyn SharedState,
+    ) -> swishmem::NfDecision {
+        st.add(0, u32::from(pkt.flow.dst_port), 1);
+        swishmem::NfDecision::Forward {
+            dst: NodeId(HOST_BASE),
+            pkt: *pkt,
+        }
+    }
+}
+
+/// A UDP "write" probe packet: key = `port`, value = `val` (≤ 1400).
+pub fn udp_write(port: u16, val: u16) -> DataPacket {
+    DataPacket::udp(
+        FlowKey::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            999,
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+        ),
+        0,
+        val,
+    )
+}
+
+/// A TCP "read" probe packet: key = `port`, tagged with `tag` in the
+/// source port for matching against host arrivals.
+pub fn tcp_read(port: u16, tag: u16) -> DataPacket {
+    DataPacket::tcp(
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            tag,
+            Ipv4Addr::new(10, 0, 0, 2),
+            port,
+        ),
+        TcpFlags::data(),
+        0,
+        10,
+    )
+}
+
+/// A plain counting packet keyed by `port`.
+pub fn count_pkt(port: u16, seq: u32) -> DataPacket {
+    DataPacket::udp(
+        FlowKey::udp(
+            Ipv4Addr::new(10, 0, 0, 3),
+            1000,
+            Ipv4Addr::new(10, 0, 0, 4),
+            port,
+        ),
+        seq,
+        64,
+    )
+}
+
+/// Build a ProbeNf deployment over one register of the given class.
+pub fn probe_deployment(n: usize, spec: RegisterSpec, cfg: SwishConfig) -> Deployment {
+    DeploymentBuilder::new(n)
+        .hosts(2)
+        .swish_config(cfg)
+        .register(spec)
+        .build(|_| Box::new(ProbeNf))
+}
+
+/// Extract `(arrival_time, tag, value)` triples from a read-probe host
+/// recording (tag = src_port, value = flow_seq).
+pub fn read_arrivals(rec: &Recording) -> Vec<(SimTime, u16, u32)> {
+    rec.borrow()
+        .iter()
+        .filter_map(|(t, p)| match &p.body {
+            PacketBody::Data(d) => Some((*t, d.flow.src_port, d.flow_seq)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Percentile of a slice via nearest rank (0 when empty).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p * s.len() as f64).ceil() as usize).clamp(1, s.len());
+    s[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_write_then_read_round_trip() {
+        let mut dep = probe_deployment(3, RegisterSpec::sro(0, "t", 128), SwishConfig::default());
+        dep.settle();
+        let t = dep.now();
+        dep.inject(t, 0, 0, udp_write(17, 321));
+        dep.run_for(SimDuration::millis(20));
+        let t = dep.now();
+        dep.inject(t, 2, 0, tcp_read(17, 42));
+        dep.run_for(SimDuration::millis(10));
+        let arrivals = read_arrivals(dep.recording(1));
+        assert_eq!(arrivals.len(), 1);
+        assert_eq!(arrivals[0].1, 42);
+        assert_eq!(arrivals[0].2, 321);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

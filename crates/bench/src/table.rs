@@ -1,0 +1,162 @@
+//! Text-table rendering and JSON export for experiment results.
+
+use serde::Serialize;
+
+/// One rendered table of an experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given caption and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("  {}\n", self.title));
+        out.push_str(&format!("  {}\n", line(&self.headers)));
+        out.push_str(&format!(
+            "  {}\n",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("  {}\n", line(row)));
+        }
+        out
+    }
+}
+
+/// The full result of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id ("E1" ... "E14").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Paper anchor this regenerates (table/section).
+    pub paper_anchor: String,
+    /// The shape the paper predicts.
+    pub expectation: String,
+    /// The measured tables.
+    pub tables: Vec<Table>,
+    /// Headline findings (one line each).
+    pub findings: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Render the whole result as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} — {} ===\n", self.id, self.title));
+        out.push_str(&format!(
+            "  paper: {}\n  expected shape: {}\n\n",
+            self.paper_anchor, self.expectation
+        ));
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for f in &self.findings {
+            out.push_str(&format!("  => {f}\n"));
+        }
+        out
+    }
+}
+
+/// Format a float compactly.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format nanoseconds as a human duration.
+pub fn ns(v: u64) -> String {
+    if v >= 1_000_000_000 {
+        format!("{:.2}s", v as f64 / 1e9)
+    } else if v >= 1_000_000 {
+        format!("{:.2}ms", v as f64 / 1e6)
+    } else if v >= 1_000 {
+        format!("{:.1}us", v as f64 / 1e3)
+    } else {
+        format!("{v}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long_header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("a       long_header"));
+        assert!(s.contains("xxxxxx  1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(4.32109), "4.321");
+        assert_eq!(f(42.5), "42.5");
+        assert_eq!(f(12345.0), "12345");
+        assert_eq!(ns(500), "500ns");
+        assert_eq!(ns(2_500), "2.5us");
+        assert_eq!(ns(3_000_000), "3.00ms");
+        assert_eq!(ns(1_500_000_000), "1.50s");
+    }
+}

@@ -1,0 +1,261 @@
+//! The central controller (§6.3): failure detection, chain and replica
+//! group reconfiguration, and recovery orchestration.
+//!
+//! "We assume that a central controller can detect which switches have
+//! failed." Detection here is heartbeat-based: a switch silent for
+//! `failure_timeout` is declared failed, removed from the chain and the
+//! multicast group, and a new epoch is broadcast. A switch that starts
+//! heartbeating again (fresh state after recovery) is reintroduced as a
+//! *learner*: it receives new writes and a snapshot stream, and is
+//! promoted to tail once it reports catch-up completion.
+
+use crate::config::SwishConfig;
+use crate::directory::DirectoryService;
+use crate::layer::{ChainView, REPLICA_GROUP};
+use swishmem_simnet::{Ctx, Node, SimTime};
+use swishmem_wire::swish::{ChainConfig, GroupConfig, SnapshotRequest};
+use swishmem_wire::{NodeId, Packet, PacketBody, SwishMsg};
+
+/// A logged reconfiguration event (consumed by the failover experiments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigEvent {
+    /// When the controller issued the new configuration.
+    pub time: SimTime,
+    /// The new epoch.
+    pub epoch: u32,
+    /// What happened.
+    pub kind: ConfigEventKind,
+}
+
+/// Reconfiguration causes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigEventKind {
+    /// Initial configuration broadcast.
+    Bootstrap,
+    /// A switch was declared failed and removed.
+    Failed(NodeId),
+    /// A recovered switch joined as a learner (snapshot initiated).
+    LearnerAdded(NodeId),
+    /// A learner finished catch-up and became the tail.
+    Promoted(NodeId),
+}
+
+/// The controller node.
+pub struct Controller {
+    cfg: SwishConfig,
+    switches: Vec<NodeId>,
+    /// Per switch: (last heartbeat time, epoch the switch reported).
+    last_hb: Vec<(NodeId, SimTime, u32)>,
+    view: ChainView,
+    events: Vec<ConfigEvent>,
+    /// The partitioned-state directory (§7/§9 extension). Empty unless
+    /// registers were partitioned via [`Controller::directory_mut`].
+    directory: DirectoryService,
+}
+
+const CHECK_TIMER: u64 = 1;
+
+impl Controller {
+    /// A controller managing `switches` (initial chain = declaration
+    /// order).
+    pub fn new(cfg: SwishConfig, switches: Vec<NodeId>) -> Controller {
+        Controller {
+            cfg,
+            switches: switches.clone(),
+            last_hb: Vec::new(),
+            view: ChainView {
+                epoch: 0,
+                chain: switches,
+                learners: vec![],
+            },
+            events: Vec::new(),
+            directory: DirectoryService::new(),
+        }
+    }
+
+    /// Mutable access to the directory service, for declaring partitioned
+    /// registers before the simulation starts.
+    pub fn directory_mut(&mut self) -> &mut DirectoryService {
+        &mut self.directory
+    }
+
+    /// Read access to the directory service.
+    pub fn directory(&self) -> &DirectoryService {
+        &self.directory
+    }
+
+    /// The configuration event log.
+    pub fn events(&self) -> &[ConfigEvent] {
+        &self.events
+    }
+
+    /// The current configuration.
+    pub fn view(&self) -> &ChainView {
+        &self.view
+    }
+
+    fn group_members(&self) -> Vec<NodeId> {
+        self.view.write_order()
+    }
+
+    /// Send the current configuration to one switch (idempotent; used for
+    /// both broadcasts and per-switch reconciliation of lost messages).
+    fn send_config_to(&self, ctx: &mut Ctx<'_>, sw: NodeId) {
+        ctx.send(
+            sw,
+            PacketBody::Swish(SwishMsg::Chain(ChainConfig {
+                epoch: self.view.epoch,
+                chain: self.view.chain.clone(),
+                learners: self.view.learners.clone(),
+            })),
+        );
+        ctx.send(
+            sw,
+            PacketBody::Swish(SwishMsg::Group(GroupConfig {
+                epoch: self.view.epoch,
+                members: self.group_members(),
+            })),
+        );
+    }
+
+    fn broadcast(&mut self, ctx: &mut Ctx<'_>, kind: ConfigEventKind) {
+        self.view.epoch += 1;
+        self.events.push(ConfigEvent {
+            time: ctx.now(),
+            epoch: self.view.epoch,
+            kind,
+        });
+        // Reprogram the fabric multicast tree (controller privilege).
+        ctx.set_group(REPLICA_GROUP, self.group_members());
+        for &sw in &self.switches.clone() {
+            self.send_config_to(ctx, sw);
+        }
+    }
+
+    fn note_heartbeat(&mut self, from: NodeId, epoch: u32, now: SimTime, ctx: &mut Ctx<'_>) {
+        match self.last_hb.iter_mut().find(|(n, _, _)| *n == from) {
+            Some((_, t, e)) => {
+                *t = now;
+                *e = epoch;
+            }
+            None => self.last_hb.push((from, now, epoch)),
+        }
+        let known = self.view.chain.contains(&from) || self.view.learners.contains(&from);
+        if !known && self.switches.contains(&from) {
+            // A failed switch came back with fresh state: admit it as a
+            // learner and start a snapshot stream from the head (§6.3:
+            // "the control plane on one of the switches takes a
+            // snapshot").
+            self.view.learners.push(from);
+            let source = self.view.head();
+            self.broadcast(ctx, ConfigEventKind::LearnerAdded(from));
+            match source {
+                Some(src) => ctx.send(
+                    src,
+                    PacketBody::Swish(SwishMsg::SnapReq(SnapshotRequest {
+                        target: from,
+                        epoch: self.view.epoch,
+                    })),
+                ),
+                None => {
+                    // Nothing to catch up from: promote immediately.
+                    self.view.learners.retain(|&n| n != from);
+                    self.view.chain.push(from);
+                    self.broadcast(ctx, ConfigEventKind::Promoted(from));
+                }
+            }
+        }
+    }
+
+    fn check_liveness(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let timeout = self.cfg.failure_timeout;
+        let dead: Vec<NodeId> = self
+            .last_hb
+            .iter()
+            .filter(|(n, t, _)| {
+                now.since(*t) > timeout
+                    && (self.view.chain.contains(n) || self.view.learners.contains(n))
+            })
+            .map(|(n, _, _)| *n)
+            .collect();
+        for d in dead {
+            self.view.chain.retain(|&n| n != d);
+            self.view.learners.retain(|&n| n != d);
+            self.broadcast(ctx, ConfigEventKind::Failed(d));
+        }
+        // Reconciliation: configuration messages ride the same lossy
+        // fabric as everything else; re-send to any live switch whose
+        // heartbeat reports a stale epoch.
+        let stale: Vec<NodeId> = self
+            .last_hb
+            .iter()
+            .filter(|(_, _, e)| *e < self.view.epoch)
+            .map(|(n, _, _)| *n)
+            .collect();
+        for sw in stale {
+            self.send_config_to(ctx, sw);
+        }
+    }
+}
+
+impl Node for Controller {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.last_hb = self.switches.iter().map(|&s| (s, now, 0)).collect();
+        self.broadcast(ctx, ConfigEventKind::Bootstrap);
+        ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let PacketBody::Swish(msg) = pkt.body else {
+            return;
+        };
+        match msg {
+            SwishMsg::Heartbeat(hb) => {
+                let now = ctx.now();
+                self.note_heartbeat(hb.from, hb.epoch, now, ctx);
+            }
+            SwishMsg::DirLookup(q) => {
+                let owners = self.directory.lookup(q.reg, q.key, q.from);
+                ctx.send(
+                    q.from,
+                    PacketBody::Swish(SwishMsg::DirReply(swishmem_wire::swish::DirReply {
+                        reg: q.reg,
+                        key: q.key,
+                        owners,
+                    })),
+                );
+            }
+            SwishMsg::CatchupDone(c) if self.view.learners.contains(&c.node) => {
+                self.view.learners.retain(|&n| n != c.node);
+                self.view.chain.push(c.node);
+                self.broadcast(ctx, ConfigEventKind::Promoted(c.node));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        if token == CHECK_TIMER {
+            self.check_liveness(ctx);
+            ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_view_uses_declaration_order() {
+        let c = Controller::new(
+            SwishConfig::default(),
+            vec![NodeId(2), NodeId(0), NodeId(1)],
+        );
+        assert_eq!(c.view().chain, vec![NodeId(2), NodeId(0), NodeId(1)]);
+        assert_eq!(c.view().epoch, 0);
+        assert!(c.events().is_empty());
+    }
+}

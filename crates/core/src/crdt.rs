@@ -1,0 +1,275 @@
+//! Pure CRDT reference implementations (§6.2).
+//!
+//! These are the mathematical objects the in-switch EWO register layouts
+//! implement with `(version, value)` pair registers. Keeping a pure,
+//! heap-based implementation beside the register-based one lets the
+//! property-test suite verify the CRDT laws (commutativity, associativity,
+//! idempotence, monotonicity) and lets the experiments compare in-switch
+//! results against an oracle.
+
+use swishmem_wire::NodeId;
+
+/// State-based CRDT interface: a join-semilattice with a monotone `merge`.
+pub trait Crdt: Clone {
+    /// Join this replica's state with another's (least upper bound).
+    fn merge(&mut self, other: &Self);
+}
+
+/// Grow-only counter: one non-decreasing slot per switch (§6.2: "an
+/// increment-only counter can be implemented by maintaining a vector of
+/// counter values, one per switch").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GCounter {
+    slots: Vec<u64>,
+}
+
+impl GCounter {
+    /// A counter over `n` replicas.
+    pub fn new(n: usize) -> GCounter {
+        GCounter { slots: vec![0; n] }
+    }
+
+    /// Increment this switch's slot.
+    pub fn increment(&mut self, id: NodeId, delta: u64) {
+        let i = id.index() % self.slots.len().max(1);
+        self.slots[i] += delta;
+    }
+
+    /// Read: the sum of all slots.
+    pub fn read(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// This replica's slot value.
+    pub fn slot(&self, id: NodeId) -> u64 {
+        self.slots[id.index() % self.slots.len().max(1)]
+    }
+}
+
+impl Crdt for GCounter {
+    fn merge(&mut self, other: &Self) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (i, &v) in other.slots.iter().enumerate() {
+            self.slots[i] = self.slots[i].max(v);
+        }
+    }
+}
+
+/// Positive-negative counter: two G-counters ("further extensions support
+/// decrement operations", §6.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PnCounter {
+    inc: GCounter,
+    dec: GCounter,
+}
+
+impl PnCounter {
+    /// A counter over `n` replicas.
+    pub fn new(n: usize) -> PnCounter {
+        PnCounter {
+            inc: GCounter::new(n),
+            dec: GCounter::new(n),
+        }
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&mut self, id: NodeId, delta: i64) {
+        if delta >= 0 {
+            self.inc.increment(id, delta as u64);
+        } else {
+            self.dec.increment(id, delta.unsigned_abs());
+        }
+    }
+
+    /// Read: increments minus decrements.
+    pub fn read(&self) -> i64 {
+        self.inc.read() as i64 - self.dec.read() as i64
+    }
+}
+
+impl Crdt for PnCounter {
+    fn merge(&mut self, other: &Self) {
+        self.inc.merge(&other.inc);
+        self.dec.merge(&other.dec);
+    }
+}
+
+/// Last-writer-wins cell: value tagged with a totally-ordered version
+/// (timestamp + switch-id tiebreak, see [`crate::version`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LwwCell {
+    /// Current version.
+    pub version: u64,
+    /// Current value.
+    pub value: u64,
+}
+
+impl LwwCell {
+    /// Write with a version produced by a [`crate::version::SwitchClock`].
+    pub fn write(&mut self, version: u64, value: u64) {
+        if version > self.version {
+            self.version = version;
+            self.value = value;
+        }
+    }
+
+    /// Read the current value.
+    pub fn read(&self) -> u64 {
+        self.value
+    }
+}
+
+impl Crdt for LwwCell {
+    fn merge(&mut self, other: &Self) {
+        if other.version > self.version {
+            *self = *other;
+        }
+    }
+}
+
+/// Windowed counter slot: `(epoch, count)` where a higher epoch supersedes
+/// and counts merge by max within an epoch. This is the per-slot lattice
+/// the rate-limiter registers use — it *is* a join-semilattice
+/// (lexicographic product of max-orders), so the standard CRDT laws hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowedSlot {
+    /// Window epoch.
+    pub epoch: u64,
+    /// Count within the epoch.
+    pub count: u64,
+}
+
+impl WindowedSlot {
+    /// Add to the count, rolling the epoch forward if needed.
+    pub fn add(&mut self, epoch: u64, delta: u64) {
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            self.count = delta;
+        } else if epoch == self.epoch {
+            self.count += delta;
+        }
+        // Stale-epoch adds are dropped: the window has already closed.
+    }
+
+    /// Count if the slot is in `epoch`, else 0.
+    pub fn read_at(&self, epoch: u64) -> u64 {
+        if self.epoch == epoch {
+            self.count
+        } else {
+            0
+        }
+    }
+}
+
+impl Crdt for WindowedSlot {
+    fn merge(&mut self, other: &Self) {
+        if other.epoch > self.epoch {
+            *self = *other;
+        } else if other.epoch == self.epoch {
+            self.count = self.count.max(other.count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcounter_concurrent_increments_all_survive() {
+        let mut a = GCounter::new(3);
+        let mut b = GCounter::new(3);
+        a.increment(NodeId(0), 5);
+        b.increment(NodeId(1), 7);
+        a.merge(&b);
+        b.merge(&a);
+        assert_eq!(a.read(), 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gcounter_merge_idempotent() {
+        let mut a = GCounter::new(2);
+        a.increment(NodeId(0), 3);
+        let snapshot = a.clone();
+        a.merge(&snapshot);
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn gcounter_monotone_under_merge() {
+        let mut a = GCounter::new(2);
+        let mut b = GCounter::new(2);
+        a.increment(NodeId(0), 10);
+        b.increment(NodeId(0), 4); // stale view of slot 0
+        let before = a.read();
+        a.merge(&b);
+        assert!(
+            a.read() >= before,
+            "counter must never decrease (§6.2 monotonicity)"
+        );
+        assert_eq!(a.read(), 10);
+    }
+
+    #[test]
+    fn pncounter_supports_decrement() {
+        let mut a = PnCounter::new(2);
+        let mut b = PnCounter::new(2);
+        a.add(NodeId(0), 10);
+        b.add(NodeId(1), -4);
+        a.merge(&b);
+        assert_eq!(a.read(), 6);
+    }
+
+    #[test]
+    fn lww_higher_version_wins_regardless_of_order() {
+        let mut a = LwwCell::default();
+        let mut b = LwwCell::default();
+        a.write(5, 100);
+        b.write(9, 200);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.value, 200);
+    }
+
+    #[test]
+    fn lww_stale_write_ignored() {
+        let mut a = LwwCell::default();
+        a.write(9, 200);
+        a.write(5, 100);
+        assert_eq!(a.read(), 200);
+    }
+
+    #[test]
+    fn windowed_epoch_roll_resets_count() {
+        let mut s = WindowedSlot::default();
+        s.add(1, 10);
+        s.add(1, 5);
+        assert_eq!(s.read_at(1), 15);
+        s.add(2, 3);
+        assert_eq!(s.read_at(2), 3);
+        assert_eq!(s.read_at(1), 0);
+        // Stale-epoch add is dropped.
+        s.add(1, 100);
+        assert_eq!(s.read_at(2), 3);
+    }
+
+    #[test]
+    fn windowed_merge_same_epoch_takes_max() {
+        let mut a = WindowedSlot {
+            epoch: 3,
+            count: 10,
+        };
+        let b = WindowedSlot { epoch: 3, count: 7 };
+        a.merge(&b);
+        assert_eq!(a.count, 10);
+        let c = WindowedSlot { epoch: 4, count: 1 };
+        a.merge(&c);
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,372 @@
+//! Deployment: build an N-switch SwiShmem fabric inside the simulator.
+//!
+//! This is the "one big switch" entry point (§1): the user supplies
+//! register specs and an NF factory; the builder instantiates one switch
+//! per replica (identical program), a central controller, edge hosts, the
+//! full-mesh inter-switch fabric, and the replica multicast group.
+
+use crate::api::NfApp;
+use crate::config::{ClockMode, RegisterSpec, SwishConfig};
+use crate::controller::{ConfigEvent, Controller};
+use crate::layer::cp::SwishCp;
+use crate::layer::program::SwishProgram;
+use crate::layer::{Handles, SYNC_PKTGEN_TOKEN};
+use crate::metrics::SwitchMetrics;
+use crate::version::SwitchClock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+use swishmem_pisa::{DataPlane, MemoryBudget, Switch, SwitchConfig};
+use swishmem_simnet::{LinkParams, RecorderNode, Recording, SimDuration, SimTime, Simulator};
+use swishmem_wire::swish::{Key, RegId};
+use swishmem_wire::{DataPacket, NodeId, Packet};
+
+/// The concrete switch type of a SwiShmem deployment.
+pub type SwishSwitch = Switch<SwishProgram, SwishCp>;
+
+/// First spine (relay) node id in leaf-spine fabrics.
+pub const SPINE_BASE: u16 = 500;
+
+/// Inter-switch fabric shape (§3.2's deployment scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fabric {
+    /// Every switch directly linked to every other (the dedicated
+    /// NF-cluster deployment).
+    FullMesh,
+    /// Switches are leaves behind `spines` relay switches; inter-switch
+    /// traffic crosses a spine hop, ECMP-spread per (src, dst) pair (the
+    /// in-fabric deployment).
+    LeafSpine {
+        /// Number of spine relays.
+        spines: usize,
+    },
+}
+
+/// First host node id (switches occupy 0..n).
+pub const HOST_BASE: u16 = 1000;
+
+/// Builder for a [`Deployment`].
+pub struct DeploymentBuilder {
+    n_switches: usize,
+    n_hosts: usize,
+    seed: u64,
+    link: LinkParams,
+    switch_cfg: SwitchConfig,
+    swish_cfg: SwishConfig,
+    registers: Vec<RegisterSpec>,
+    memory: usize,
+    fabric: Fabric,
+}
+
+impl DeploymentBuilder {
+    /// A deployment of `n_switches` replicas.
+    pub fn new(n_switches: usize) -> DeploymentBuilder {
+        DeploymentBuilder {
+            n_switches,
+            n_hosts: 2,
+            seed: 1,
+            link: LinkParams::datacenter(),
+            switch_cfg: SwitchConfig::default(),
+            swish_cfg: SwishConfig::default(),
+            registers: Vec::new(),
+            memory: swishmem_pisa::memory::DEFAULT_CAPACITY,
+            fabric: Fabric::FullMesh,
+        }
+    }
+
+    /// Inter-switch fabric shape (default: full mesh).
+    pub fn fabric(mut self, fabric: Fabric) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Number of edge hosts (traffic destinations), default 2.
+    pub fn hosts(mut self, n: usize) -> Self {
+        self.n_hosts = n;
+        self
+    }
+
+    /// RNG seed (determinism knob).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Inter-switch (and host/controller) link parameters.
+    pub fn link(mut self, link: LinkParams) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Switch cost model (control-plane latency etc.).
+    pub fn switch_config(mut self, cfg: SwitchConfig) -> Self {
+        self.switch_cfg = cfg;
+        self
+    }
+
+    /// Protocol configuration.
+    pub fn swish_config(mut self, cfg: SwishConfig) -> Self {
+        self.swish_cfg = cfg;
+        self
+    }
+
+    /// Per-switch data-plane memory budget.
+    pub fn memory(mut self, bytes: usize) -> Self {
+        self.memory = bytes;
+        self
+    }
+
+    /// Declare a shared register. Ids must be dense, in declaration order.
+    pub fn register(mut self, spec: RegisterSpec) -> Self {
+        assert_eq!(
+            spec.id as usize,
+            self.registers.len(),
+            "register ids must be dense"
+        );
+        self.registers.push(spec);
+        self
+    }
+
+    /// Build the deployment, instantiating the NF via `app_factory` once
+    /// per switch.
+    pub fn build<F>(self, app_factory: F) -> Deployment
+    where
+        F: Fn(NodeId) -> Box<dyn NfApp>,
+    {
+        let mut sim = Simulator::new(self.seed);
+        let mut skew_rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_cafe);
+        let switch_ids: Vec<NodeId> = (0..self.n_switches as u16).map(NodeId).collect();
+
+        for &id in &switch_ids {
+            let mut dp = DataPlane::new(MemoryBudget::new(self.memory));
+            let handles = Rc::new(
+                Handles::build(&mut dp, &self.registers, &self.swish_cfg, self.n_switches)
+                    .expect("register specs exceed data-plane memory"),
+            );
+            let skew = match self.swish_cfg.clock {
+                ClockMode::Synced { max_skew_ns } if max_skew_ns > 0 => {
+                    skew_rng.gen_range(-(max_skew_ns as i64)..=max_skew_ns as i64)
+                }
+                _ => 0,
+            };
+            let clock = SwitchClock::new(id, self.swish_cfg.clock, skew);
+            let program =
+                SwishProgram::new(id, self.swish_cfg, handles.clone(), app_factory(id), clock);
+            let cp = SwishCp::new(id, self.swish_cfg, NodeId::CONTROLLER, handles);
+            let mut sw = Switch::new(self.switch_cfg, dp, program, cp);
+            sw.add_pktgen(self.swish_cfg.sync_period, SYNC_PKTGEN_TOKEN);
+            sim.add_node(id, Box::new(sw));
+        }
+
+        sim.add_node(
+            NodeId::CONTROLLER,
+            Box::new(Controller::new(self.swish_cfg, switch_ids.clone())),
+        );
+
+        let mut hosts = Vec::with_capacity(self.n_hosts);
+        let mut recordings = Vec::with_capacity(self.n_hosts);
+        for i in 0..self.n_hosts as u16 {
+            let id = NodeId(HOST_BASE + i);
+            let (rec, log) = RecorderNode::new();
+            sim.add_node(id, Box::new(rec));
+            hosts.push(id);
+            recordings.push(log);
+        }
+
+        // Fabric: inter-switch connectivity per the chosen shape,
+        // controller star, host-switch bipartite.
+        match self.fabric {
+            Fabric::FullMesh => sim.topology_mut().full_mesh(&switch_ids, self.link),
+            Fabric::LeafSpine { spines } => {
+                assert!(spines > 0, "need at least one spine");
+                let spine_ids: Vec<NodeId> =
+                    (0..spines as u16).map(|i| NodeId(SPINE_BASE + i)).collect();
+                for &sp in &spine_ids {
+                    sim.add_node(sp, Box::new(swishmem_simnet::RelayNode));
+                    for &leaf in &switch_ids {
+                        sim.topology_mut().connect(sp, leaf, self.link);
+                    }
+                }
+                // ECMP: each (src, dst) leaf pair pins a spine by hash.
+                for &a in &switch_ids {
+                    for &b in &switch_ids {
+                        if a != b {
+                            let h = (u64::from(a.0) * 31 + u64::from(b.0)) as usize;
+                            sim.topology_mut().set_route(a, b, spine_ids[h % spines]);
+                        }
+                    }
+                }
+            }
+        }
+        // Internal loopback port per switch: a control-plane packet-out
+        // addressed to the switch itself (e.g. the writer is the chain
+        // head) re-enters its own pipeline. Fast and lossless, like a
+        // real loopback port.
+        let loopback = LinkParams {
+            latency: SimDuration::nanos(200),
+            bandwidth_bps: 0,
+            drop_prob: 0.0,
+            jitter: SimDuration::ZERO,
+            corrupt_prob: 0.0,
+        };
+        for &s in &switch_ids {
+            sim.topology_mut().add_link(s, s, loopback);
+        }
+        sim.topology_mut()
+            .star(NodeId::CONTROLLER, &switch_ids, self.link);
+        for &h in &hosts {
+            for &s in &switch_ids {
+                sim.topology_mut().connect(h, s, self.link);
+            }
+        }
+
+        Deployment {
+            sim,
+            switches: switch_ids,
+            hosts,
+            recordings,
+            cfg: self.swish_cfg,
+        }
+    }
+}
+
+/// A running SwiShmem fabric.
+pub struct Deployment {
+    /// The underlying simulator (exposed for fault-injection schedules and
+    /// statistics).
+    pub sim: Simulator,
+    switches: Vec<NodeId>,
+    hosts: Vec<NodeId>,
+    recordings: Vec<Recording>,
+    cfg: SwishConfig,
+}
+
+impl Deployment {
+    /// Run until the bootstrap configuration has propagated (a couple of
+    /// heartbeat intervals).
+    pub fn settle(&mut self) {
+        let d = SimDuration::nanos(2 * self.cfg.heartbeat_interval.as_nanos().max(1_000_000));
+        self.sim.run_for(d);
+    }
+
+    /// Switch node ids.
+    pub fn switch_ids(&self) -> &[NodeId] {
+        &self.switches
+    }
+
+    /// Host node ids.
+    pub fn host_ids(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// The i-th host id.
+    pub fn host(&self, i: usize) -> NodeId {
+        self.hosts[i]
+    }
+
+    /// Packets received by host `i`.
+    pub fn recording(&self, i: usize) -> &Recording {
+        &self.recordings[i]
+    }
+
+    /// Inject a data packet arriving at switch `sw` from host `from` at
+    /// absolute time `t`.
+    pub fn inject(&mut self, t: SimTime, sw: usize, from: usize, pkt: DataPacket) {
+        let p = Packet::data(self.hosts[from], self.switches[sw], pkt);
+        self.sim.inject(t, p);
+    }
+
+    /// Typed access to switch `i` (panics if the node is missing).
+    pub fn switch(&self, i: usize) -> &SwishSwitch {
+        self.sim
+            .node::<SwishSwitch>(self.switches[i])
+            .expect("switch present")
+    }
+
+    /// Management-plane read of `reg[key]` at switch `i`.
+    pub fn peek(&self, i: usize, reg: RegId, key: Key) -> u64 {
+        let now = self.sim.now();
+        let sw = self.switch(i);
+        sw.program().peek(sw.dp(), reg, key, now)
+    }
+
+    /// Combined protocol metrics of switch `i`.
+    pub fn metrics(&self, i: usize) -> SwitchMetrics {
+        let sw = self.switch(i);
+        SwitchMetrics {
+            dp: sw.program().metrics().clone(),
+            cp: sw.cp_app().metrics().clone(),
+        }
+    }
+
+    /// Sum of a `u64` metric across switches.
+    pub fn sum_metric<F: Fn(&SwitchMetrics) -> u64>(&self, f: F) -> u64 {
+        (0..self.switches.len()).map(|i| f(&self.metrics(i))).sum()
+    }
+
+    /// The controller's reconfiguration log.
+    pub fn controller_events(&self) -> Vec<ConfigEvent> {
+        self.sim
+            .node::<Controller>(NodeId::CONTROLLER)
+            .map(|c| c.events().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Schedule a fail-stop failure of switch `i` at `t`.
+    pub fn schedule_fail(&mut self, t: SimTime, i: usize) {
+        let id = self.switches[i];
+        self.sim.schedule_fail(t, id);
+    }
+
+    /// Schedule recovery (fresh state) of switch `i` at `t`.
+    pub fn schedule_recover(&mut self, t: SimTime, i: usize) {
+        let id = self.switches[i];
+        self.sim.schedule_recover(t, id);
+    }
+
+    /// Run to an absolute time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Run for a duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Partition a register's key space across the switches in the
+    /// controller's directory (§7 extension). Call before running.
+    pub fn partition_register(&mut self, reg: RegId, keys: Key, owners: &[NodeId]) {
+        let ctrl = self
+            .sim
+            .node_mut::<crate::controller::Controller>(NodeId::CONTROLLER)
+            .expect("controller present");
+        ctrl.directory_mut().partition_even(reg, keys, owners);
+    }
+
+    /// Issue a directory lookup from switch `sw`'s control plane: injects
+    /// the query packet toward the controller; the reply is cached in the
+    /// switch CP (see [`Deployment::dir_owners`]).
+    pub fn dir_lookup(&mut self, t: SimTime, sw: usize, reg: RegId, key: Key) {
+        let from = self.switches[sw];
+        let pkt = Packet::swish(
+            from,
+            NodeId::CONTROLLER,
+            swishmem_wire::SwishMsg::DirLookup(swishmem_wire::swish::DirLookup { from, reg, key }),
+        );
+        self.sim.inject(t, pkt);
+    }
+
+    /// The owner set switch `sw` has cached for `reg[key]`, if any.
+    pub fn dir_owners(&self, sw: usize, reg: RegId, key: Key) -> Option<Vec<NodeId>> {
+        self.switch(sw)
+            .cp_app()
+            .dir_owners(reg, key)
+            .map(|o| o.to_vec())
+    }
+}

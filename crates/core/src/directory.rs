@@ -1,0 +1,246 @@
+//! The partitioned-state directory service (§7/§9 extension).
+//!
+//! "One way to manage this, which we are currently exploring, is to use a
+//! central controller that acts as a directory service (in the vein of
+//! cache coherence protocols), tracking which switches replicate which
+//! state, and migrating data as needed."
+//!
+//! This module implements that directory as a standalone, fully-tested
+//! service: key ranges of a register are owned by subsets of switches;
+//! lookups resolve the owner set; accesses are counted so a migration
+//! policy can move hot ranges toward their talkers. The wire protocol
+//! (`DirLookup`/`DirReply`) lets switch control planes resolve remote
+//! owners. Full data-path integration (forwarding reads/writes to owners
+//! and transparent migration of live traffic) remains future work, as it
+//! does in the paper.
+
+use std::collections::HashMap;
+use swishmem_wire::swish::{Key, RegId};
+use swishmem_wire::NodeId;
+
+/// A contiguous key range `[start, end)` with an owner set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeEntry {
+    /// First key of the range.
+    pub start: Key,
+    /// One past the last key.
+    pub end: Key,
+    /// Switches replicating this range.
+    pub owners: Vec<NodeId>,
+}
+
+/// Per-register partition map plus access statistics.
+#[derive(Debug, Default)]
+struct RegDirectory {
+    ranges: Vec<RangeEntry>,
+    /// Access counts per (range index, requesting switch).
+    accesses: HashMap<(usize, NodeId), u64>,
+}
+
+/// The directory service.
+#[derive(Debug, Default)]
+pub struct DirectoryService {
+    regs: HashMap<RegId, RegDirectory>,
+}
+
+impl DirectoryService {
+    /// Empty directory.
+    pub fn new() -> DirectoryService {
+        DirectoryService::default()
+    }
+
+    /// Partition `reg`'s key space `[0, keys)` evenly across `owners`,
+    /// one owner per range (the "locality" layout: each range lives on
+    /// exactly one switch until replication is requested).
+    pub fn partition_even(&mut self, reg: RegId, keys: Key, owners: &[NodeId]) {
+        assert!(!owners.is_empty(), "need at least one owner");
+        let n = owners.len() as u32;
+        let per = keys.div_ceil(n);
+        let mut ranges = Vec::new();
+        for (i, &o) in owners.iter().enumerate() {
+            let start = i as u32 * per;
+            if start >= keys {
+                break;
+            }
+            let end = ((i as u32 + 1) * per).min(keys);
+            ranges.push(RangeEntry {
+                start,
+                end,
+                owners: vec![o],
+            });
+        }
+        self.regs.insert(
+            reg,
+            RegDirectory {
+                ranges,
+                accesses: HashMap::new(),
+            },
+        );
+    }
+
+    fn range_index(&self, reg: RegId, key: Key) -> Option<usize> {
+        self.regs
+            .get(&reg)?
+            .ranges
+            .iter()
+            .position(|r| r.start <= key && key < r.end)
+    }
+
+    /// Resolve the owner set for `reg[key]`, recording the access for the
+    /// migration policy. Empty when unknown.
+    pub fn lookup(&mut self, reg: RegId, key: Key, from: NodeId) -> Vec<NodeId> {
+        let Some(idx) = self.range_index(reg, key) else {
+            return vec![];
+        };
+        let dir = self.regs.get_mut(&reg).expect("register known");
+        *dir.accesses.entry((idx, from)).or_insert(0) += 1;
+        dir.ranges[idx].owners.clone()
+    }
+
+    /// Is `node` an owner of `reg[key]`?
+    pub fn is_owner(&self, reg: RegId, key: Key, node: NodeId) -> bool {
+        self.range_index(reg, key)
+            .map(|i| self.regs[&reg].ranges[i].owners.contains(&node))
+            .unwrap_or(false)
+    }
+
+    /// Migrate the range containing `key` so that `to` becomes its sole
+    /// owner. Returns the range moved (for snapshot transfer), or `None`
+    /// if unknown.
+    pub fn migrate(&mut self, reg: RegId, key: Key, to: NodeId) -> Option<RangeEntry> {
+        let idx = self.range_index(reg, key)?;
+        let dir = self.regs.get_mut(&reg)?;
+        dir.ranges[idx].owners = vec![to];
+        // Old access counts no longer describe the new placement.
+        dir.accesses.retain(|(i, _), _| *i != idx);
+        Some(dir.ranges[idx].clone())
+    }
+
+    /// Add `node` as an additional replica of the range containing `key`.
+    pub fn replicate(&mut self, reg: RegId, key: Key, node: NodeId) -> Option<RangeEntry> {
+        let idx = self.range_index(reg, key)?;
+        let dir = self.regs.get_mut(&reg)?;
+        if !dir.ranges[idx].owners.contains(&node) {
+            dir.ranges[idx].owners.push(node);
+        }
+        Some(dir.ranges[idx].clone())
+    }
+
+    /// The switch that accessed the range containing `key` most often —
+    /// the migration policy's candidate target.
+    pub fn hottest_requester(&self, reg: RegId, key: Key) -> Option<NodeId> {
+        let idx = self.range_index(reg, key)?;
+        self.regs[&reg]
+            .accesses
+            .iter()
+            .filter(|((i, _), _)| *i == idx)
+            .max_by_key(|(_, &c)| c)
+            .map(|((_, n), _)| *n)
+    }
+
+    /// Run one step of the greedy migration policy: move every range whose
+    /// hottest requester is not an owner onto that requester. Returns the
+    /// moves performed.
+    pub fn rebalance(&mut self, reg: RegId) -> Vec<(RangeEntry, NodeId)> {
+        let Some(dir) = self.regs.get(&reg) else {
+            return vec![];
+        };
+        let candidates: Vec<(Key, NodeId)> = dir
+            .ranges
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, r)| {
+                let hot = dir
+                    .accesses
+                    .iter()
+                    .filter(|((i, _), _)| *i == idx)
+                    .max_by_key(|(_, &c)| c)
+                    .map(|((_, n), _)| *n)?;
+                if r.owners.contains(&hot) {
+                    None
+                } else {
+                    Some((r.start, hot))
+                }
+            })
+            .collect();
+        let mut moves = Vec::new();
+        for (key, to) in candidates {
+            if let Some(range) = self.migrate(reg, key, to) {
+                moves.push((range, to));
+            }
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owners() -> Vec<NodeId> {
+        vec![NodeId(0), NodeId(1), NodeId(2)]
+    }
+
+    #[test]
+    fn even_partition_covers_key_space() {
+        let mut d = DirectoryService::new();
+        d.partition_even(0, 90, &owners());
+        for key in [0, 29, 30, 59, 60, 89] {
+            assert_eq!(d.lookup(0, key, NodeId(9)).len(), 1, "key {key}");
+        }
+        assert_eq!(d.lookup(0, 0, NodeId(9)), vec![NodeId(0)]);
+        assert_eq!(d.lookup(0, 45, NodeId(9)), vec![NodeId(1)]);
+        assert_eq!(d.lookup(0, 89, NodeId(9)), vec![NodeId(2)]);
+        // Out of range / unknown register.
+        assert!(d.lookup(0, 90, NodeId(9)).is_empty());
+        assert!(d.lookup(7, 0, NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn ownership_checks() {
+        let mut d = DirectoryService::new();
+        d.partition_even(0, 30, &owners());
+        assert!(d.is_owner(0, 5, NodeId(0)));
+        assert!(!d.is_owner(0, 5, NodeId(1)));
+    }
+
+    #[test]
+    fn migration_moves_sole_ownership() {
+        let mut d = DirectoryService::new();
+        d.partition_even(0, 30, &owners());
+        let moved = d.migrate(0, 5, NodeId(2)).unwrap();
+        assert_eq!(moved.owners, vec![NodeId(2)]);
+        assert!(d.is_owner(0, 5, NodeId(2)));
+        assert!(!d.is_owner(0, 5, NodeId(0)));
+        // Other ranges untouched.
+        assert!(d.is_owner(0, 15, NodeId(1)));
+    }
+
+    #[test]
+    fn replicate_adds_owner() {
+        let mut d = DirectoryService::new();
+        d.partition_even(0, 30, &owners());
+        let r = d.replicate(0, 5, NodeId(1)).unwrap();
+        assert_eq!(r.owners, vec![NodeId(0), NodeId(1)]);
+        // Idempotent.
+        let r2 = d.replicate(0, 5, NodeId(1)).unwrap();
+        assert_eq!(r2.owners.len(), 2);
+    }
+
+    #[test]
+    fn rebalance_follows_access_pattern() {
+        let mut d = DirectoryService::new();
+        d.partition_even(0, 30, &owners());
+        // Switch 2 hammers range 0 (owned by switch 0).
+        for _ in 0..10 {
+            d.lookup(0, 3, NodeId(2));
+        }
+        d.lookup(0, 3, NodeId(0));
+        assert_eq!(d.hottest_requester(0, 3), Some(NodeId(2)));
+        let moves = d.rebalance(0);
+        assert_eq!(moves.len(), 1);
+        assert!(d.is_owner(0, 3, NodeId(2)));
+        // Second rebalance is a no-op (counts were reset on migration).
+        assert!(d.rebalance(0).is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! The SwiShmem control-plane app (§6.1's writer side, §6.3's recovery
+//! machinery).
+//!
+//! Responsibilities:
+//! * **Write buffering and retry** — a packet whose processing produced
+//!   SRO/ERO writes is buffered here (in DRAM); write requests are sent to
+//!   the chain head and retried on timeout; the buffered output packet is
+//!   released only when every write in the set is acknowledged by the
+//!   tail.
+//! * **Configuration adoption** — `ChainConfig` messages from the
+//!   controller are installed into the data-plane config block.
+//! * **Liveness** — periodic heartbeats to the controller.
+//! * **Recovery source** — on `SnapshotRequest`, snapshot the chain
+//!   registers (value + sequence number) and stream them to the
+//!   recovering switch through the data plane, paced chunk by chunk.
+//! * **Recovery target** — when the pipeline reports the final snapshot
+//!   chunk applied, announce `CatchupComplete` to the controller.
+
+use super::{write_chain, ChainView, CpItem, Handles, RegKind};
+use crate::config::SwishConfig;
+use crate::metrics::CpMetrics;
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use swishmem_pisa::{ControlApp, CpCtx, RegHandle};
+use swishmem_simnet::SimTime;
+use swishmem_wire::swish::{
+    CatchupComplete, Heartbeat, Key, RegId, SnapEntry, SnapshotChunk, WriteOp, WriteRequest,
+};
+use swishmem_wire::{DataPacket, NodeId, PacketBody, SwishMsg};
+
+const TT_RETRY: u64 = 1 << 44;
+const TT_HEARTBEAT: u64 = 2 << 44;
+const TT_SNAP: u64 = 3 << 44;
+const TT_MASK: u64 = 0xf << 44;
+const ID_MASK: u64 = (1 << 44) - 1;
+
+#[derive(Debug)]
+struct Job {
+    remaining: usize,
+    decision: Option<(NodeId, DataPacket)>,
+    started: SimTime,
+}
+
+#[derive(Debug)]
+struct WriteState {
+    job: u64,
+    reg: RegId,
+    key: Key,
+    op: WriteOp,
+    attempts: u32,
+}
+
+/// The control-plane application of one SwiShmem switch.
+pub struct SwishCp {
+    me: NodeId,
+    cfg: SwishConfig,
+    controller: NodeId,
+    handles: Rc<Handles>,
+    view: ChainView,
+    next_job: u64,
+    next_write: u64,
+    jobs: HashMap<u64, Job>,
+    writes: HashMap<u64, WriteState>,
+    snap_out: VecDeque<(NodeId, SnapshotChunk)>,
+    /// Cached directory answers: (reg, key) → owner set (§7 extension).
+    dir_cache: HashMap<(RegId, Key), Vec<NodeId>>,
+    metrics: CpMetrics,
+}
+
+impl SwishCp {
+    /// Build the control app for switch `me`.
+    pub fn new(me: NodeId, cfg: SwishConfig, controller: NodeId, handles: Rc<Handles>) -> SwishCp {
+        SwishCp {
+            me,
+            cfg,
+            controller,
+            handles,
+            view: ChainView::default(),
+            next_job: 0,
+            next_write: 0,
+            jobs: HashMap::new(),
+            writes: HashMap::new(),
+            snap_out: VecDeque::new(),
+            dir_cache: HashMap::new(),
+            metrics: CpMetrics::default(),
+        }
+    }
+
+    /// Cached owner set for a partitioned key, if a directory reply has
+    /// arrived.
+    pub fn dir_owners(&self, reg: RegId, key: Key) -> Option<&[NodeId]> {
+        self.dir_cache.get(&(reg, key)).map(Vec::as_slice)
+    }
+
+    /// Control-plane metrics.
+    pub fn metrics(&self) -> &CpMetrics {
+        &self.metrics
+    }
+
+    /// Writes currently awaiting acknowledgment (blocked-write window
+    /// measurements in E7 read this).
+    pub fn outstanding_writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// The chain configuration this switch currently operates under.
+    pub fn view(&self) -> &ChainView {
+        &self.view
+    }
+
+    fn send_write(&mut self, write_id: u64, cp: &mut CpCtx<'_, '_>) {
+        let Some(ws) = self.writes.get(&write_id) else {
+            return;
+        };
+        let Some(head) = self.view.head() else {
+            return; // no chain yet; the retry timer will try again
+        };
+        self.metrics.write_sends += 1;
+        cp.packet_out(
+            head,
+            PacketBody::Swish(SwishMsg::Write(WriteRequest {
+                write_id,
+                writer: self.me,
+                epoch: self.view.epoch,
+                reg: ws.reg,
+                key: ws.key,
+                seq: 0, // the head sequences
+                op: ws.op,
+            })),
+        );
+    }
+
+    fn handle_write_job(
+        &mut self,
+        writes: Vec<super::StagedWrite>,
+        decision: Option<(NodeId, DataPacket)>,
+        cp: &mut CpCtx<'_, '_>,
+    ) {
+        let job_id = self.next_job;
+        self.next_job += 1;
+        self.metrics.jobs_started += 1;
+        self.jobs.insert(
+            job_id,
+            Job {
+                remaining: writes.len(),
+                decision,
+                started: cp.now(),
+            },
+        );
+        for w in writes {
+            let write_id = self.next_write & ID_MASK;
+            self.next_write += 1;
+            self.writes.insert(
+                write_id,
+                WriteState {
+                    job: job_id,
+                    reg: w.reg,
+                    key: w.key,
+                    op: w.op,
+                    attempts: 0,
+                },
+            );
+            self.send_write(write_id, cp);
+            cp.set_timer(self.cfg.retry_timeout, TT_RETRY | write_id);
+        }
+    }
+
+    fn handle_ack(&mut self, write_id: u64, cp: &mut CpCtx<'_, '_>) {
+        let Some(ws) = self.writes.remove(&write_id) else {
+            return; // duplicate ack for a retried write: already released
+        };
+        let Some(job) = self.jobs.get_mut(&ws.job) else {
+            return;
+        };
+        job.remaining -= 1;
+        if job.remaining == 0 {
+            let job = self.jobs.remove(&ws.job).expect("job present");
+            self.metrics.jobs_completed += 1;
+            self.metrics.write_latency.record(cp.now() - job.started);
+            if let Some((dst, pkt)) = job.decision {
+                // Release P': "the packet is injected back to the data
+                // plane and forwarded to its destination" (§7).
+                cp.packet_out(dst, PacketBody::Data(pkt));
+            }
+        }
+    }
+
+    fn handle_snapshot_request(&mut self, target: NodeId, cp: &mut CpCtx<'_, '_>) {
+        // Snapshot every chain register: (key, group seq, value) entries.
+        let chunk_size = self.cfg.snapshot_chunk.max(1);
+        let mut all: Vec<(RegId, Vec<SnapEntry>)> = Vec::new();
+        {
+            let dp = cp.dataplane();
+            for entry in &self.handles.regs {
+                let RegKind::Chain { val, seq, .. } = &entry.kind else {
+                    continue;
+                };
+                let mut entries = Vec::with_capacity(entry.spec.keys as usize);
+                for key in 0..entry.spec.keys {
+                    let g = Handles::group_slot(&entry.spec, &self.cfg, key);
+                    let s = dp.reg(*seq).read(g);
+                    let v = dp.reg(*val).read(key as usize);
+                    if s == 0 && v == 0 {
+                        continue; // never written
+                    }
+                    entries.push(SnapEntry {
+                        key,
+                        seq: s,
+                        value: v,
+                    });
+                }
+                all.push((entry.spec.id, entries));
+            }
+        }
+        // Even with no chain registers, send one empty terminal chunk so
+        // the target still reports catch-up completion.
+        let was_empty = self.snap_out.is_empty();
+        let mut chunks: Vec<SnapshotChunk> = Vec::new();
+        for (reg, entries) in all {
+            if entries.is_empty() {
+                chunks.push(SnapshotChunk {
+                    reg,
+                    origin: self.me,
+                    entries: vec![],
+                    last: false,
+                });
+                continue;
+            }
+            for slice in entries.chunks(chunk_size) {
+                chunks.push(SnapshotChunk {
+                    reg,
+                    origin: self.me,
+                    entries: slice.to_vec(),
+                    last: false,
+                });
+            }
+        }
+        if chunks.is_empty() {
+            chunks.push(SnapshotChunk {
+                reg: 0,
+                origin: self.me,
+                entries: vec![],
+                last: true,
+            });
+        } else {
+            chunks.last_mut().expect("nonempty").last = true;
+        }
+        for ch in chunks {
+            self.snap_out.push_back((target, ch));
+        }
+        if was_empty {
+            cp.set_timer(self.cfg.snapshot_interval, TT_SNAP);
+        }
+    }
+
+    fn pump_snapshot(&mut self, cp: &mut CpCtx<'_, '_>) {
+        if let Some((target, chunk)) = self.snap_out.pop_front() {
+            self.metrics.snapshot_chunks_sent += 1;
+            cp.packet_out(target, PacketBody::Swish(SwishMsg::SnapChunk(chunk)));
+        }
+        if !self.snap_out.is_empty() {
+            cp.set_timer(self.cfg.snapshot_interval, TT_SNAP);
+        }
+    }
+}
+
+impl ControlApp for SwishCp {
+    fn on_start(&mut self, cp: &mut CpCtx<'_, '_>) {
+        self.metrics.heartbeats += 1;
+        cp.packet_out(
+            self.controller,
+            PacketBody::Swish(SwishMsg::Heartbeat(Heartbeat {
+                from: self.me,
+                epoch: 0,
+            })),
+        );
+        cp.set_timer(self.cfg.heartbeat_interval, TT_HEARTBEAT);
+    }
+
+    fn on_item(&mut self, item: Box<dyn Any>, cp: &mut CpCtx<'_, '_>) {
+        let Ok(item) = item.downcast::<CpItem>() else {
+            return;
+        };
+        match *item {
+            CpItem::WriteJob { writes, decision } => self.handle_write_job(writes, decision, cp),
+            CpItem::SnapshotDone => {
+                cp.packet_out(
+                    self.controller,
+                    PacketBody::Swish(SwishMsg::CatchupDone(CatchupComplete {
+                        node: self.me,
+                        epoch: self.view.epoch,
+                    })),
+                );
+            }
+            CpItem::Proto(msg) => match msg {
+                SwishMsg::Ack(a) => self.handle_ack(a.write_id, cp),
+                SwishMsg::Chain(c) if c.epoch > self.view.epoch => {
+                    self.view = ChainView {
+                        epoch: c.epoch,
+                        chain: c.chain,
+                        learners: c.learners,
+                    };
+                    let cfgblk: RegHandle = self.handles.cfgblk;
+                    write_chain(cp.dataplane(), cfgblk, &self.view);
+                    self.metrics.epochs_adopted += 1;
+                }
+                SwishMsg::Group(_) => {
+                    // Replica-group membership is enforced by the fabric's
+                    // multicast tree, which the controller reprograms
+                    // directly; nothing to install locally.
+                }
+                SwishMsg::SnapReq(r) => self.handle_snapshot_request(r.target, cp),
+                SwishMsg::DirReply(r) => {
+                    self.dir_cache.insert((r.reg, r.key), r.owners);
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, cp: &mut CpCtx<'_, '_>) {
+        match token & TT_MASK {
+            TT_RETRY => {
+                let write_id = token & ID_MASK;
+                let Some(ws) = self.writes.get_mut(&write_id) else {
+                    return; // acked (or stale token from before a failure)
+                };
+                ws.attempts += 1;
+                if ws.attempts > self.cfg.max_retries {
+                    let job_id = ws.job;
+                    self.writes.remove(&write_id);
+                    if self.jobs.remove(&job_id).is_some() {
+                        self.metrics.jobs_failed += 1;
+                    }
+                    return;
+                }
+                self.metrics.retries += 1;
+                self.send_write(write_id, cp);
+                cp.set_timer(self.cfg.retry_timeout, TT_RETRY | write_id);
+            }
+            TT_HEARTBEAT => {
+                self.metrics.heartbeats += 1;
+                cp.packet_out(
+                    self.controller,
+                    PacketBody::Swish(SwishMsg::Heartbeat(Heartbeat {
+                        from: self.me,
+                        epoch: self.view.epoch,
+                    })),
+                );
+                cp.set_timer(self.cfg.heartbeat_interval, TT_HEARTBEAT);
+            }
+            TT_SNAP => self.pump_snapshot(cp),
+            _ => {}
+        }
+    }
+
+    fn reset(&mut self) {
+        self.view = ChainView::default();
+        self.jobs.clear();
+        self.writes.clear();
+        self.snap_out.clear();
+        self.dir_cache.clear();
+        self.metrics = CpMetrics::default();
+    }
+}

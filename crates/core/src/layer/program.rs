@@ -1,0 +1,598 @@
+//! The SwiShmem data-plane program: wraps the user NF and implements the
+//! data-plane halves of the three protocols (§6).
+
+use super::nfctx::NfCtx;
+use super::{
+    read_chain, ChainView, CpItem, Handles, RegKind, StagedWrite, REPLICA_GROUP, SYNC_PKTGEN_TOKEN,
+};
+use crate::api::{NfApp, NfDecision};
+use crate::config::{MergePolicy, RegisterClass, SwishConfig};
+use crate::metrics::DpMetrics;
+use crate::version::SwitchClock;
+use std::rc::Rc;
+use swishmem_pisa::{DataPlane, DataPlaneProgram, DpView, Effects};
+use swishmem_simnet::SimTime;
+use swishmem_wire::swish::{
+    PendingClear, ReadForward, RegId, SnapshotChunk, SyncEntry, SyncUpdate, WriteOp, WriteRequest,
+};
+use swishmem_wire::{DataPacket, NodeId, Packet, PacketBody, SwishMsg};
+
+/// The data-plane program of one SwiShmem switch.
+pub struct SwishProgram {
+    me: NodeId,
+    me_slot: usize,
+    cfg: SwishConfig,
+    handles: Rc<Handles>,
+    app: Box<dyn NfApp>,
+    clock: SwitchClock,
+    metrics: DpMetrics,
+    /// Periodic-sync walk position: (register id, next key).
+    sync_cursor: (usize, u32),
+    /// Eager-mirror entries awaiting a batch flush.
+    mirror_buf: Vec<(RegId, SyncEntry)>,
+}
+
+impl SwishProgram {
+    /// Build the program for switch `me`.
+    pub fn new(
+        me: NodeId,
+        cfg: SwishConfig,
+        handles: Rc<Handles>,
+        app: Box<dyn NfApp>,
+        clock: SwitchClock,
+    ) -> SwishProgram {
+        SwishProgram {
+            me,
+            me_slot: me.index(),
+            cfg,
+            handles,
+            app,
+            clock,
+            metrics: DpMetrics::default(),
+            sync_cursor: (0, 0),
+            mirror_buf: Vec::new(),
+        }
+    }
+
+    /// Data-plane metrics.
+    pub fn metrics(&self) -> &DpMetrics {
+        &self.metrics
+    }
+
+    /// The register layout (for deployment-level peeks).
+    pub fn handles(&self) -> &Handles {
+        &self.handles
+    }
+
+    /// Protocol configuration.
+    pub fn config(&self) -> &SwishConfig {
+        &self.cfg
+    }
+
+    /// Management-plane read of `reg[key]` directly from a data plane
+    /// (class-aware: counters sum slots). Used by the deployment and the
+    /// experiment harness, not by the protocols.
+    pub fn peek(&self, dp: &DataPlane, reg: RegId, key: u32, now: SimTime) -> u64 {
+        let entry = self.handles.entry(reg);
+        match &entry.kind {
+            RegKind::Chain { val, .. } => dp.reg(*val).read(key as usize),
+            RegKind::Ewo { slots } => match entry.spec.policy {
+                MergePolicy::Lww => dp.pair(slots[0]).read(key as usize).1,
+                MergePolicy::GCounter => {
+                    slots.iter().map(|&h| dp.pair(h).read(key as usize).1).sum()
+                }
+                MergePolicy::Windowed { window } => {
+                    let epoch = now.nanos() / window.as_nanos().max(1);
+                    slots
+                        .iter()
+                        .map(|&h| {
+                            let (e, c) = dp.pair(h).read(key as usize);
+                            if e == epoch {
+                                c
+                            } else {
+                                0
+                            }
+                        })
+                        .sum()
+                }
+            },
+        }
+    }
+
+    /// The chain view currently installed in this switch's config block.
+    pub fn chain_view(&self, dp: &mut DataPlane, now: SimTime) -> ChainView {
+        read_chain(&DpView::new(dp, now), self.handles.cfgblk)
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn handle_data(
+        &mut self,
+        d: DataPacket,
+        ingress: NodeId,
+        may_redirect: bool,
+        dp: &mut DpView<'_>,
+        eff: &mut Effects,
+    ) {
+        let (decision, staged, need_tail) = {
+            let mut ctx = NfCtx {
+                dp,
+                handles: &self.handles,
+                cfg: &self.cfg,
+                me: self.me,
+                staged: Vec::new(),
+                need_tail: false,
+                read_ops: 0,
+            };
+            let decision = self.app.process(&d, ingress, &mut ctx);
+            self.metrics.nf_reads += ctx.read_ops;
+            self.metrics.nf_writes += ctx.staged.len() as u64;
+            (decision, ctx.staged, ctx.need_tail)
+        };
+
+        if need_tail && may_redirect {
+            let chain = read_chain(dp, self.handles.cfgblk);
+            if let Some(tail) = chain.tail() {
+                if tail != self.me {
+                    // Discard this pass entirely; the tail re-executes the
+                    // packet against committed state (§6.1).
+                    self.metrics.reads_forwarded += 1;
+                    eff.forward(
+                        tail,
+                        PacketBody::Swish(SwishMsg::ReadForward(ReadForward {
+                            origin: self.me,
+                            inner: d,
+                        })),
+                    );
+                    return;
+                }
+            }
+            // Tail is us (or no chain installed yet): serve locally.
+        }
+        self.metrics.reads_local += 1;
+
+        let (chain_writes, ewo_writes): (Vec<StagedWrite>, Vec<StagedWrite>) =
+            staged.into_iter().partition(|w| {
+                matches!(
+                    self.handles.entry(w.reg).spec.class,
+                    RegisterClass::Sro | RegisterClass::Ero
+                )
+            });
+
+        if !ewo_writes.is_empty() {
+            let entries = self.apply_ewo(&ewo_writes, dp);
+            self.queue_mirror(entries, eff);
+        }
+
+        if !chain_writes.is_empty() {
+            // P' is buffered by the control plane until the chain acks
+            // (§6.1: "both P' and Q are forwarded to the control plane").
+            self.metrics.sro_jobs_punted += 1;
+            let decision = match decision {
+                NfDecision::Forward { dst, pkt } => Some((dst, pkt)),
+                NfDecision::Drop => None,
+            };
+            eff.punt(CpItem::WriteJob {
+                writes: chain_writes,
+                decision,
+            });
+            return;
+        }
+
+        match decision {
+            NfDecision::Forward { dst, pkt } => eff.forward(dst, PacketBody::Data(pkt)),
+            NfDecision::Drop => eff.drop_packet(),
+        }
+    }
+
+    /// Apply EWO writes to this switch's own slots; returns the sync
+    /// entries describing the new state for eager mirroring.
+    fn apply_ewo(
+        &mut self,
+        writes: &[StagedWrite],
+        dp: &mut DpView<'_>,
+    ) -> Vec<(RegId, SyncEntry)> {
+        let mut out = Vec::with_capacity(writes.len());
+        for w in writes {
+            let entry = self.handles.entry(w.reg);
+            let RegKind::Ewo { slots } = &entry.kind else {
+                continue;
+            };
+            let key = w.key as usize;
+            match entry.spec.policy {
+                MergePolicy::GCounter => {
+                    let WriteOp::Add(delta) = w.op else { continue };
+                    debug_assert!(delta >= 0);
+                    let h = slots[self.me_slot % slots.len()];
+                    let (v, c) = dp.pair_read(h, key);
+                    let (nv, nc) = (v + 1, c + delta as u64);
+                    dp.pair_write(h, key, nv, nc);
+                    out.push((
+                        w.reg,
+                        SyncEntry {
+                            key: w.key,
+                            slot: self.me_slot as u8,
+                            version: nv,
+                            value: nc,
+                        },
+                    ));
+                }
+                MergePolicy::Windowed { window } => {
+                    let WriteOp::Add(delta) = w.op else { continue };
+                    debug_assert!(delta >= 0);
+                    let epoch = dp.now().nanos() / window.as_nanos().max(1);
+                    let h = slots[self.me_slot % slots.len()];
+                    let (e, c) = dp.pair_read(h, key);
+                    let (ne, nc) = if epoch > e {
+                        (epoch, delta as u64)
+                    } else {
+                        (e, c + delta as u64)
+                    };
+                    dp.pair_write(h, key, ne, nc);
+                    out.push((
+                        w.reg,
+                        SyncEntry {
+                            key: w.key,
+                            slot: self.me_slot as u8,
+                            version: ne,
+                            value: nc,
+                        },
+                    ));
+                }
+                MergePolicy::Lww => {
+                    let value = match w.op {
+                        WriteOp::Set(v) => v,
+                        WriteOp::Add(d) => dp.pair_read(slots[0], key).1.wrapping_add(d as u64),
+                    };
+                    let version = self.clock.next_version(dp.now());
+                    dp.pair_write(slots[0], key, version, value);
+                    out.push((
+                        w.reg,
+                        SyncEntry {
+                            key: w.key,
+                            slot: 0,
+                            version,
+                            value,
+                        },
+                    ));
+                }
+            }
+            self.metrics.ewo_writes += 1;
+        }
+        out
+    }
+
+    /// Queue eager-mirror entries, flushing when the batch threshold is
+    /// reached (§7: batching trades bandwidth for staleness).
+    fn queue_mirror(&mut self, entries: Vec<(RegId, SyncEntry)>, eff: &mut Effects) {
+        if !self.cfg.eager_updates || entries.is_empty() {
+            return;
+        }
+        self.mirror_buf.extend(entries);
+        if self.mirror_buf.len() >= self.cfg.batch_size.max(1) {
+            self.flush_mirror(eff);
+        }
+    }
+
+    fn flush_mirror(&mut self, eff: &mut Effects) {
+        if self.mirror_buf.is_empty() {
+            return;
+        }
+        // Group entries by register, one SyncUpdate per register.
+        let mut by_reg: Vec<(RegId, Vec<SyncEntry>)> = Vec::new();
+        for (reg, e) in self.mirror_buf.drain(..) {
+            match by_reg.iter_mut().find(|(r, _)| *r == reg) {
+                Some((_, v)) => v.push(e),
+                None => by_reg.push((reg, vec![e])),
+            }
+        }
+        for (reg, entries) in by_reg {
+            self.metrics.mirror_packets += 1;
+            eff.multicast(
+                REPLICA_GROUP,
+                PacketBody::Swish(SwishMsg::Sync(SyncUpdate {
+                    reg,
+                    origin: self.me,
+                    entries,
+                })),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Chain protocol (SRO/ERO data-plane half, §6.1)
+    // ------------------------------------------------------------------
+
+    fn on_chain_write(&mut self, req: WriteRequest, dp: &mut DpView<'_>, eff: &mut Effects) {
+        let chain = read_chain(dp, self.handles.cfgblk);
+        let order = chain.write_order();
+        let Some(pos) = order.iter().position(|&n| n == self.me) else {
+            self.metrics.chain_stale += 1;
+            return;
+        };
+        let entry = self.handles.entry(req.reg);
+        let RegKind::Chain { val, seq, pending } = &entry.kind else {
+            self.metrics.chain_stale += 1;
+            return;
+        };
+        let (val, seq, pending) = (*val, *seq, *pending);
+        let g = Handles::group_slot(&entry.spec, &self.cfg, req.key);
+        let cur = dp.reg_read(seq, g);
+
+        let is_head = pos == 0;
+        let is_tail = chain.tail() == Some(self.me);
+
+        // The head sequences unnumbered requests and rewrites Add into Set
+        // so every replica applies an identical value.
+        let (assigned, op) = if is_head && req.seq == 0 {
+            let value = match req.op {
+                WriteOp::Set(v) => v,
+                WriteOp::Add(d) => dp.reg_read(val, req.key as usize).wrapping_add(d as u64),
+            };
+            (cur + 1, WriteOp::Set(value))
+        } else if req.seq == 0 {
+            // Sequencing request reached a non-head switch (stale routing
+            // at the writer); drop, the writer's retry will find the head.
+            self.metrics.chain_stale += 1;
+            return;
+        } else {
+            (req.seq, req.op)
+        };
+
+        // Monotonic apply: reject anything not newer than local state.
+        // (Chain replication's in-order rule, generalized to tolerate
+        // loss: a skipped write was never acknowledged and its writer
+        // retries through the head, obtaining a fresh sequence number.)
+        if assigned <= cur {
+            self.metrics.chain_stale += 1;
+            return;
+        }
+        let WriteOp::Set(value) = op else {
+            self.metrics.chain_stale += 1;
+            return;
+        };
+        dp.reg_write(val, req.key as usize, value);
+        dp.reg_write(seq, g, assigned);
+        self.metrics.chain_applies += 1;
+
+        let fwd = WriteRequest {
+            seq: assigned,
+            op,
+            ..req
+        };
+        if is_tail {
+            // Tail: acknowledge the writer and clear pending bits
+            // everywhere — ack processing entirely in the data plane
+            // (§3.3). The tail itself never sets a pending bit, so its
+            // reads always reflect committed state (CRAQ).
+            eff.forward(
+                req.writer,
+                PacketBody::Swish(SwishMsg::Ack(swishmem_wire::swish::WriteAck {
+                    write_id: req.write_id,
+                    writer: req.writer,
+                    reg: req.reg,
+                    key: req.key,
+                    seq: assigned,
+                })),
+            );
+            eff.multicast(
+                REPLICA_GROUP,
+                PacketBody::Swish(SwishMsg::Clear(PendingClear {
+                    epoch: chain.epoch,
+                    reg: req.reg,
+                    key: req.key,
+                    seq: assigned,
+                })),
+            );
+        } else if let Some(p) = pending {
+            // Mark the write in flight (SRO only).
+            dp.reg_write(p, g, assigned);
+        }
+        if let Some(&next) = order.get(pos + 1) {
+            eff.forward(next, PacketBody::Swish(SwishMsg::Write(fwd)));
+        }
+    }
+
+    fn on_clear(&mut self, c: PendingClear, dp: &mut DpView<'_>) {
+        let entry = self.handles.entry(c.reg);
+        let RegKind::Chain {
+            pending: Some(p), ..
+        } = &entry.kind
+        else {
+            return;
+        };
+        let g = Handles::group_slot(&entry.spec, &self.cfg, c.key);
+        let in_flight = dp.reg_read(*p, g);
+        // Clear only if no later write has marked the group again.
+        if in_flight != 0 && in_flight <= c.seq {
+            dp.reg_write(*p, g, 0);
+            self.metrics.clears_applied += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // EWO merge + periodic sync (§6.2, §7)
+    // ------------------------------------------------------------------
+
+    fn on_sync(&mut self, u: &SyncUpdate, dp: &mut DpView<'_>) {
+        let entry = self.handles.entry(u.reg);
+        let RegKind::Ewo { slots } = &entry.kind else {
+            return;
+        };
+        let slots = slots.clone();
+        for e in &u.entries {
+            let changed = match entry.spec.policy {
+                MergePolicy::GCounter => {
+                    let h = slots[e.slot as usize % slots.len()];
+                    dp.pair_merge_max(h, e.key as usize, e.version, e.value)
+                }
+                MergePolicy::Lww => {
+                    self.clock.observe(e.version);
+                    dp.pair_merge_lww(slots[0], e.key as usize, e.version, e.value)
+                }
+                MergePolicy::Windowed { .. } => {
+                    let h = slots[e.slot as usize % slots.len()];
+                    let (le, lc) = dp.pair_read(h, e.key as usize);
+                    // Newer epoch supersedes; same epoch merges by max.
+                    let wins = e.version > le || (e.version == le && e.value > lc);
+                    if wins {
+                        dp.pair_write(h, e.key as usize, e.version, e.value);
+                    }
+                    wins
+                }
+            };
+            self.metrics.merge_entries += 1;
+            if changed {
+                self.metrics.merge_applied += 1;
+            }
+        }
+    }
+
+    /// Walk the next chunk of EWO state and push it to a random peer
+    /// (§7: the packet generator "iterates over the register array,
+    /// forming write update packets ... forwarding each one to a
+    /// randomly-selected switch in the replica group").
+    fn periodic_sync(&mut self, dp: &mut DpView<'_>, eff: &mut Effects) {
+        let ewo_regs: Vec<usize> = self
+            .handles
+            .regs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r.kind, RegKind::Ewo { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if ewo_regs.is_empty() {
+            return;
+        }
+        let (mut reg_i, mut key) = self.sync_cursor;
+        if !ewo_regs.contains(&reg_i) {
+            reg_i = ewo_regs[0];
+            key = 0;
+        }
+        let mut budget = self.cfg.sync_chunk.max(1);
+        let mut per_reg: Vec<(RegId, Vec<SyncEntry>)> = Vec::new();
+        let mut visited_keys = 0usize;
+        let total_keys: usize = ewo_regs
+            .iter()
+            .map(|&i| self.handles.regs[i].spec.keys as usize)
+            .sum();
+
+        while budget > 0 && visited_keys < total_keys {
+            let entry = &self.handles.regs[reg_i];
+            let RegKind::Ewo { slots } = &entry.kind else {
+                unreachable!()
+            };
+            if key >= entry.spec.keys {
+                // advance to next EWO register
+                let next = ewo_regs
+                    .iter()
+                    .position(|&i| i == reg_i)
+                    .map(|p| ewo_regs[(p + 1) % ewo_regs.len()])
+                    .unwrap_or(ewo_regs[0]);
+                reg_i = next;
+                key = 0;
+                continue;
+            }
+            for (si, &h) in slots.iter().enumerate() {
+                let (v, x) = dp.pair_read(h, key as usize);
+                if v == 0 && x == 0 {
+                    continue; // nothing to say about this slot
+                }
+                let reg_id = entry.spec.id;
+                let e = SyncEntry {
+                    key,
+                    slot: si as u8,
+                    version: v,
+                    value: x,
+                };
+                match per_reg.iter_mut().find(|(r, _)| *r == reg_id) {
+                    Some((_, list)) => list.push(e),
+                    None => per_reg.push((reg_id, vec![e])),
+                }
+                budget = budget.saturating_sub(1);
+            }
+            key += 1;
+            visited_keys += 1;
+        }
+        self.sync_cursor = (reg_i, key);
+        for (reg, entries) in per_reg {
+            if entries.is_empty() {
+                continue;
+            }
+            self.metrics.sync_packets += 1;
+            eff.anycast_random(
+                REPLICA_GROUP,
+                PacketBody::Swish(SwishMsg::Sync(SyncUpdate {
+                    reg,
+                    origin: self.me,
+                    entries,
+                })),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (§6.3): guarded snapshot apply
+    // ------------------------------------------------------------------
+
+    fn on_snap_chunk(&mut self, ch: &SnapshotChunk, dp: &mut DpView<'_>, eff: &mut Effects) {
+        let entry = self.handles.entry(ch.reg);
+        if let RegKind::Chain { val, seq, .. } = &entry.kind {
+            let (val, seq) = (*val, *seq);
+            for e in &ch.entries {
+                let g = Handles::group_slot(&entry.spec, &self.cfg, e.key);
+                let cur = dp.reg_read(seq, g);
+                // "These writes contain the sequence number at the time of
+                // the snapshot, to prevent overwriting new values with old
+                // ones" (§6.3). Equal seq means the snapshot entry is the
+                // newest write for this group: apply.
+                if e.seq >= cur {
+                    dp.reg_write(val, e.key as usize, e.value);
+                    dp.reg_write(seq, g, e.seq.max(cur));
+                    self.metrics.snapshot_applied += 1;
+                } else {
+                    self.metrics.snapshot_stale += 1;
+                }
+            }
+        }
+        if ch.last {
+            eff.punt(CpItem::SnapshotDone);
+        }
+    }
+}
+
+impl DataPlaneProgram for SwishProgram {
+    fn on_packet(&mut self, pkt: &Packet, dp: &mut DpView<'_>, eff: &mut Effects) {
+        match &pkt.body {
+            PacketBody::Data(d) => self.handle_data(*d, pkt.src, true, dp, eff),
+            PacketBody::Swish(msg) => match msg {
+                SwishMsg::Write(req) => self.on_chain_write(*req, dp, eff),
+                SwishMsg::Clear(c) => self.on_clear(*c, dp),
+                SwishMsg::Sync(u) => self.on_sync(u, dp),
+                SwishMsg::ReadForward(rf) => {
+                    self.metrics.tail_reads_served += 1;
+                    self.handle_data(rf.inner, rf.origin, false, dp, eff);
+                }
+                SwishMsg::SnapChunk(ch) => self.on_snap_chunk(ch, dp, eff),
+                other => eff.punt(CpItem::Proto(other.clone())),
+            },
+        }
+    }
+
+    fn on_pktgen(&mut self, token: u64, dp: &mut DpView<'_>, eff: &mut Effects) {
+        if token == SYNC_PKTGEN_TOKEN {
+            self.flush_mirror(eff); // batched eager entries must not linger
+            self.periodic_sync(dp, eff);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.metrics = DpMetrics::default();
+        self.sync_cursor = (0, 0);
+        self.mirror_buf.clear();
+        self.clock.reset();
+        self.app.reset();
+    }
+}

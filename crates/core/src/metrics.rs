@@ -1,0 +1,173 @@
+//! Protocol metrics: counters and latency samples collected per switch,
+//! aggregated by the deployment for the experiment harness.
+
+use swishmem_simnet::SimDuration;
+
+/// A sample collector with percentile summaries.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record a duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+    }
+
+    /// Record a raw nanosecond sample.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.samples.push(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Percentile (0.0–1.0), nearest-rank; 0 when empty.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Drop all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Data-plane-side protocol counters (kept by the SwiShmem program).
+#[derive(Debug, Clone, Default)]
+pub struct DpMetrics {
+    /// Shared-register read operations issued by the NF.
+    pub nf_reads: u64,
+    /// Shared-register write operations issued by the NF.
+    pub nf_writes: u64,
+    /// Reads served from the local replica.
+    pub reads_local: u64,
+    /// Reads redirected to the tail because a pending bit was set (SRO).
+    pub reads_forwarded: u64,
+    /// Forwarded reads this switch served as tail.
+    pub tail_reads_served: u64,
+    /// EWO writes applied locally.
+    pub ewo_writes: u64,
+    /// SRO/ERO write jobs punted to the control plane.
+    pub sro_jobs_punted: u64,
+    /// Chain write requests applied in the data plane.
+    pub chain_applies: u64,
+    /// Chain write requests rejected as stale/duplicate.
+    pub chain_stale: u64,
+    /// Pending-clear messages applied.
+    pub clears_applied: u64,
+    /// EWO entries merged from received sync updates.
+    pub merge_entries: u64,
+    /// EWO entries that actually changed state on merge.
+    pub merge_applied: u64,
+    /// Periodic sync packets emitted.
+    pub sync_packets: u64,
+    /// Eager mirror packets emitted.
+    pub mirror_packets: u64,
+    /// Snapshot entries applied during catch-up.
+    pub snapshot_applied: u64,
+    /// Snapshot entries rejected by the sequence guard.
+    pub snapshot_stale: u64,
+}
+
+/// Control-plane-side metrics (kept by the SwiShmem control app).
+#[derive(Debug, Clone, Default)]
+pub struct CpMetrics {
+    /// Write jobs accepted from the pipeline.
+    pub jobs_started: u64,
+    /// Write jobs fully acknowledged (output packet released).
+    pub jobs_completed: u64,
+    /// Write jobs abandoned after `max_retries`.
+    pub jobs_failed: u64,
+    /// Write request (re)transmissions.
+    pub write_sends: u64,
+    /// Retransmissions only.
+    pub retries: u64,
+    /// Latency from job punt to output-packet release.
+    pub write_latency: Histogram,
+    /// Heartbeats sent.
+    pub heartbeats: u64,
+    /// Configuration epochs adopted.
+    pub epochs_adopted: u64,
+    /// Snapshot chunks streamed (as recovery source).
+    pub snapshot_chunks_sent: u64,
+}
+
+/// Combined per-switch metrics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchMetrics {
+    /// Data-plane counters.
+    pub dp: DpMetrics,
+    /// Control-plane counters.
+    pub cp: CpMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record_ns(i * 10);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile_ns(0.5), 500);
+        assert_eq!(h.percentile_ns(0.99), 990);
+        assert_eq!(h.percentile_ns(1.0), 1000);
+        assert_eq!(h.max_ns(), 1000);
+        assert!((h.mean_ns() - 505.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile_ns(0.5), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::micros(1));
+        let mut b = Histogram::new();
+        b.record(SimDuration::micros(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 3000);
+    }
+}

@@ -1,0 +1,276 @@
+//! EWO-protocol edge cases at the unit level: merges, periodic sync
+//! batching, and eager-mirror behaviour of the data-plane program driven
+//! directly with crafted messages.
+
+#![allow(clippy::field_reassign_with_default)] // configs read clearer as overrides
+
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use swishmem::api::{ForwardAll, NfApp, NfDecision, SharedState};
+use swishmem::layer::program::SwishProgram;
+use swishmem::layer::{write_chain_for_tests, ChainView, Handles, SYNC_PKTGEN_TOKEN};
+use swishmem::{ClockMode, RegisterSpec, SwishConfig, SwitchClock};
+use swishmem_pisa::{DataPlane, DataPlaneProgram, DpView, Effect, Effects};
+use swishmem_simnet::SimTime;
+use swishmem_wire::swish::{SyncEntry, SyncUpdate};
+use swishmem_wire::{DataPacket, FlowKey, NodeId, Packet, PacketBody, SwishMsg};
+
+/// Adds 1 to counter register 0 at key = dst_port.
+struct IncNf;
+impl NfApp for IncNf {
+    fn process(&mut self, pkt: &DataPacket, _i: NodeId, st: &mut dyn SharedState) -> NfDecision {
+        st.add(0, u32::from(pkt.flow.dst_port), 1);
+        NfDecision::Forward {
+            dst: NodeId(1000),
+            pkt: *pkt,
+        }
+    }
+}
+
+struct Rig {
+    dp: DataPlane,
+    prog: SwishProgram,
+}
+
+fn rig(me: u16, cfg: SwishConfig, counter_nf: bool) -> Rig {
+    let mut dp = DataPlane::standard();
+    let handles = Rc::new(
+        Handles::build(&mut dp, &[RegisterSpec::ewo_counter(0, "c", 64)], &cfg, 4).unwrap(),
+    );
+    write_chain_for_tests(
+        &mut dp,
+        &handles,
+        &ChainView {
+            epoch: 1,
+            chain: (0..4).map(NodeId).collect(),
+            learners: vec![],
+        },
+    );
+    let clock = SwitchClock::new(NodeId(me), ClockMode::Synced { max_skew_ns: 0 }, 0);
+    let app: Box<dyn NfApp> = if counter_nf {
+        Box::new(IncNf)
+    } else {
+        Box::new(ForwardAll { dst: NodeId(1000) })
+    };
+    let prog = SwishProgram::new(NodeId(me), cfg, handles, app, clock);
+    Rig { dp, prog }
+}
+
+fn deliver(r: &mut Rig, pkt: Packet, at_ns: u64) -> Vec<Effect> {
+    let mut eff = Effects::new();
+    {
+        let mut view = DpView::new(&mut r.dp, SimTime(at_ns));
+        r.prog.on_packet(&pkt, &mut view, &mut eff);
+    }
+    eff.drain().collect()
+}
+
+fn pktgen(r: &mut Rig, at_ns: u64) -> Vec<Effect> {
+    let mut eff = Effects::new();
+    {
+        let mut view = DpView::new(&mut r.dp, SimTime(at_ns));
+        r.prog.on_pktgen(SYNC_PKTGEN_TOKEN, &mut view, &mut eff);
+    }
+    eff.drain().collect()
+}
+
+fn data(port: u16) -> Packet {
+    Packet::data(
+        NodeId(9),
+        NodeId(0),
+        DataPacket::udp(
+            FlowKey::udp(
+                Ipv4Addr::new(1, 1, 1, 1),
+                1,
+                Ipv4Addr::new(2, 2, 2, 2),
+                port,
+            ),
+            0,
+            16,
+        ),
+    )
+}
+
+fn sync(origin: u16, entries: Vec<SyncEntry>) -> Packet {
+    Packet::swish(
+        NodeId(origin),
+        NodeId(0),
+        SwishMsg::Sync(SyncUpdate {
+            reg: 0,
+            origin: NodeId(origin),
+            entries,
+        }),
+    )
+}
+
+fn peek(r: &Rig, key: u32) -> u64 {
+    r.prog.peek(&r.dp, 0, key, SimTime(0))
+}
+
+#[test]
+fn merge_is_idempotent_at_the_register_level() {
+    let mut r = rig(0, SwishConfig::default(), false);
+    let e = SyncEntry {
+        key: 3,
+        slot: 2,
+        version: 5,
+        value: 50,
+    };
+    deliver(&mut r, sync(2, vec![e]), 100);
+    assert_eq!(peek(&r, 3), 50);
+    assert_eq!(r.prog.metrics().merge_applied, 1);
+    // Replaying the identical update changes nothing.
+    deliver(&mut r, sync(2, vec![e]), 200);
+    assert_eq!(peek(&r, 3), 50);
+    assert_eq!(r.prog.metrics().merge_applied, 1);
+    assert_eq!(r.prog.metrics().merge_entries, 2);
+}
+
+#[test]
+fn stale_slot_updates_never_regress_the_counter() {
+    let mut r = rig(0, SwishConfig::default(), false);
+    deliver(
+        &mut r,
+        sync(
+            2,
+            vec![SyncEntry {
+                key: 3,
+                slot: 2,
+                version: 9,
+                value: 90,
+            }],
+        ),
+        100,
+    );
+    // An old view of the same slot must not shrink it.
+    deliver(
+        &mut r,
+        sync(
+            1,
+            vec![SyncEntry {
+                key: 3,
+                slot: 2,
+                version: 4,
+                value: 40,
+            }],
+        ),
+        200,
+    );
+    assert_eq!(peek(&r, 3), 90);
+}
+
+#[test]
+fn relayed_sync_carries_third_party_slots() {
+    // Periodic sync relays ALL slots a switch knows, not just its own:
+    // switch 0 learns slot 2's value from switch 1's relay.
+    let mut r = rig(0, SwishConfig::default(), false);
+    deliver(
+        &mut r,
+        sync(
+            1,
+            vec![SyncEntry {
+                key: 7,
+                slot: 2,
+                version: 3,
+                value: 30,
+            }],
+        ),
+        100,
+    );
+    assert_eq!(peek(&r, 7), 30);
+}
+
+#[test]
+fn eager_mirror_batches_until_threshold() {
+    let mut cfg = SwishConfig::default();
+    cfg.batch_size = 3;
+    let mut r = rig(0, cfg, true);
+    // Two writes: below the batch threshold, nothing mirrored yet.
+    assert!(!deliver(&mut r, data(1), 100)
+        .iter()
+        .any(|e| matches!(e, Effect::Multicast { .. })));
+    assert!(!deliver(&mut r, data(2), 200)
+        .iter()
+        .any(|e| matches!(e, Effect::Multicast { .. })));
+    // Third write flushes one batched Sync with 3 entries.
+    let fx = deliver(&mut r, data(3), 300);
+    let entries = fx
+        .iter()
+        .find_map(|e| match e {
+            Effect::Multicast {
+                body: PacketBody::Swish(SwishMsg::Sync(u)),
+                ..
+            } => Some(u.entries.len()),
+            _ => None,
+        })
+        .expect("batch flush expected");
+    assert_eq!(entries, 3);
+}
+
+#[test]
+fn pktgen_flushes_lingering_batch() {
+    let mut cfg = SwishConfig::default();
+    cfg.batch_size = 100; // never reached by traffic
+    let mut r = rig(0, cfg, true);
+    deliver(&mut r, data(1), 100);
+    // The pending entry must not linger past the next sync tick.
+    let fx = pktgen(&mut r, 1_000_000);
+    let mirrored = fx.iter().any(|e| {
+        matches!(
+            e,
+            Effect::Multicast {
+                body: PacketBody::Swish(SwishMsg::Sync(_)),
+                ..
+            }
+        )
+    });
+    assert!(mirrored, "pktgen must flush the batch buffer");
+}
+
+#[test]
+fn periodic_sync_walks_only_nonzero_state() {
+    let mut r = rig(0, SwishConfig::default(), true);
+    // Nothing written yet: the sync tick emits no packets.
+    assert!(pktgen(&mut r, 1_000).is_empty());
+    // After one write, the tick ships exactly the live entries.
+    deliver(&mut r, data(5), 2_000);
+    let fx = pktgen(&mut r, 10_000);
+    let entries: usize = fx
+        .iter()
+        .filter_map(|e| match e {
+            Effect::AnycastRandom {
+                body: PacketBody::Swish(SwishMsg::Sync(u)),
+                ..
+            } => Some(u.entries.len()),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(entries, 1, "exactly the one live (key, slot) pair");
+}
+
+#[test]
+fn ewo_writes_never_touch_the_control_plane() {
+    let mut r = rig(0, SwishConfig::default(), true);
+    let fx = deliver(&mut r, data(1), 100);
+    assert!(!fx.iter().any(|e| matches!(e, Effect::Punt { .. })));
+    // Output packet released immediately.
+    assert!(fx
+        .iter()
+        .any(|e| matches!(e, Effect::Forward { dst, body: PacketBody::Data(_) } if dst.0 == 1000)));
+}
+
+#[test]
+fn reset_clears_cursor_batch_and_metrics() {
+    let mut cfg = SwishConfig::default();
+    cfg.batch_size = 100;
+    let mut r = rig(0, cfg, true);
+    deliver(&mut r, data(1), 100);
+    assert_eq!(r.prog.metrics().ewo_writes, 1);
+    // A fail-stop failure wipes data plane AND program state together
+    // (pisa's Switch::on_fail does both); mirror that here.
+    r.dp.clear_all();
+    r.prog.reset();
+    assert_eq!(r.prog.metrics().ewo_writes, 0);
+    // No stale batch or register state resurfaces after the reset.
+    assert!(pktgen(&mut r, 1_000_000).is_empty());
+}

@@ -1,0 +1,188 @@
+//! Property tests for the core abstractions: CRDT lattice laws, version
+//! ordering, LWW convergence irrespective of delivery order, and the
+//! chain sequence guard.
+
+use proptest::prelude::*;
+use swishmem::crdt::{Crdt, GCounter, LwwCell, PnCounter, WindowedSlot};
+use swishmem::version::{pack, unpack, SwitchClock};
+use swishmem::ClockMode;
+use swishmem_wire::NodeId;
+
+fn arb_gcounter(n: usize) -> impl Strategy<Value = GCounter> {
+    prop::collection::vec(0u64..1000, n).prop_map(move |incrs| {
+        let mut g = GCounter::new(incrs.len());
+        for (i, v) in incrs.iter().enumerate() {
+            g.increment(NodeId(i as u16), *v);
+        }
+        g
+    })
+}
+
+fn arb_lww() -> impl Strategy<Value = LwwCell> {
+    (0u64..1000, any::<u64>()).prop_map(|(version, value)| LwwCell { version, value })
+}
+
+fn arb_windowed() -> impl Strategy<Value = WindowedSlot> {
+    (0u64..20, 0u64..1000).prop_map(|(epoch, count)| WindowedSlot { epoch, count })
+}
+
+proptest! {
+    // ---- G-counter lattice laws ----
+
+    #[test]
+    fn gcounter_merge_commutative(a in arb_gcounter(4), b in arb_gcounter(4)) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn gcounter_merge_associative(a in arb_gcounter(3), b in arb_gcounter(3), c in arb_gcounter(3)) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn gcounter_merge_idempotent(a in arb_gcounter(4)) {
+        let mut m = a.clone();
+        m.merge(&a);
+        prop_assert_eq!(m, a);
+    }
+
+    #[test]
+    fn gcounter_merge_monotone(a in arb_gcounter(4), b in arb_gcounter(4)) {
+        let before = a.read();
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(m.read() >= before, "counter decreased after merge (§6.2 monotonicity)");
+        prop_assert!(m.read() >= b.read());
+    }
+
+    // ---- PN-counter ----
+
+    #[test]
+    fn pncounter_concurrent_ops_all_survive(
+        pos in prop::collection::vec(0i64..100, 1..10),
+        neg in prop::collection::vec(-100i64..0, 1..10),
+    ) {
+        let mut a = PnCounter::new(2);
+        let mut b = PnCounter::new(2);
+        let mut expect = 0i64;
+        for &p in &pos {
+            a.add(NodeId(0), p);
+            expect += p;
+        }
+        for &n in &neg {
+            b.add(NodeId(1), n);
+            expect += n;
+        }
+        a.merge(&b);
+        b.merge(&a);
+        prop_assert_eq!(a.read(), expect);
+        prop_assert_eq!(b.read(), expect);
+    }
+
+    // ---- LWW convergence regardless of delivery order ----
+
+    #[test]
+    fn lww_any_delivery_order_converges(
+        raw_writes in prop::collection::vec(arb_lww(), 1..12),
+        perm_seed in any::<u64>(),
+    ) {
+        // Deployed versions are unique by construction (timestamp +
+        // switch-id tiebreak, crate::version::pack); mirror that here —
+        // duplicate versions with different values would make merge order
+        // observable, a state the system never produces.
+        let writes: Vec<LwwCell> = raw_writes
+            .iter()
+            .enumerate()
+            .map(|(i, w)| LwwCell { version: w.version * 16 + i as u64, value: w.value })
+            .collect();
+        // Replica A receives writes in order, replica B in a permutation.
+        let mut order2 = writes.clone();
+        let n = order2.len();
+        let mut s = perm_seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            order2.swap(i, j);
+        }
+        let mut a = LwwCell::default();
+        for w in &writes {
+            a.merge(w);
+        }
+        let mut b = LwwCell::default();
+        for w in &order2 {
+            b.merge(w);
+        }
+        prop_assert_eq!(a, b, "LWW must be order-insensitive");
+        // And the survivor is the max-version write.
+        let top = writes.iter().max_by_key(|w| w.version).unwrap();
+        if top.version > 0 {
+            prop_assert_eq!(a.version, top.version);
+        }
+    }
+
+    // ---- Windowed slot lattice ----
+
+    #[test]
+    fn windowed_merge_commutative_and_monotone(a in arb_windowed(), b in arb_windowed()) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        // Lexicographic monotonicity: (epoch, count) never decreases.
+        prop_assert!((ab.epoch, ab.count) >= (a.epoch, a.count));
+        prop_assert!((ab.epoch, ab.count) >= (b.epoch, b.count));
+    }
+
+    // ---- Version packing ----
+
+    #[test]
+    fn version_pack_unpack_round_trip(stamp in 0u64..(1 << 54), id in 0u16..1024) {
+        let v = pack(stamp, NodeId(id));
+        prop_assert_eq!(unpack(v), (stamp, NodeId(id)));
+    }
+
+    #[test]
+    fn versions_totally_ordered_by_stamp_then_id(
+        s1 in 0u64..(1 << 40), id1 in 0u16..1024,
+        s2 in 0u64..(1 << 40), id2 in 0u16..1024,
+    ) {
+        let v1 = pack(s1, NodeId(id1));
+        let v2 = pack(s2, NodeId(id2));
+        if s1 != s2 {
+            prop_assert_eq!(v1 < v2, s1 < s2);
+        } else if id1 != id2 {
+            prop_assert_eq!(v1 < v2, id1 < id2);
+        } else {
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn clock_versions_strictly_increase(
+        times in prop::collection::vec(0u64..1_000_000, 1..50),
+        lamport in any::<bool>(),
+    ) {
+        let mode = if lamport { ClockMode::Lamport } else { ClockMode::Synced { max_skew_ns: 10 } };
+        let mut clock = SwitchClock::new(NodeId(1), mode, 5);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut last = 0;
+        for t in sorted {
+            let v = clock.next_version(swishmem_simnet::SimTime(t));
+            prop_assert!(v > last, "clock must be strictly monotonic");
+            last = v;
+        }
+    }
+}

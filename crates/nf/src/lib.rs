@@ -1,0 +1,48 @@
+//! # swishmem-nf
+//!
+//! The six network functions of the paper's Table 1, implemented against
+//! the SwiShmem shared-register API, plus the synthetic workload
+//! generators that drive them:
+//!
+//! | NF | Shared state | Class |
+//! |----|--------------|-------|
+//! | [`nat::Nat`] | translation table | SRO |
+//! | [`firewall::Firewall`] | connection-state table | SRO |
+//! | [`ips::Ips`] | signature table + match counter | ERO + EWO |
+//! | [`lb::LoadBalancer`] | connection→DIP mapping | SRO |
+//! | [`ddos::DdosDetector`] | count-min sketch | EWO (G-counters) |
+//! | [`ratelimit::RateLimiter`] | per-user meters | EWO (windowed) |
+//!
+//! Each NF is written exactly as a single-switch P4 program would be —
+//! reads and writes against plain registers — and acquires its
+//! distributed behaviour entirely from the register class it declares
+//! (the paper's "one big switch" abstraction, §1).
+//!
+//! [`workload`] provides deterministic flow generation (Poisson arrivals,
+//! Zipf destination skew), DDoS attack mixes, and the ECMP/multipath
+//! ingress models of §3.2.
+
+pub mod baseline;
+pub mod ddos;
+pub mod firewall;
+pub mod heavyhitter;
+pub mod ips;
+pub mod lb;
+pub mod nat;
+pub mod ratelimit;
+pub mod sketch;
+pub mod workload;
+
+pub use baseline::{LocalDdos, LocalLb};
+pub use ddos::{DdosConfig, DdosDetector, DdosStats, DdosStatsHandle};
+pub use firewall::{Firewall, FirewallConfig, FirewallStats, FirewallStatsHandle};
+pub use heavyhitter::{HeavyHitter, HhConfig, HhStats, HhStatsHandle};
+pub use ips::{Ips, IpsConfig, IpsStats, IpsStatsHandle};
+pub use lb::{LbConfig, LbStats, LbStatsHandle, LoadBalancer};
+pub use nat::{Nat, NatConfig, NatStats, NatStatsHandle};
+pub use ratelimit::{RateLimitConfig, RateLimitStats, RateLimitStatsHandle, RateLimiter};
+pub use sketch::CmSketch;
+pub use workload::{
+    generate_attack, AttackConfig, EcmpRouter, FlowGen, FlowGenConfig, RoutingMode,
+    ScheduledPacket, Zipf,
+};

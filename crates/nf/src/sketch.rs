@@ -1,0 +1,143 @@
+//! Count-min sketch: the approximate frequency structure DDoS detection
+//! offloads to switches (§4.2, citing Lapolli et al.).
+//!
+//! Two forms live here:
+//! * deterministic row-hash functions ([`cm_hash`]) used by the in-switch
+//!   sketch, whose rows are EWO G-counter registers;
+//! * a pure [`CmSketch`] oracle with identical hashing, used by tests and
+//!   the E9 experiment to quantify in-switch accuracy.
+
+/// Deterministic hash for sketch row `row` over a 64-bit key: FNV-1a over
+/// the key bytes with a per-row seed, mixed with a final avalanche.
+pub fn cm_hash(row: usize, key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ ((row as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    for b in key.to_be_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // Final avalanche (xorshift-multiply) so low bits are well mixed.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+/// A pure count-min sketch with `depth` rows of `width` counters.
+#[derive(Debug, Clone)]
+pub struct CmSketch {
+    depth: usize,
+    width: usize,
+    rows: Vec<Vec<u64>>,
+}
+
+impl CmSketch {
+    /// A sketch with `depth` rows and `width` columns.
+    pub fn new(depth: usize, width: usize) -> CmSketch {
+        assert!(depth > 0 && width > 0);
+        CmSketch {
+            depth,
+            width,
+            rows: vec![vec![0; width]; depth],
+        }
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Columns per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Column index of `key` in `row`.
+    pub fn index(&self, row: usize, key: u64) -> usize {
+        (cm_hash(row, key) % self.width as u64) as usize
+    }
+
+    /// Add `count` occurrences of `key`.
+    pub fn add(&mut self, key: u64, count: u64) {
+        for r in 0..self.depth {
+            let i = self.index(r, key);
+            self.rows[r][i] += count;
+        }
+    }
+
+    /// Point estimate of `key`'s frequency (never under-counts).
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.depth)
+            .map(|r| self.rows[r][self.index(r, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Merge another sketch (same dimensions) by element-wise addition —
+    /// valid because each switch's sketch counts disjoint packets.
+    pub fn merge_add(&mut self, other: &CmSketch) {
+        assert_eq!((self.depth, self.width), (other.depth, other.width));
+        for r in 0..self.depth {
+            for i in 0..self.width {
+                self.rows[r][i] += other.rows[r][i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_row_dependent() {
+        assert_eq!(cm_hash(0, 42), cm_hash(0, 42));
+        assert_ne!(cm_hash(0, 42), cm_hash(1, 42));
+        assert_ne!(cm_hash(0, 42), cm_hash(0, 43));
+    }
+
+    #[test]
+    fn estimate_never_undercounts() {
+        let mut s = CmSketch::new(4, 64);
+        for k in 0..100u64 {
+            s.add(k, k + 1);
+        }
+        for k in 0..100u64 {
+            assert!(s.estimate(k) > k, "undercount for {k}");
+        }
+    }
+
+    #[test]
+    fn exact_when_no_collisions() {
+        let mut s = CmSketch::new(4, 4096);
+        s.add(7, 10);
+        s.add(9, 3);
+        assert_eq!(s.estimate(7), 10);
+        assert_eq!(s.estimate(9), 3);
+        assert_eq!(s.estimate(1234), 0);
+    }
+
+    #[test]
+    fn merge_add_sums_counts() {
+        let mut a = CmSketch::new(2, 128);
+        let mut b = CmSketch::new(2, 128);
+        a.add(5, 10);
+        b.add(5, 7);
+        b.add(6, 1);
+        a.merge_add(&b);
+        assert_eq!(a.estimate(5), 17);
+        assert_eq!(a.estimate(6), 1);
+    }
+
+    #[test]
+    fn heavy_hitter_dominates_noise() {
+        let mut s = CmSketch::new(4, 256);
+        for k in 0..200u64 {
+            s.add(k, 1);
+        }
+        s.add(999, 1000);
+        assert!(s.estimate(999) >= 1000);
+        // Noise keys stay far below the heavy hitter.
+        let max_noise = (0..200u64).map(|k| s.estimate(k)).max().unwrap();
+        assert!(max_noise < 100, "noise estimate too high: {max_noise}");
+    }
+}

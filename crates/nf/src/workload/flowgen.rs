@@ -1,0 +1,238 @@
+//! Flow/packet schedule generation: the synthetic stand-in for data
+//! center traces (DESIGN.md §2).
+//!
+//! A [`FlowGen`] produces a deterministic, time-sorted schedule of
+//! packets: flows arrive as a Poisson process, carry a geometric number
+//! of packets, pick endpoints from configurable pools with Zipf-skewed
+//! destination popularity, and enter the fabric through an
+//! [`EcmpRouter`]. The experiment harness feeds the schedule straight
+//! into `Deployment::inject`.
+
+use super::routing::EcmpRouter;
+use super::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+use swishmem_simnet::{SimDuration, SimTime};
+use swishmem_wire::l4::TcpFlags;
+use swishmem_wire::{DataPacket, FlowKey};
+
+/// One scheduled packet.
+#[derive(Debug, Clone)]
+pub struct ScheduledPacket {
+    /// Absolute injection time.
+    pub time: SimTime,
+    /// Ingress switch index.
+    pub ingress: usize,
+    /// The packet.
+    pub pkt: DataPacket,
+}
+
+/// Flow generator configuration.
+#[derive(Debug, Clone)]
+pub struct FlowGenConfig {
+    /// New flows per second.
+    pub flow_rate: f64,
+    /// Mean packets per flow (geometric distribution).
+    pub mean_packets: f64,
+    /// Gap between a flow's packets.
+    pub packet_gap: SimDuration,
+    /// Payload bytes per packet.
+    pub payload: u16,
+    /// Client address pool size (src = 10.0.x.y).
+    pub clients: u32,
+    /// Server address pool size (dst = 20.0.x.y).
+    pub servers: u32,
+    /// Zipf exponent for server popularity.
+    pub server_alpha: f64,
+    /// TCP if true (SYN first, FIN last), else UDP.
+    pub tcp: bool,
+    /// Schedule horizon.
+    pub duration: SimDuration,
+    /// Start offset.
+    pub start: SimTime,
+}
+
+impl Default for FlowGenConfig {
+    fn default() -> Self {
+        FlowGenConfig {
+            flow_rate: 10_000.0,
+            mean_packets: 5.0,
+            packet_gap: SimDuration::micros(50),
+            payload: 200,
+            clients: 1000,
+            servers: 100,
+            server_alpha: 1.0,
+            tcp: true,
+            duration: SimDuration::millis(50),
+            start: SimTime::ZERO,
+        }
+    }
+}
+
+/// The flow generator.
+pub struct FlowGen {
+    cfg: FlowGenConfig,
+    rng: StdRng,
+    zipf: Zipf,
+}
+
+impl FlowGen {
+    /// A generator with a deterministic seed.
+    pub fn new(cfg: FlowGenConfig, seed: u64) -> FlowGen {
+        let zipf = Zipf::new(cfg.servers as usize, cfg.server_alpha);
+        FlowGen {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            zipf,
+        }
+    }
+
+    fn client(&mut self) -> (Ipv4Addr, u16) {
+        let c = self.rng.gen_range(0..self.cfg.clients);
+        let port = self.rng.gen_range(1024..u16::MAX);
+        (Ipv4Addr::new(10, 0, (c >> 8) as u8, c as u8), port)
+    }
+
+    fn server(&mut self) -> Ipv4Addr {
+        let s = self.zipf.sample(&mut self.rng) as u32;
+        Ipv4Addr::new(20, 0, (s >> 8) as u8, s as u8)
+    }
+
+    /// Geometric packets-per-flow with the configured mean (≥ 1).
+    fn flow_len(&mut self) -> u32 {
+        let p = 1.0 / self.cfg.mean_packets.max(1.0);
+        let mut n = 1u32;
+        while self.rng.gen::<f64>() > p && n < 10_000 {
+            n += 1;
+        }
+        n
+    }
+
+    /// Generate the full schedule, time-sorted.
+    pub fn generate(&mut self, router: &EcmpRouter) -> Vec<ScheduledPacket> {
+        let mut out = Vec::new();
+        let mut t = self.cfg.start;
+        let horizon = self.cfg.start + self.cfg.duration;
+        let mean_gap_ns = 1e9 / self.cfg.flow_rate;
+        loop {
+            // Poisson arrivals: exponential inter-arrival times.
+            let u: f64 = self.rng.gen::<f64>().max(1e-12);
+            t += SimDuration::nanos((-u.ln() * mean_gap_ns) as u64);
+            if t >= horizon {
+                break;
+            }
+            let (src, src_port) = self.client();
+            let dst = self.server();
+            let flow = if self.cfg.tcp {
+                FlowKey::tcp(src, src_port, dst, 80)
+            } else {
+                FlowKey::udp(src, src_port, dst, 80)
+            };
+            let n = self.flow_len();
+            for i in 0..n {
+                let flags = if !self.cfg.tcp {
+                    TcpFlags::default()
+                } else if i == 0 {
+                    TcpFlags::syn()
+                } else if i == n - 1 && n > 1 {
+                    TcpFlags::fin()
+                } else {
+                    TcpFlags::data()
+                };
+                let pkt = DataPacket {
+                    flow,
+                    tcp_flags: flags,
+                    flow_seq: i,
+                    payload_len: self.cfg.payload,
+                };
+                let time = t + self.cfg.packet_gap.times(u64::from(i));
+                let ingress = router.route(&flow, &mut self.rng);
+                out.push(ScheduledPacket { time, ingress, pkt });
+            }
+        }
+        out.sort_by_key(|p| p.time);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::routing::RoutingMode;
+
+    fn gen(cfg: FlowGenConfig) -> Vec<ScheduledPacket> {
+        let router = EcmpRouter::new(4, RoutingMode::EcmpStable);
+        FlowGen::new(cfg, 42).generate(&router)
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_within_horizon() {
+        let cfg = FlowGenConfig::default();
+        let start = cfg.start;
+        let sched = gen(cfg);
+        assert!(!sched.is_empty());
+        for w in sched.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(sched[0].time >= start);
+    }
+
+    #[test]
+    fn flow_rate_roughly_matches() {
+        let cfg = FlowGenConfig {
+            flow_rate: 100_000.0,
+            mean_packets: 1.0,
+            duration: SimDuration::millis(100),
+            ..FlowGenConfig::default()
+        };
+        let sched = gen(cfg);
+        // ~10k flows expected, 1 packet each; all SYN when mean is 1.
+        assert!(
+            (8_000..12_000).contains(&sched.len()),
+            "got {}",
+            sched.len()
+        );
+    }
+
+    #[test]
+    fn tcp_flows_open_with_syn() {
+        let sched = gen(FlowGenConfig::default());
+        for p in &sched {
+            if p.pkt.flow_seq == 0 {
+                assert!(p.pkt.tcp_flags.syn);
+            } else {
+                assert!(!p.pkt.tcp_flags.syn);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let router = EcmpRouter::new(2, RoutingMode::EcmpStable);
+        let a = FlowGen::new(FlowGenConfig::default(), 7).generate(&router);
+        let b = FlowGen::new(FlowGenConfig::default(), 7).generate(&router);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].pkt, b[0].pkt);
+        let c = FlowGen::new(FlowGenConfig::default(), 8).generate(&router);
+        assert_ne!(a[0].pkt.flow, c[0].pkt.flow);
+    }
+
+    #[test]
+    fn zipf_skews_server_popularity() {
+        let cfg = FlowGenConfig {
+            server_alpha: 1.2,
+            flow_rate: 50_000.0,
+            mean_packets: 1.0,
+            ..FlowGenConfig::default()
+        };
+        let sched = gen(cfg);
+        let mut counts = std::collections::HashMap::new();
+        for p in &sched {
+            *counts.entry(p.pkt.flow.dst).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let avg = sched.len() as u32 / counts.len().max(1) as u32;
+        assert!(max > avg * 3, "expected a hot server: max {max}, avg {avg}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Synthetic workload generation: flows, attacks, ingress routing.
+
+pub mod attack;
+pub mod flowgen;
+pub mod routing;
+pub mod tracefile;
+pub mod zipf;
+
+pub use attack::{generate_attack, AttackConfig};
+pub use flowgen::{FlowGen, FlowGenConfig, ScheduledPacket};
+pub use routing::{EcmpRouter, RoutingMode};
+pub use tracefile::{from_text, to_text, TraceParseError};
+pub use zipf::Zipf;

@@ -1,0 +1,144 @@
+//! Ingress routing models: which switch a packet enters the NF fabric
+//! through.
+//!
+//! §3.2's motivation for global state: "it also falls short if a flow is
+//! routed through a different switch, something that may occur in various
+//! failure scenarios – or in the normal case, if recent proposals for
+//! adaptive routing or multi-path TCP are adopted." The router models
+//! exactly these: hash-stable ECMP, a multipath mode that re-routes a
+//! fraction of packets mid-flow, and failure-driven re-hashing.
+
+use rand::Rng;
+use swishmem_wire::FlowKey;
+
+/// Ingress selection policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingMode {
+    /// Pure ECMP: a flow always enters through `hash(flow) % n`.
+    EcmpStable,
+    /// Adaptive/multipath: each packet deviates from the flow's primary
+    /// switch with probability `flip_prob`.
+    Multipath {
+        /// Per-packet probability of taking an alternate path.
+        flip_prob: f64,
+    },
+}
+
+/// Maps flows to ingress switches.
+#[derive(Debug, Clone)]
+pub struct EcmpRouter {
+    n_switches: usize,
+    mode: RoutingMode,
+    /// Switches currently failed (traffic re-hashes away from them).
+    failed: Vec<bool>,
+}
+
+impl EcmpRouter {
+    /// A router over `n_switches` ingress switches.
+    pub fn new(n_switches: usize, mode: RoutingMode) -> EcmpRouter {
+        assert!(n_switches > 0);
+        EcmpRouter {
+            n_switches,
+            mode,
+            failed: vec![false; n_switches],
+        }
+    }
+
+    /// Mark a switch failed/recovered: flows re-hash around it.
+    pub fn set_failed(&mut self, idx: usize, failed: bool) {
+        self.failed[idx] = failed;
+    }
+
+    fn alive(&self) -> Vec<usize> {
+        (0..self.n_switches).filter(|&i| !self.failed[i]).collect()
+    }
+
+    /// The flow's primary ingress among alive switches.
+    pub fn primary(&self, flow: &FlowKey) -> usize {
+        let alive = self.alive();
+        assert!(!alive.is_empty(), "all switches failed");
+        alive[(flow.hash64() % alive.len() as u64) as usize]
+    }
+
+    /// Pick the ingress switch for one packet of `flow`.
+    pub fn route<R: Rng + ?Sized>(&self, flow: &FlowKey, rng: &mut R) -> usize {
+        let primary = self.primary(flow);
+        match self.mode {
+            RoutingMode::EcmpStable => primary,
+            RoutingMode::Multipath { flip_prob } => {
+                let alive = self.alive();
+                if alive.len() > 1 && rng.gen::<f64>() < flip_prob {
+                    // Deviate to a different alive switch.
+                    let alt: Vec<usize> = alive.into_iter().filter(|&i| i != primary).collect();
+                    alt[rng.gen_range(0..alt.len())]
+                } else {
+                    primary
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    fn flow(port: u16) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            port,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
+    }
+
+    #[test]
+    fn ecmp_is_stable_per_flow() {
+        let r = EcmpRouter::new(4, RoutingMode::EcmpStable);
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = flow(1234);
+        let first = r.route(&f, &mut rng);
+        for _ in 0..100 {
+            assert_eq!(r.route(&f, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let r = EcmpRouter::new(4, RoutingMode::EcmpStable);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..64 {
+            seen.insert(r.route(&flow(p), &mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn multipath_deviates_at_configured_rate() {
+        let r = EcmpRouter::new(4, RoutingMode::Multipath { flip_prob: 0.3 });
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = flow(99);
+        let primary = r.primary(&f);
+        let deviations = (0..10_000)
+            .filter(|_| r.route(&f, &mut rng) != primary)
+            .count();
+        assert!((2500..3500).contains(&deviations), "got {deviations}");
+    }
+
+    #[test]
+    fn failure_rehashes_traffic_away() {
+        let mut r = EcmpRouter::new(3, RoutingMode::EcmpStable);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Find a flow on switch 1, then fail switch 1.
+        let f = (0..100).map(flow).find(|f| r.primary(f) == 1).unwrap();
+        r.set_failed(1, true);
+        let new = r.route(&f, &mut rng);
+        assert_ne!(new, 1);
+        r.set_failed(1, false);
+        assert_eq!(r.primary(&f), 1, "recovery restores the original hash");
+    }
+}

@@ -1,0 +1,187 @@
+//! Packet-schedule trace files: export a generated workload to a plain
+//! text format and replay it later, so an experiment's exact traffic can
+//! be archived, shared, and re-injected independently of the generator.
+//!
+//! Format: one packet per line,
+//! `time_ns ingress proto src:sport dst:dport flags seq payload`
+//! with `#` comments and blank lines ignored.
+
+use super::flowgen::ScheduledPacket;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+use swishmem_simnet::SimTime;
+use swishmem_wire::l4::TcpFlags;
+use swishmem_wire::{DataPacket, FlowKey};
+
+/// Errors while parsing a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn flags_str(f: TcpFlags) -> String {
+    let mut s = String::new();
+    if f.syn {
+        s.push('S');
+    }
+    if f.ack {
+        s.push('A');
+    }
+    if f.fin {
+        s.push('F');
+    }
+    if f.rst {
+        s.push('R');
+    }
+    if s.is_empty() {
+        s.push('-');
+    }
+    s
+}
+
+fn flags_parse(s: &str) -> TcpFlags {
+    TcpFlags {
+        syn: s.contains('S'),
+        ack: s.contains('A'),
+        fin: s.contains('F'),
+        rst: s.contains('R'),
+    }
+}
+
+/// Serialize a schedule to the trace-file text format.
+pub fn to_text(sched: &[ScheduledPacket]) -> String {
+    let mut out = String::with_capacity(sched.len() * 64);
+    out.push_str("# time_ns ingress proto src:sport dst:dport flags seq payload\n");
+    for p in sched {
+        let f = &p.pkt.flow;
+        out.push_str(&format!(
+            "{} {} {} {}:{} {}:{} {} {} {}\n",
+            p.time.nanos(),
+            p.ingress,
+            f.proto,
+            f.src,
+            f.src_port,
+            f.dst,
+            f.dst_port,
+            flags_str(p.pkt.tcp_flags),
+            p.pkt.flow_seq,
+            p.pkt.payload_len,
+        ));
+    }
+    out
+}
+
+/// Parse a trace file back into a schedule.
+pub fn from_text(text: &str) -> Result<Vec<ScheduledPacket>, TraceParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| TraceParseError {
+            line: i + 1,
+            reason: reason.to_string(),
+        };
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 8 {
+            return Err(err(&format!("expected 8 fields, got {}", parts.len())));
+        }
+        let time: u64 = parts[0].parse().map_err(|_| err("bad time"))?;
+        let ingress: usize = parts[1].parse().map_err(|_| err("bad ingress"))?;
+        let proto: u8 = parts[2].parse().map_err(|_| err("bad proto"))?;
+        let parse_ep = |s: &str| -> Result<(Ipv4Addr, u16), TraceParseError> {
+            let (ip, port) = s.rsplit_once(':').ok_or_else(|| err("bad endpoint"))?;
+            Ok((
+                Ipv4Addr::from_str(ip).map_err(|_| err("bad ip"))?,
+                port.parse().map_err(|_| err("bad port"))?,
+            ))
+        };
+        let (src, src_port) = parse_ep(parts[3])?;
+        let (dst, dst_port) = parse_ep(parts[4])?;
+        let tcp_flags = flags_parse(parts[5]);
+        let flow_seq: u32 = parts[6].parse().map_err(|_| err("bad seq"))?;
+        let payload_len: u16 = parts[7].parse().map_err(|_| err("bad payload"))?;
+        out.push(ScheduledPacket {
+            time: SimTime(time),
+            ingress,
+            pkt: DataPacket {
+                flow: FlowKey {
+                    src,
+                    dst,
+                    src_port,
+                    dst_port,
+                    proto,
+                },
+                tcp_flags,
+                flow_seq,
+                payload_len,
+            },
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{EcmpRouter, FlowGen, FlowGenConfig, RoutingMode};
+
+    #[test]
+    fn generated_schedule_round_trips() {
+        let router = EcmpRouter::new(4, RoutingMode::EcmpStable);
+        let sched = FlowGen::new(FlowGenConfig::default(), 5).generate(&router);
+        assert!(!sched.is_empty());
+        let text = to_text(&sched);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.len(), sched.len());
+        for (a, b) in sched.iter().zip(back.iter()) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.ingress, b.ingress);
+            assert_eq!(a.pkt, b.pkt);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n1000 0 17 1.2.3.4:50 5.6.7.8:60 - 0 100\n";
+        let s = from_text(text).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].time, SimTime(1000));
+        assert_eq!(s[0].pkt.flow.src, Ipv4Addr::new(1, 2, 3, 4));
+        assert!(!s[0].pkt.tcp_flags.syn);
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        for raw in [0x00u8, 0x02, 0x12, 0x11, 0x04] {
+            let f = TcpFlags::from_raw(raw);
+            assert_eq!(flags_parse(&flags_str(f)), f);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_numbers() {
+        let cases = [
+            ("bad\n", 1),
+            ("# ok\n1000 0 17 nonsense 5.6.7.8:60 - 0 100\n", 2),
+            ("1000 0 17 1.2.3.4:50 5.6.7.8:60 - 0\n", 1), // 7 fields
+            ("1000 0 17 1.2.3.4:50 5.6.7.8:xx - 0 100\n", 1),
+        ];
+        for (text, line) in cases {
+            let e = from_text(text).unwrap_err();
+            assert_eq!(e.line, line, "for {text:?}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Counter arrays: packet/byte counters indexable from the data plane (§2).
+
+/// One counter cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterCell {
+    /// Packets counted.
+    pub packets: u64,
+    /// Bytes counted.
+    pub bytes: u64,
+}
+
+/// A named array of packet/byte counters.
+#[derive(Debug, Clone)]
+pub struct CounterArray {
+    name: String,
+    cells: Vec<CounterCell>,
+}
+
+impl CounterArray {
+    /// Bytes of SRAM one counter cell costs.
+    pub const CELL_BYTES: usize = 16;
+
+    pub(crate) fn new(name: &str, len: usize) -> CounterArray {
+        assert!(len > 0, "counter array must have at least one cell");
+        CounterArray {
+            name: name.to_string(),
+            cells: vec![CounterCell::default(); len],
+        }
+    }
+
+    /// Array name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Count one packet of `bytes` bytes at `idx` (masked).
+    #[inline]
+    pub fn count(&mut self, idx: usize, bytes: usize) {
+        let s = idx % self.cells.len();
+        self.cells[s].packets += 1;
+        self.cells[s].bytes += bytes as u64;
+    }
+
+    /// Read cell `idx` (masked).
+    #[inline]
+    pub fn read(&self, idx: usize) -> CounterCell {
+        self.cells[idx % self.cells.len()]
+    }
+
+    /// Zero all cells.
+    pub fn clear(&mut self) {
+        self.cells.fill(CounterCell::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_accumulates() {
+        let mut c = CounterArray::new("c", 2);
+        c.count(0, 100);
+        c.count(0, 50);
+        c.count(1, 10);
+        assert_eq!(
+            c.read(0),
+            CounterCell {
+                packets: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(
+            c.read(1),
+            CounterCell {
+                packets: 1,
+                bytes: 10
+            }
+        );
+    }
+
+    #[test]
+    fn index_masked() {
+        let mut c = CounterArray::new("c", 2);
+        c.count(3, 7); // 3 % 2 == 1
+        assert_eq!(c.read(1).bytes, 7);
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut c = CounterArray::new("c", 1);
+        c.count(0, 5);
+        c.clear();
+        assert_eq!(c.read(0), CounterCell::default());
+    }
+}

@@ -1,0 +1,133 @@
+//! Meter arrays: per-index token-bucket rate meters (§2), the primitive
+//! the rate-limiter NF builds on.
+
+use swishmem_simnet::SimTime;
+
+/// The color a meter assigns to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeterColor {
+    /// Within the configured rate.
+    Green,
+    /// Exceeding the configured rate.
+    Red,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last: SimTime,
+}
+
+/// A named array of single-rate token-bucket meters.
+#[derive(Debug, Clone)]
+pub struct MeterArray {
+    name: String,
+    rate_bytes_per_sec: f64,
+    burst_bytes: f64,
+    cells: Vec<Bucket>,
+}
+
+impl MeterArray {
+    /// Bytes of SRAM one meter cell costs (token count + timestamp).
+    pub const CELL_BYTES: usize = 16;
+
+    pub(crate) fn new(
+        name: &str,
+        len: usize,
+        rate_bytes_per_sec: u64,
+        burst_bytes: u64,
+    ) -> MeterArray {
+        assert!(len > 0, "meter array must have at least one cell");
+        MeterArray {
+            name: name.to_string(),
+            rate_bytes_per_sec: rate_bytes_per_sec as f64,
+            burst_bytes: burst_bytes as f64,
+            cells: vec![
+                Bucket {
+                    tokens: burst_bytes as f64,
+                    last: SimTime::ZERO
+                };
+                len
+            ],
+        }
+    }
+
+    /// Array name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of meters.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Meter a packet of `bytes` at `idx` (masked) at time `now`.
+    pub fn meter(&mut self, idx: usize, now: SimTime, bytes: usize) -> MeterColor {
+        let s = idx % self.cells.len();
+        let cell = &mut self.cells[s];
+        let elapsed = now.since(cell.last).as_secs_f64();
+        cell.tokens = (cell.tokens + elapsed * self.rate_bytes_per_sec).min(self.burst_bytes);
+        cell.last = now;
+        if cell.tokens >= bytes as f64 {
+            cell.tokens -= bytes as f64;
+            MeterColor::Green
+        } else {
+            MeterColor::Red
+        }
+    }
+
+    /// Refill all buckets to burst (failure/recovery).
+    pub fn clear(&mut self) {
+        for c in &mut self.cells {
+            c.tokens = self.burst_bytes;
+            c.last = SimTime::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swishmem_simnet::SimDuration;
+
+    #[test]
+    fn burst_then_red() {
+        // 1000 B/s rate, 100 B burst.
+        let mut m = MeterArray::new("m", 1, 1000, 100);
+        let t0 = SimTime::ZERO;
+        assert_eq!(m.meter(0, t0, 60), MeterColor::Green);
+        assert_eq!(m.meter(0, t0, 60), MeterColor::Red); // burst exhausted
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut m = MeterArray::new("m", 1, 1000, 100);
+        assert_eq!(m.meter(0, SimTime::ZERO, 100), MeterColor::Green);
+        // After 50 ms, 50 bytes of tokens accumulated.
+        let t = SimTime::ZERO + SimDuration::millis(50);
+        assert_eq!(m.meter(0, t, 60), MeterColor::Red);
+        assert_eq!(m.meter(0, t, 40), MeterColor::Green);
+    }
+
+    #[test]
+    fn tokens_cap_at_burst() {
+        let mut m = MeterArray::new("m", 1, 1_000_000, 100);
+        // A long idle period must not bank more than the burst.
+        let t = SimTime::ZERO + SimDuration::secs(10);
+        assert_eq!(m.meter(0, t, 100), MeterColor::Green);
+        assert_eq!(m.meter(0, t, 1), MeterColor::Red);
+    }
+
+    #[test]
+    fn independent_cells() {
+        let mut m = MeterArray::new("m", 2, 1000, 100);
+        assert_eq!(m.meter(0, SimTime::ZERO, 100), MeterColor::Green);
+        assert_eq!(m.meter(1, SimTime::ZERO, 100), MeterColor::Green);
+    }
+}

@@ -1,0 +1,73 @@
+//! A generic sink node that records everything it receives.
+//!
+//! Hosts at the edge of the simulated fabric (traffic destinations, the
+//! experiment harness's observation points) are `RecorderNode`s; the
+//! harness keeps the shared [`Recording`] handle and inspects it after the
+//! run.
+
+use crate::ctx::Ctx;
+use crate::node::Node;
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+use swishmem_wire::Packet;
+
+/// Shared handle to the packets a [`RecorderNode`] received.
+pub type Recording = Rc<RefCell<Vec<(SimTime, Packet)>>>;
+
+/// A node that stores every delivered packet with its arrival time.
+pub struct RecorderNode {
+    log: Recording,
+}
+
+impl RecorderNode {
+    /// Create a recorder and the shared handle to its log.
+    pub fn new() -> (RecorderNode, Recording) {
+        let log: Recording = Rc::new(RefCell::new(Vec::new()));
+        (RecorderNode { log: log.clone() }, log)
+    }
+}
+
+impl Node for RecorderNode {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        self.log.borrow_mut().push((ctx.now(), pkt));
+    }
+
+    fn on_fail(&mut self) {
+        // A failed recorder keeps its history: the harness still wants to
+        // see what arrived before the failure.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+    use crate::sim::Simulator;
+    use std::net::Ipv4Addr;
+    use swishmem_wire::{DataPacket, FlowKey, NodeId};
+
+    #[test]
+    fn records_arrivals_with_time() {
+        let mut sim = Simulator::new(1);
+        let (rec, log) = RecorderNode::new();
+        sim.add_node(NodeId(5), Box::new(rec));
+        sim.topology_mut()
+            .connect(NodeId(4), NodeId(5), LinkParams::datacenter());
+        let p = Packet::data(
+            NodeId(4),
+            NodeId(5),
+            DataPacket::udp(
+                FlowKey::udp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2),
+                3,
+                16,
+            ),
+        );
+        sim.inject(SimTime(500), p.clone());
+        sim.run_until_quiescent(SimTime(1_000_000));
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, SimTime(500));
+        assert_eq!(log[0].1, p);
+    }
+}

@@ -1,0 +1,717 @@
+//! The discrete-event simulation engine.
+//!
+//! Determinism contract: given the same seed, node set, topology, and
+//! schedule of external events, two runs produce identical event orders,
+//! identical RNG draws, and therefore identical statistics. This is
+//! guaranteed by (a) a total order on events — `(time, insertion seq)` —
+//! and (b) a single engine-owned RNG consumed only during deterministic
+//! event processing.
+
+use crate::ctx::{Command, Ctx, GroupId};
+use crate::node::Node;
+use crate::stats::{DropReason, NetStats};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::TraceHandle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use swishmem_wire::{NodeId, Packet, PacketBody};
+
+/// Blanket `Any`-access helper so the engine can hand out typed references
+/// to nodes after a run (e.g. to read a switch's registers or metrics).
+pub trait AsAny {
+    /// Upcast to `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: 'static> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver {
+        to: NodeId,
+        pkt: Packet,
+        corrupt: bool,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Fail {
+        node: NodeId,
+    },
+    Recover {
+        node: NodeId,
+    },
+    LinkSet {
+        a: NodeId,
+        b: NodeId,
+        down: bool,
+    },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct NodeSlot {
+    node: Box<dyn NodeObj>,
+    failed: bool,
+}
+
+/// Object-safe supertrait combining [`Node`] and [`AsAny`].
+pub trait NodeObj: Node + AsAny {}
+impl<T: Node + AsAny> NodeObj for T {}
+
+/// The simulation engine.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Event>>,
+    nodes: HashMap<NodeId, NodeSlot>,
+    topo: Topology,
+    rng: StdRng,
+    stats: NetStats,
+    started: bool,
+    events_processed: u64,
+    trace: Option<TraceHandle>,
+    wire_check: bool,
+}
+
+impl Simulator {
+    /// Create a simulator with a deterministic seed.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            nodes: HashMap::new(),
+            topo: Topology::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetStats::default(),
+            started: false,
+            events_processed: 0,
+            trace: None,
+            wire_check: false,
+        }
+    }
+
+    /// Enable wire-fidelity checking: every delivered frame is serialized
+    /// through the real codecs and re-parsed; a mismatch panics. Catches
+    /// any drift between the structured fast path and the byte encodings.
+    /// (UDP data packets legitimately drop their simulator-side `flow_seq`
+    /// on the wire, which the check accounts for.)
+    pub fn set_wire_check(&mut self, on: bool) {
+        self.wire_check = on;
+    }
+
+    /// Attach a packet trace: every delivered frame is recorded into it.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Register a node under `id`. Panics if `id` is already taken.
+    pub fn add_node(&mut self, id: NodeId, node: Box<dyn NodeObj>) {
+        let prev = self.nodes.insert(
+            id,
+            NodeSlot {
+                node,
+                failed: false,
+            },
+        );
+        assert!(prev.is_none(), "duplicate node id {id}");
+    }
+
+    /// Mutable access to the topology (add links/groups before or during a
+    /// run).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Read access to the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (for windowed measurements via `reset`).
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// Typed read access to a node (post-run inspection).
+    pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        // Deref through the Box explicitly: the blanket AsAny impl would
+        // otherwise resolve on `Box<dyn NodeObj>` itself.
+        self.nodes
+            .get(&id)
+            .and_then(|s| (*s.node).as_any().downcast_ref())
+    }
+
+    /// Typed mutable access to a node.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes
+            .get_mut(&id)
+            .and_then(|s| (*s.node).as_any_mut().downcast_mut())
+    }
+
+    /// Whether `id` is currently failed.
+    pub fn is_failed(&self, id: NodeId) -> bool {
+        self.nodes.get(&id).map(|s| s.failed).unwrap_or(false)
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Schedule delivery of `pkt` to `pkt.dst` at absolute time `t`,
+    /// bypassing links. Used to inject external (ingress) traffic.
+    pub fn inject(&mut self, t: SimTime, pkt: Packet) {
+        assert!(t >= self.now, "cannot inject into the past");
+        let to = pkt.dst;
+        self.push(
+            t,
+            EventKind::Deliver {
+                to,
+                pkt,
+                corrupt: false,
+            },
+        );
+    }
+
+    /// Schedule a fail-stop failure of `node` at time `t`.
+    pub fn schedule_fail(&mut self, t: SimTime, node: NodeId) {
+        self.push(t, EventKind::Fail { node });
+    }
+
+    /// Schedule recovery (fresh state) of `node` at time `t`.
+    pub fn schedule_recover(&mut self, t: SimTime, node: NodeId) {
+        self.push(t, EventKind::Recover { node });
+    }
+
+    /// Schedule the duplex link `a <-> b` going down (or up) at time `t`.
+    pub fn schedule_link_set(&mut self, t: SimTime, a: NodeId, b: NodeId, down: bool) {
+        self.push(t, EventKind::LinkSet { a, b, down });
+    }
+
+    /// Call `on_start` on every node (idempotent; run methods call it
+    /// automatically).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort(); // deterministic start order
+        for id in ids {
+            self.dispatch(id, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Run until simulated time reaches `t` (inclusive of events at `t`).
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start();
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if ev.time > t {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().unwrap();
+            self.process(ev);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Run for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Run until the event queue drains or `limit` is reached; returns the
+    /// final simulated time.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
+        self.start();
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if ev.time > limit {
+                self.now = limit;
+                return self.now;
+            }
+            let Reverse(ev) = self.heap.pop().unwrap();
+            self.process(ev);
+        }
+        self.now
+    }
+
+    fn process(&mut self, ev: Event) {
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { to, pkt, corrupt } => {
+                let dst = to;
+                match self.nodes.get(&dst) {
+                    None => {
+                        self.stats.record_drop(DropReason::NoRoute, pkt.wire_len());
+                    }
+                    Some(slot) if slot.failed => {
+                        self.stats.record_drop(DropReason::NodeDown, pkt.wire_len());
+                    }
+                    Some(_) if corrupt => {
+                        self.stats.record_drop(DropReason::Corrupt, pkt.wire_len());
+                        self.dispatch(dst, |node, ctx| node.on_corrupt_packet(pkt, ctx));
+                    }
+                    Some(_) => {
+                        self.stats.record_delivery(&pkt, dst, pkt.wire_len());
+                        if self.wire_check {
+                            let bytes = pkt.to_bytes();
+                            assert_eq!(bytes.len(), pkt.wire_len(), "wire_len drift: {pkt:?}");
+                            let mut reparsed = Packet::from_bytes(&bytes)
+                                .unwrap_or_else(|e| panic!("undecodable frame {pkt:?}: {e}"));
+                            // UDP has no sequence field on the wire.
+                            if let (PacketBody::Data(a), PacketBody::Data(b)) =
+                                (&pkt.body, &mut reparsed.body)
+                            {
+                                if a.flow.proto == 17 {
+                                    b.flow_seq = a.flow_seq;
+                                }
+                            }
+                            assert_eq!(reparsed, pkt, "codec round-trip drift");
+                        }
+                        if let Some(trace) = &self.trace {
+                            trace.borrow_mut().record(self.now, &pkt);
+                        }
+                        self.dispatch(dst, |node, ctx| node.on_packet(pkt, ctx));
+                    }
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if self.nodes.get(&node).map(|s| !s.failed).unwrap_or(false) {
+                    self.dispatch(node, |n, ctx| n.on_timer(token, ctx));
+                }
+            }
+            EventKind::Fail { node } => {
+                if let Some(slot) = self.nodes.get_mut(&node) {
+                    if !slot.failed {
+                        slot.failed = true;
+                        slot.node.on_fail();
+                    }
+                }
+            }
+            EventKind::Recover { node } => {
+                let was_failed = self
+                    .nodes
+                    .get_mut(&node)
+                    .map(|s| std::mem::replace(&mut s.failed, false));
+                if was_failed == Some(true) {
+                    self.dispatch(node, |n, ctx| n.on_start(ctx));
+                }
+            }
+            EventKind::LinkSet { a, b, down } => {
+                self.topo.set_link_down(a, b, down);
+            }
+        }
+    }
+
+    /// Run a node callback and apply the commands it issued.
+    fn dispatch<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn NodeObj, &mut Ctx<'_>),
+    {
+        let mut commands = Vec::new();
+        {
+            let slot = match self.nodes.get_mut(&id) {
+                Some(s) => s,
+                None => return,
+            };
+            let mut ctx = Ctx {
+                now: self.now,
+                node: id,
+                rng: &mut self.rng,
+                commands: &mut commands,
+            };
+            f(slot.node.as_mut(), &mut ctx);
+        }
+        for cmd in commands {
+            self.apply(id, cmd);
+        }
+    }
+
+    fn apply(&mut self, from: NodeId, cmd: Command) {
+        match cmd {
+            Command::Send { to, body } => self.transmit(from, to, body),
+            Command::Multicast { group, body } => {
+                let members: Vec<NodeId> = self
+                    .topo
+                    .group(group)
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != from)
+                    .collect();
+                for m in members {
+                    self.transmit(from, m, body.clone());
+                }
+            }
+            Command::Timer { delay, token } => {
+                let t = self.now + delay;
+                self.push(t, EventKind::Timer { node: from, token });
+            }
+            Command::SendRandom { group, body } => {
+                let candidates: Vec<NodeId> = self
+                    .topo
+                    .group(group)
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != from)
+                    .collect();
+                if !candidates.is_empty() {
+                    let pick = candidates[self.rng.gen_range(0..candidates.len())];
+                    self.transmit(from, pick, body);
+                }
+            }
+            Command::SetGroup { group, members } => {
+                self.topo.set_group(group, members);
+            }
+        }
+    }
+
+    /// Update a multicast group's membership (also reachable from node
+    /// context via the deployment layer's controller).
+    pub fn set_group(&mut self, group: GroupId, members: Vec<NodeId>) {
+        self.topo.set_group(group, members);
+    }
+
+    fn transmit(&mut self, from: NodeId, to: NodeId, body: PacketBody) {
+        let pkt = Packet {
+            src: from,
+            dst: to,
+            body,
+        };
+        let bytes = pkt.wire_len();
+        // A failed source cannot transmit (its events shouldn't fire, but a
+        // command applied the instant of failure is also suppressed).
+        if self.nodes.get(&from).map(|s| s.failed).unwrap_or(false) {
+            self.stats.record_drop(DropReason::NodeDown, bytes);
+            return;
+        }
+        // Resolve the next hop: direct link, or a static route through a
+        // relay (leaf-spine fabrics).
+        let hop = match self.topo.next_hop(from, to) {
+            Some(h) => h,
+            None => {
+                self.stats.record_drop(DropReason::NoRoute, bytes);
+                return;
+            }
+        };
+        let link = match self.topo.link_mut(from, hop) {
+            Some(l) => l,
+            None => {
+                self.stats.record_drop(DropReason::NoRoute, bytes);
+                return;
+            }
+        };
+        if link.state.down {
+            self.stats.record_drop(DropReason::LinkDown, bytes);
+            return;
+        }
+        let params = link.params;
+        // Sample faults deterministically from the engine RNG.
+        if params.drop_prob > 0.0 && self.rng.gen::<f64>() < params.drop_prob {
+            self.stats.record_drop(DropReason::Loss, bytes);
+            return;
+        }
+        let jitter = if params.jitter.as_nanos() > 0 {
+            SimDuration::nanos(self.rng.gen_range(0..=params.jitter.as_nanos()))
+        } else {
+            SimDuration::ZERO
+        };
+        let corrupt = params.corrupt_prob > 0.0 && self.rng.gen::<f64>() < params.corrupt_prob;
+        let link = self.topo.link_mut(from, hop).expect("link vanished");
+        if let Some(arrival) = link.transmit(self.now, bytes, jitter) {
+            self.push(
+                arrival,
+                EventKind::Deliver {
+                    to: hop,
+                    pkt,
+                    corrupt,
+                },
+            );
+        } else {
+            self.stats.record_drop(DropReason::LinkDown, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+    use std::net::Ipv4Addr;
+    use std::rc::Rc;
+    use swishmem_wire::{DataPacket, FlowKey};
+
+    /// Echoes every received data packet back to its source.
+    struct Echo;
+    impl Node for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            if let PacketBody::Data(d) = pkt.body {
+                if d.flow_seq < 4 {
+                    let mut d2 = d;
+                    d2.flow_seq += 1;
+                    ctx.send(pkt.src, PacketBody::Data(d2));
+                }
+            }
+        }
+    }
+
+    /// Counts timer firings; re-arms until 5.
+    #[derive(Default)]
+    struct Ticker {
+        fired: u64,
+    }
+    impl Node for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::millis(1), 7);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+            assert_eq!(token, 7);
+            self.fired += 1;
+            if self.fired < 5 {
+                ctx.set_timer(SimDuration::millis(1), 7);
+            }
+        }
+    }
+
+    fn pkt(src: u16, dst: u16, seq: u32) -> Packet {
+        Packet::data(
+            NodeId(src),
+            NodeId(dst),
+            DataPacket::udp(
+                FlowKey::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2),
+                seq,
+                64,
+            ),
+        )
+    }
+
+    #[test]
+    fn ping_pong_until_ttl() {
+        let mut sim = Simulator::new(1);
+        sim.add_node(NodeId(0), Box::new(Echo));
+        sim.add_node(NodeId(1), Box::new(Echo));
+        sim.topology_mut()
+            .connect(NodeId(0), NodeId(1), LinkParams::datacenter());
+        sim.inject(SimTime::ZERO, pkt(0, 1, 0));
+        let end = sim.run_until_quiescent(SimTime(1_000_000_000));
+        // seq 0 injected; echoes with seq 1..=4 bounce => 5 deliveries total.
+        assert_eq!(sim.stats().delivered_total().packets, 5);
+        assert!(end.nanos() > 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Simulator::new(1);
+        sim.add_node(NodeId(0), Box::new(Ticker::default()));
+        sim.run_until(SimTime(10_000_000));
+        assert_eq!(sim.node::<Ticker>(NodeId(0)).unwrap().fired, 5);
+    }
+
+    #[test]
+    fn failed_node_receives_nothing_until_recovery() {
+        let mut sim = Simulator::new(1);
+        sim.add_node(NodeId(0), Box::new(Echo));
+        sim.add_node(NodeId(1), Box::new(Echo));
+        sim.topology_mut()
+            .connect(NodeId(0), NodeId(1), LinkParams::datacenter());
+        sim.schedule_fail(SimTime(0), NodeId(1));
+        sim.inject(SimTime(1000), pkt(0, 1, 0));
+        sim.run_until_quiescent(SimTime(1_000_000));
+        assert_eq!(sim.stats().delivered_total().packets, 0);
+        assert_eq!(sim.stats().dropped(DropReason::NodeDown).packets, 1);
+
+        sim.schedule_recover(SimTime(2_000_000), NodeId(1));
+        sim.inject(SimTime(3_000_000), pkt(0, 1, 0));
+        sim.run_until_quiescent(SimTime(10_000_000));
+        assert!(sim.stats().delivered_total().packets > 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_fraction() {
+        let mut sim = Simulator::new(42);
+        sim.add_node(NodeId(0), Box::new(Echo));
+        sim.add_node(NodeId(1), Box::new(Echo));
+        sim.topology_mut()
+            .connect(NodeId(0), NodeId(1), LinkParams::lossy(0.5));
+        // Inject 200 packets; each bounces up to 4 times over the lossy
+        // link before the echo TTL expires.
+        for i in 0..200 {
+            sim.inject(SimTime(i * 1_000_000), pkt(0, 1, 0));
+        }
+        // Injected packets bypass links (delivered); echo replies cross the
+        // lossy link.
+        sim.run_until_quiescent(SimTime(10_000_000_000));
+        let loss = sim.stats().dropped(DropReason::Loss).packets;
+        assert!(loss > 0, "expected some loss");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim = Simulator::new(seed);
+            sim.add_node(NodeId(0), Box::new(Echo));
+            sim.add_node(NodeId(1), Box::new(Echo));
+            sim.topology_mut().connect(
+                NodeId(0),
+                NodeId(1),
+                LinkParams::lossy(0.3).with_jitter(SimDuration::micros(5)),
+            );
+            for i in 0..100 {
+                sim.inject(SimTime(i * 10_000), pkt(0, 1, 0));
+            }
+            sim.run_until_quiescent(SimTime(1_000_000_000));
+            (
+                sim.stats().delivered_total().packets,
+                sim.stats().dropped(DropReason::Loss).packets,
+            )
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8)); // loss pattern differs across seeds
+    }
+
+    #[test]
+    fn no_route_counted() {
+        let mut sim = Simulator::new(1);
+        sim.add_node(NodeId(0), Box::new(Echo));
+        sim.add_node(NodeId(1), Box::new(Echo));
+        // No links at all: the echo reply has nowhere to go.
+        sim.inject(SimTime::ZERO, pkt(0, 1, 0));
+        sim.run_until_quiescent(SimTime(1_000_000));
+        assert_eq!(sim.stats().dropped(DropReason::NoRoute).packets, 1);
+    }
+
+    #[test]
+    fn typed_node_access() {
+        let mut sim = Simulator::new(1);
+        sim.add_node(NodeId(0), Box::new(Ticker::default()));
+        assert!(sim.node::<Ticker>(NodeId(0)).is_some());
+        assert!(sim.node::<Echo>(NodeId(0)).is_none());
+        sim.node_mut::<Ticker>(NodeId(0)).unwrap().fired = 99;
+        assert_eq!(sim.node::<Ticker>(NodeId(0)).unwrap().fired, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_node_panics() {
+        let mut sim = Simulator::new(1);
+        sim.add_node(NodeId(0), Box::new(Echo));
+        sim.add_node(NodeId(0), Box::new(Echo));
+    }
+
+    #[test]
+    fn scheduled_link_outage_drops_then_recovers() {
+        let mut sim = Simulator::new(1);
+        sim.add_node(NodeId(0), Box::new(Echo));
+        sim.add_node(NodeId(1), Box::new(Echo));
+        sim.topology_mut()
+            .connect(NodeId(0), NodeId(1), LinkParams::datacenter());
+        // Take the link down for [1ms, 2ms).
+        sim.schedule_link_set(SimTime(1_000_000), NodeId(0), NodeId(1), true);
+        sim.schedule_link_set(SimTime(2_000_000), NodeId(0), NodeId(1), false);
+        // Echo attempts at 0.5ms (up), 1.5ms (down), 2.5ms (up again).
+        for t in [500_000u64, 1_500_000, 2_500_000] {
+            sim.inject(SimTime(t), pkt(0, 1, 3)); // one echo reply each
+        }
+        sim.run_until_quiescent(SimTime(10_000_000));
+        assert_eq!(sim.stats().dropped(DropReason::LinkDown).packets, 1);
+        // 3 injections + 2 successful echo exchanges (4 each)... count:
+        // injections always deliver; replies only while the link is up.
+        assert!(sim.stats().delivered_total().packets > 3);
+    }
+
+    #[test]
+    fn multicast_reaches_members_except_sender() {
+        struct Caster;
+        impl Node for Caster {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.multicast(
+                    GroupId(1),
+                    PacketBody::Data(DataPacket::udp(
+                        FlowKey::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2),
+                        9,
+                        10,
+                    )),
+                );
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        }
+        #[derive(Default)]
+        struct Sink {
+            got: Rc<std::cell::RefCell<u32>>,
+        }
+        impl Node for Sink {
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {
+                *self.got.borrow_mut() += 1;
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let got1 = Rc::new(std::cell::RefCell::new(0));
+        let got2 = Rc::new(std::cell::RefCell::new(0));
+        sim.add_node(NodeId(0), Box::new(Caster));
+        sim.add_node(NodeId(1), Box::new(Sink { got: got1.clone() }));
+        sim.add_node(NodeId(2), Box::new(Sink { got: got2.clone() }));
+        sim.topology_mut()
+            .full_mesh(&[NodeId(0), NodeId(1), NodeId(2)], LinkParams::datacenter());
+        sim.topology_mut()
+            .set_group(GroupId(1), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        sim.run_until_quiescent(SimTime(1_000_000));
+        assert_eq!(*got1.borrow(), 1);
+        assert_eq!(*got2.borrow(), 1);
+    }
+}

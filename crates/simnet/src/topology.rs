@@ -1,0 +1,173 @@
+//! Network topology: the directed-link table and multicast groups.
+
+use crate::ctx::GroupId;
+use crate::link::{Link, LinkParams};
+use std::collections::HashMap;
+use swishmem_wire::NodeId;
+
+/// The set of links and multicast groups of a simulation.
+#[derive(Debug, Default)]
+pub struct Topology {
+    links: HashMap<(NodeId, NodeId), Link>,
+    groups: HashMap<GroupId, Vec<NodeId>>,
+    /// Static next-hop routes for node pairs without a direct link:
+    /// `(src, dst) -> via`. The frame is transmitted over `src -> via`
+    /// with its final destination intact; a relay node at `via` forwards.
+    routes: HashMap<(NodeId, NodeId), NodeId>,
+}
+
+impl Topology {
+    /// Create an empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Add a one-directional link `src -> dst`. Replaces any existing link.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, params: LinkParams) {
+        self.links.insert((src, dst), Link::new(params));
+    }
+
+    /// Add links in both directions with the same parameters.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.add_link(a, b, params);
+        self.add_link(b, a, params);
+    }
+
+    /// Connect every pair of `nodes` bidirectionally.
+    pub fn full_mesh(&mut self, nodes: &[NodeId], params: LinkParams) {
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                self.connect(a, b, params);
+            }
+        }
+    }
+
+    /// Connect `nodes` in a line: `n0 <-> n1 <-> n2 ...` (chain topology).
+    pub fn chain(&mut self, nodes: &[NodeId], params: LinkParams) {
+        for w in nodes.windows(2) {
+            self.connect(w[0], w[1], params);
+        }
+    }
+
+    /// Connect `hub` bidirectionally to each of `spokes` (star topology).
+    pub fn star(&mut self, hub: NodeId, spokes: &[NodeId], params: LinkParams) {
+        for &s in spokes {
+            self.connect(hub, s, params);
+        }
+    }
+
+    /// Look up the directed link `src -> dst`.
+    pub fn link_mut(&mut self, src: NodeId, dst: NodeId) -> Option<&mut Link> {
+        self.links.get_mut(&(src, dst))
+    }
+
+    /// Look up the directed link `src -> dst` (read-only).
+    pub fn link(&self, src: NodeId, dst: NodeId) -> Option<&Link> {
+        self.links.get(&(src, dst))
+    }
+
+    /// Mark the duplex link between `a` and `b` up or down.
+    pub fn set_link_down(&mut self, a: NodeId, b: NodeId, down: bool) {
+        if let Some(l) = self.links.get_mut(&(a, b)) {
+            l.state.down = down;
+        }
+        if let Some(l) = self.links.get_mut(&(b, a)) {
+            l.state.down = down;
+        }
+    }
+
+    /// Define (or redefine) a multicast group's membership.
+    pub fn set_group(&mut self, group: GroupId, members: Vec<NodeId>) {
+        self.groups.insert(group, members);
+    }
+
+    /// Current members of a group (empty if undefined).
+    pub fn group(&self, group: GroupId) -> &[NodeId] {
+        self.groups.get(&group).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Remove one member from a group (e.g. a failed switch, §6.3).
+    pub fn remove_from_group(&mut self, group: GroupId, node: NodeId) {
+        if let Some(members) = self.groups.get_mut(&group) {
+            members.retain(|&m| m != node);
+        }
+    }
+
+    /// Install a static route: frames from `src` to `dst` take the link
+    /// toward `via` (which must itself have a link or route onward).
+    pub fn set_route(&mut self, src: NodeId, dst: NodeId, via: NodeId) {
+        self.routes.insert((src, dst), via);
+    }
+
+    /// Next hop for `src -> dst`: the direct link if present, else the
+    /// configured route, else `None`.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        if self.links.contains_key(&(src, dst)) {
+            Some(dst)
+        } else {
+            self.routes.get(&(src, dst)).copied()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u16) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn full_mesh_has_all_directed_pairs() {
+        let mut t = Topology::new();
+        let nodes = ids(4);
+        t.full_mesh(&nodes, LinkParams::datacenter());
+        for &a in &nodes {
+            for &b in &nodes {
+                if a != b {
+                    assert!(t.link(a, b).is_some(), "{a}->{b} missing");
+                }
+            }
+        }
+        assert!(t.link(NodeId(0), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn chain_links_only_neighbors() {
+        let mut t = Topology::new();
+        t.chain(&ids(3), LinkParams::datacenter());
+        assert!(t.link(NodeId(0), NodeId(1)).is_some());
+        assert!(t.link(NodeId(1), NodeId(0)).is_some());
+        assert!(t.link(NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn star_connects_hub() {
+        let mut t = Topology::new();
+        t.star(NodeId(9), &ids(2), LinkParams::datacenter());
+        assert!(t.link(NodeId(9), NodeId(0)).is_some());
+        assert!(t.link(NodeId(0), NodeId(9)).is_some());
+        assert!(t.link(NodeId(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn groups_update() {
+        let mut t = Topology::new();
+        let g = GroupId(1);
+        t.set_group(g, ids(3));
+        assert_eq!(t.group(g).len(), 3);
+        t.remove_from_group(g, NodeId(1));
+        assert_eq!(t.group(g), &[NodeId(0), NodeId(2)]);
+        assert!(t.group(GroupId(99)).is_empty());
+    }
+
+    #[test]
+    fn link_down_is_duplex() {
+        let mut t = Topology::new();
+        t.connect(NodeId(0), NodeId(1), LinkParams::datacenter());
+        t.set_link_down(NodeId(0), NodeId(1), true);
+        assert!(t.link(NodeId(0), NodeId(1)).unwrap().state.down);
+        assert!(t.link(NodeId(1), NodeId(0)).unwrap().state.down);
+    }
+}

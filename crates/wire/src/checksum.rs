@@ -1,0 +1,63 @@
+//! RFC 1071 internet checksum, used by the IPv4 header codec.
+
+/// Compute the 16-bit one's-complement internet checksum of `data`.
+///
+/// A trailing odd byte is padded with zero, per RFC 1071. The returned
+/// value is the final complemented sum, ready to be stored in a header
+/// checksum field.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Verify a buffer that embeds its own checksum: summing the whole buffer
+/// (checksum field included) must yield zero.
+pub fn verify(data: &[u8]) -> bool {
+    internet_checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        assert_eq!(internet_checksum(&[0xff]), !0xff00);
+    }
+
+    #[test]
+    fn embedded_checksum_verifies() {
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
+        let ck = internet_checksum(&data);
+        data[10] = (ck >> 8) as u8;
+        data[11] = (ck & 0xff) as u8;
+        assert!(verify(&data));
+        // Flipping any byte breaks it.
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn zero_buffer() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type shared by all codecs in this crate.
+
+/// Errors produced while encoding or decoding wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the field at `offset` (needed `needed` more
+    /// bytes).
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+        /// Number of bytes the field still required.
+        needed: usize,
+    },
+    /// A field carried a value outside its legal range.
+    InvalidField {
+        /// Human-readable field name.
+        field: &'static str,
+        /// The offending raw value, widened to u64.
+        value: u64,
+    },
+    /// A message tag/discriminant was not recognized.
+    UnknownTag(u8),
+    /// The protocol version byte did not match [`crate::swish::WIRE_VERSION`].
+    VersionMismatch {
+        /// Version found in the buffer.
+        got: u8,
+        /// Version this library speaks.
+        want: u8,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Checksum found in the buffer.
+        got: u16,
+        /// Checksum computed over the buffer.
+        want: u16,
+    },
+    /// A length field disagreed with the actual buffer length.
+    LengthMismatch {
+        /// Declared length.
+        declared: usize,
+        /// Actual length available.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { offset, needed } => {
+                write!(
+                    f,
+                    "buffer truncated at offset {offset}, needed {needed} more bytes"
+                )
+            }
+            WireError::InvalidField { field, value } => {
+                write!(f, "invalid value {value} for field {field}")
+            }
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::VersionMismatch { got, want } => {
+                write!(f, "wire version mismatch: got {got}, want {want}")
+            }
+            WireError::BadChecksum { got, want } => {
+                write!(f, "bad checksum: got {got:#06x}, want {want:#06x}")
+            }
+            WireError::LengthMismatch { declared, actual } => {
+                write!(f, "length mismatch: declared {declared}, actual {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (
+                WireError::Truncated {
+                    offset: 4,
+                    needed: 2,
+                },
+                "buffer truncated at offset 4, needed 2 more bytes",
+            ),
+            (
+                WireError::InvalidField {
+                    field: "ihl",
+                    value: 3,
+                },
+                "invalid value 3 for field ihl",
+            ),
+            (WireError::UnknownTag(0xff), "unknown message tag 0xff"),
+            (
+                WireError::VersionMismatch { got: 2, want: 1 },
+                "wire version mismatch: got 2, want 1",
+            ),
+        ];
+        for (err, s) in cases {
+            assert_eq!(err.to_string(), s);
+        }
+    }
+}

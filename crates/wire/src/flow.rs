@@ -1,0 +1,164 @@
+//! The five-tuple flow key that every stateful NF keys its shared state on.
+
+use crate::ipv4::IpProto;
+use std::net::Ipv4Addr;
+
+/// A connection five-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub proto: u8,
+}
+
+impl FlowKey {
+    /// Construct a TCP flow key.
+    pub fn tcp(src: Ipv4Addr, src_port: u16, dst: Ipv4Addr, dst_port: u16) -> FlowKey {
+        FlowKey {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto: IpProto::Tcp.raw(),
+        }
+    }
+
+    /// Construct a UDP flow key.
+    pub fn udp(src: Ipv4Addr, src_port: u16, dst: Ipv4Addr, dst_port: u16) -> FlowKey {
+        FlowKey {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            proto: IpProto::Udp.raw(),
+        }
+    }
+
+    /// The reverse direction of this flow (src/dst swapped).
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Direction-insensitive canonical form: the lexicographically smaller
+    /// of `self` and `self.reversed()`. Both directions of a connection map
+    /// to the same canonical key, which is how connection tables are keyed.
+    pub fn canonical(&self) -> FlowKey {
+        let rev = self.reversed();
+        if *self <= rev {
+            *self
+        } else {
+            rev
+        }
+    }
+
+    /// 64-bit hash of the five-tuple (FNV-1a over the packed tuple).
+    ///
+    /// Deterministic across runs and platforms — register indices derived
+    /// from it are stable, which the experiments rely on.
+    pub fn hash64(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for b in self.src.octets() {
+            mix(b);
+        }
+        for b in self.dst.octets() {
+            mix(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            mix(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            mix(b);
+        }
+        mix(self.proto);
+        h
+    }
+
+    /// Hash of the canonical (direction-insensitive) form.
+    pub fn canonical_hash64(&self) -> u64 {
+        self.canonical().hash64()
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto {}",
+            self.src, self.src_port, self.dst, self.dst_port, self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            4000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let k = key();
+        let r = k.reversed();
+        assert_eq!(r.src, k.dst);
+        assert_eq!(r.src_port, k.dst_port);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn canonical_is_direction_insensitive() {
+        let k = key();
+        assert_eq!(k.canonical(), k.reversed().canonical());
+        assert_eq!(k.canonical_hash64(), k.reversed().canonical_hash64());
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_direction_sensitive() {
+        let k = key();
+        assert_eq!(k.hash64(), k.hash64());
+        assert_ne!(k.hash64(), k.reversed().hash64());
+    }
+
+    #[test]
+    fn distinct_flows_rarely_collide() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..1000u16 {
+            let k = FlowKey::tcp(
+                Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+                1000 + i,
+                Ipv4Addr::new(10, 1, 0, 1),
+                80,
+            );
+            assert!(seen.insert(k.hash64()), "hash collision at {i}");
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(key().to_string(), "10.0.0.1:4000 -> 10.0.0.2:80 proto 6");
+    }
+}

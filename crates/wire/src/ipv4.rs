@@ -1,0 +1,224 @@
+//! IPv4 header codec (fixed 20-byte header, no options).
+//!
+//! The network functions in this workspace only need addressing, protocol
+//! demultiplexing, TTL and total length, so options are rejected rather
+//! than modeled — exactly the treatment smoltcp gives them ("silently
+//! ignored" there; here, explicit `InvalidField`).
+
+use crate::checksum::internet_checksum;
+use crate::cursor::{Reader, Writer};
+use crate::WireError;
+use std::net::Ipv4Addr;
+
+/// Length of the option-less IPv4 header in bytes.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers used in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl IpProto {
+    /// Raw protocol number.
+    pub fn raw(self) -> u8 {
+        match self {
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+
+    /// Classify a raw protocol number.
+    pub fn from_raw(v: u8) -> IpProto {
+        match v {
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+/// An IPv4 header (IHL fixed at 5, i.e. no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Total length of the IP packet (header + payload) in bytes.
+    pub total_len: u16,
+    /// Identification field (used only for diagnostics here).
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub proto: IpProto,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Append this header to `w`, computing the header checksum.
+    pub fn encode(&self, w: &mut Writer) {
+        let start = w.len();
+        w.u8(0x45); // version 4, IHL 5
+        w.u8(0); // DSCP/ECN
+        w.u16(self.total_len);
+        w.u16(self.ident);
+        w.u16(0); // flags + fragment offset: never fragmented in sim
+        w.u8(self.ttl);
+        w.u8(self.proto.raw());
+        w.u16(0); // checksum placeholder
+        w.u32(u32::from(self.src));
+        w.u32(u32::from(self.dst));
+        let ck = internet_checksum(&w.as_slice()[start..start + IPV4_HEADER_LEN]);
+        w.patch_u16(start + 10, ck);
+    }
+
+    /// Decode a header from `r`, verifying version, IHL and checksum.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let start = r.position();
+        let ver_ihl = r.u8()?;
+        if ver_ihl >> 4 != 4 {
+            return Err(WireError::InvalidField {
+                field: "version",
+                value: u64::from(ver_ihl >> 4),
+            });
+        }
+        if ver_ihl & 0x0f != 5 {
+            return Err(WireError::InvalidField {
+                field: "ihl",
+                value: u64::from(ver_ihl & 0x0f),
+            });
+        }
+        let _dscp = r.u8()?;
+        let total_len = r.u16()?;
+        if (total_len as usize) < IPV4_HEADER_LEN {
+            return Err(WireError::InvalidField {
+                field: "total_len",
+                value: u64::from(total_len),
+            });
+        }
+        let ident = r.u16()?;
+        let flags_frag = r.u16()?;
+        if flags_frag & 0x3fff != 0 {
+            return Err(WireError::InvalidField {
+                field: "fragment",
+                value: u64::from(flags_frag),
+            });
+        }
+        let ttl = r.u8()?;
+        let proto = IpProto::from_raw(r.u8()?);
+        let got_ck = r.u16()?;
+        let src = Ipv4Addr::from(r.u32()?);
+        let dst = Ipv4Addr::from(r.u32()?);
+
+        // Recompute the checksum over the raw header bytes.
+        let hdr = Ipv4Header {
+            total_len,
+            ident,
+            ttl,
+            proto,
+            src,
+            dst,
+        };
+        let mut w = Writer::with_capacity(IPV4_HEADER_LEN);
+        hdr.encode(&mut w);
+        let want = u16::from_be_bytes([w.as_slice()[10], w.as_slice()[11]]);
+        if got_ck != want {
+            return Err(WireError::BadChecksum { got: got_ck, want });
+        }
+        debug_assert_eq!(r.position() - start, IPV4_HEADER_LEN);
+        Ok(hdr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header {
+            total_len: 60,
+            ident: 0x1234,
+            ttl: 64,
+            proto: IpProto::Tcp,
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(192, 168, 1, 2),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        let buf = w.finish();
+        assert_eq!(buf.len(), IPV4_HEADER_LEN);
+        let mut r = Reader::new(&buf);
+        assert_eq!(Ipv4Header::decode(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut w = Writer::new();
+        sample().encode(&mut w);
+        let mut buf = w.finish().to_vec();
+        buf[15] ^= 0x40; // flip a bit in src address
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            Ipv4Header::decode(&mut r),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut w = Writer::new();
+        sample().encode(&mut w);
+        let mut buf = w.finish().to_vec();
+        buf[0] = 0x65; // version 6
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            Ipv4Header::decode(&mut r),
+            Err(WireError::InvalidField {
+                field: "version",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_options() {
+        let mut w = Writer::new();
+        sample().encode(&mut w);
+        let mut buf = w.finish().to_vec();
+        buf[0] = 0x46; // IHL 6
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            Ipv4Header::decode(&mut r),
+            Err(WireError::InvalidField { field: "ihl", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_total_len() {
+        let mut h = sample();
+        h.total_len = 10;
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            Ipv4Header::decode(&mut r),
+            Err(WireError::InvalidField {
+                field: "total_len",
+                ..
+            })
+        ));
+    }
+}

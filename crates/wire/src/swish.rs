@@ -1,0 +1,747 @@
+//! SwiShmem replication-protocol messages (§6 of the paper).
+//!
+//! Message inventory:
+//!
+//! * **SRO / ERO (chain replication, §6.1)** — [`WriteRequest`] (writer →
+//!   head, head → successor, ...), [`WriteAck`] (tail → writer's control
+//!   plane), [`PendingClear`] (tail → chain multicast, clears pending bits),
+//!   [`ReadForward`] (a data packet tunneled to the tail when its read hit a
+//!   pending register).
+//! * **EWO (§6.2)** — [`SyncUpdate`]: a batch of `(key, slot, version,
+//!   value)` entries, sent both eagerly after a local write (egress
+//!   mirroring + multicast) and by the periodic packet-generator sync task.
+//! * **Failure handling (§6.3)** — [`Heartbeat`], [`ChainConfig`],
+//!   [`GroupConfig`], [`SnapshotRequest`]/[`SnapshotChunk`]/
+//!   [`CatchupComplete`] for new-replica recovery.
+//! * **Directory extension (§7/§9)** — [`DirLookup`]/[`DirReply`] for the
+//!   partitioned-state directory service.
+//!
+//! All messages are versioned with [`WIRE_VERSION`] and carry a one-byte
+//! tag; codecs are strict (trailing bytes rejected by the packet layer).
+
+use crate::cursor::{Reader, Writer};
+use crate::packet::DataPacket;
+use crate::{NodeId, WireError};
+
+/// Protocol version spoken by this library.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Register (array) identifier, unique within a deployment.
+pub type RegId = u16;
+
+/// Key (index) within a register array.
+pub type Key = u32;
+
+/// A write operation on a register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Overwrite the value. The only operation SRO/ERO chains replicate
+    /// (retried writes are then idempotent; see DESIGN.md).
+    Set(u64),
+    /// Commutative increment, used by EWO counter registers.
+    Add(i64),
+}
+
+impl WriteOp {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WriteOp::Set(v) => {
+                w.u8(0);
+                w.u64(*v);
+            }
+            WriteOp::Add(d) => {
+                w.u8(1);
+                w.i64(*d);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(WriteOp::Set(r.u64()?)),
+            1 => Ok(WriteOp::Add(r.i64()?)),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+/// A chain-replication write request (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRequest {
+    /// Writer-unique id, used by the writer's control plane to match acks
+    /// and release the buffered output packet.
+    pub write_id: u64,
+    /// The switch whose control plane originated the write.
+    pub writer: NodeId,
+    /// Chain-configuration epoch the writer believes is current.
+    pub epoch: u32,
+    /// Target register.
+    pub reg: RegId,
+    /// Target key within the register.
+    pub key: Key,
+    /// Per-key sequence number. `0` means "not yet sequenced": the head of
+    /// the chain assigns the sequence number on first contact.
+    pub seq: u64,
+    /// The operation.
+    pub op: WriteOp,
+}
+
+/// Acknowledgment from the tail of the chain to the writer (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAck {
+    /// Echo of [`WriteRequest::write_id`].
+    pub write_id: u64,
+    /// Echo of the originating writer, used for routing the ack.
+    pub writer: NodeId,
+    /// Register written.
+    pub reg: RegId,
+    /// Key written.
+    pub key: Key,
+    /// Sequence number the head assigned.
+    pub seq: u64,
+}
+
+/// Tail → chain multicast clearing the pending bit for a completed write
+/// (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingClear {
+    /// Chain epoch.
+    pub epoch: u32,
+    /// Register.
+    pub reg: RegId,
+    /// Key.
+    pub key: Key,
+    /// Sequence number of the completed write; a pending bit is only
+    /// cleared if no later write has since marked it again.
+    pub seq: u64,
+}
+
+/// One `(key, slot, version, value)` entry of an EWO synchronization
+/// message (§6.2, §7: "one register array for each switch in the replica
+/// group; each register array stores a version number and a value").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncEntry {
+    /// Key within the register.
+    pub key: Key,
+    /// Which replica's slot this entry describes (index into the replica
+    /// group). For CRDT counters a switch only ever *originates* entries
+    /// for its own slot, but relayed periodic syncs carry all slots.
+    pub slot: u8,
+    /// Version number (LWW timestamp+tiebreak, or monotonic per-slot
+    /// counter for CRDTs).
+    pub version: u64,
+    /// The value.
+    pub value: u64,
+}
+
+/// An EWO update batch (§6.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncUpdate {
+    /// Register these entries belong to.
+    pub reg: RegId,
+    /// Switch that sent this batch.
+    pub origin: NodeId,
+    /// The entries.
+    pub entries: Vec<SyncEntry>,
+}
+
+/// Controller → control-plane request to stream a snapshot to `target`
+/// (§6.3 recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotRequest {
+    /// The recovering switch to catch up.
+    pub target: NodeId,
+    /// Epoch of the configuration that includes `target`.
+    pub epoch: u32,
+}
+
+/// One snapshot entry: key, the sequence number at snapshot time, value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapEntry {
+    /// Key.
+    pub key: Key,
+    /// Sequence number guarding replay ("writes contain the sequence number
+    /// at the time of the snapshot, to prevent overwriting new values with
+    /// old ones", §6.3).
+    pub seq: u64,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// A chunk of snapshot state streamed through the data plane (§6.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// Register this chunk belongs to.
+    pub reg: RegId,
+    /// Switch streaming the snapshot.
+    pub origin: NodeId,
+    /// Entries in this chunk.
+    pub entries: Vec<SnapEntry>,
+    /// True on the final chunk of the final register.
+    pub last: bool,
+}
+
+/// Recovering switch → controller: catch-up finished, ready to serve
+/// (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatchupComplete {
+    /// The switch that finished catching up.
+    pub node: NodeId,
+    /// Epoch it caught up under.
+    pub epoch: u32,
+}
+
+/// Controller → all switches: the SRO/ERO chain for the new epoch (§6.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainConfig {
+    /// Monotonically increasing configuration epoch.
+    pub epoch: u32,
+    /// Chain order, head first, tail last.
+    pub chain: Vec<NodeId>,
+    /// Switches present in the deployment but not yet part of the chain
+    /// (recovering nodes receiving writes but not serving reads).
+    pub learners: Vec<NodeId>,
+}
+
+/// Controller → all switches: EWO multicast replica group membership
+/// (§6.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// Monotonically increasing configuration epoch.
+    pub epoch: u32,
+    /// Current members of the replica group.
+    pub members: Vec<NodeId>,
+}
+
+/// Switch control plane → controller liveness beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Sending switch.
+    pub from: NodeId,
+    /// Epoch the sender is operating under.
+    pub epoch: u32,
+}
+
+/// Directory lookup (partitioned-state extension, §7/§9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirLookup {
+    /// Requesting switch.
+    pub from: NodeId,
+    /// Register being located.
+    pub reg: RegId,
+    /// Key being located.
+    pub key: Key,
+}
+
+/// Directory reply: current replica set for a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirReply {
+    /// Register.
+    pub reg: RegId,
+    /// Key.
+    pub key: Key,
+    /// Switches currently replicating this key.
+    pub owners: Vec<NodeId>,
+}
+
+/// A data packet tunneled to the tail of the chain because its read hit a
+/// register with the pending bit set (§6.1: "the input packet P is
+/// forwarded to the tail of the chain, and processed there").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadForward {
+    /// Switch that forwarded the packet.
+    pub origin: NodeId,
+    /// The original data packet.
+    pub inner: DataPacket,
+}
+
+/// Every SwiShmem protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwishMsg {
+    /// Chain write request.
+    Write(WriteRequest),
+    /// Tail acknowledgment.
+    Ack(WriteAck),
+    /// Pending-bit clear.
+    Clear(PendingClear),
+    /// EWO update batch.
+    Sync(SyncUpdate),
+    /// Snapshot stream request.
+    SnapReq(SnapshotRequest),
+    /// Snapshot data chunk.
+    SnapChunk(SnapshotChunk),
+    /// Catch-up completion notice.
+    CatchupDone(CatchupComplete),
+    /// Chain configuration.
+    Chain(ChainConfig),
+    /// Replica-group configuration.
+    Group(GroupConfig),
+    /// Liveness beacon.
+    Heartbeat(Heartbeat),
+    /// Directory lookup.
+    DirLookup(DirLookup),
+    /// Directory reply.
+    DirReply(DirReply),
+    /// Tunneled read.
+    ReadForward(ReadForward),
+}
+
+const TAG_WRITE: u8 = 0x01;
+const TAG_ACK: u8 = 0x02;
+const TAG_CLEAR: u8 = 0x03;
+const TAG_SYNC: u8 = 0x04;
+const TAG_SNAP_REQ: u8 = 0x05;
+const TAG_SNAP_CHUNK: u8 = 0x06;
+const TAG_CATCHUP: u8 = 0x07;
+const TAG_CHAIN: u8 = 0x08;
+const TAG_GROUP: u8 = 0x09;
+const TAG_HEARTBEAT: u8 = 0x0a;
+const TAG_DIR_LOOKUP: u8 = 0x0b;
+const TAG_DIR_REPLY: u8 = 0x0c;
+const TAG_READ_FWD: u8 = 0x0d;
+
+fn encode_node(w: &mut Writer, n: NodeId) {
+    w.u16(n.0);
+}
+
+fn decode_node(r: &mut Reader<'_>) -> Result<NodeId, WireError> {
+    Ok(NodeId(r.u16()?))
+}
+
+fn encode_nodes(w: &mut Writer, ns: &[NodeId]) {
+    w.u16(ns.len() as u16);
+    for n in ns {
+        encode_node(w, *n);
+    }
+}
+
+fn decode_nodes(r: &mut Reader<'_>) -> Result<Vec<NodeId>, WireError> {
+    let n = r.u16()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(decode_node(r)?);
+    }
+    Ok(out)
+}
+
+impl SwishMsg {
+    /// Append the versioned message to `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(WIRE_VERSION);
+        match self {
+            SwishMsg::Write(m) => {
+                w.u8(TAG_WRITE);
+                w.u64(m.write_id);
+                encode_node(w, m.writer);
+                w.u32(m.epoch);
+                w.u16(m.reg);
+                w.u32(m.key);
+                w.u64(m.seq);
+                m.op.encode(w);
+            }
+            SwishMsg::Ack(m) => {
+                w.u8(TAG_ACK);
+                w.u64(m.write_id);
+                encode_node(w, m.writer);
+                w.u16(m.reg);
+                w.u32(m.key);
+                w.u64(m.seq);
+            }
+            SwishMsg::Clear(m) => {
+                w.u8(TAG_CLEAR);
+                w.u32(m.epoch);
+                w.u16(m.reg);
+                w.u32(m.key);
+                w.u64(m.seq);
+            }
+            SwishMsg::Sync(m) => {
+                w.u8(TAG_SYNC);
+                w.u16(m.reg);
+                encode_node(w, m.origin);
+                w.u16(m.entries.len() as u16);
+                for e in &m.entries {
+                    w.u32(e.key);
+                    w.u8(e.slot);
+                    w.u64(e.version);
+                    w.u64(e.value);
+                }
+            }
+            SwishMsg::SnapReq(m) => {
+                w.u8(TAG_SNAP_REQ);
+                encode_node(w, m.target);
+                w.u32(m.epoch);
+            }
+            SwishMsg::SnapChunk(m) => {
+                w.u8(TAG_SNAP_CHUNK);
+                w.u16(m.reg);
+                encode_node(w, m.origin);
+                w.u8(m.last as u8);
+                w.u16(m.entries.len() as u16);
+                for e in &m.entries {
+                    w.u32(e.key);
+                    w.u64(e.seq);
+                    w.u64(e.value);
+                }
+            }
+            SwishMsg::CatchupDone(m) => {
+                w.u8(TAG_CATCHUP);
+                encode_node(w, m.node);
+                w.u32(m.epoch);
+            }
+            SwishMsg::Chain(m) => {
+                w.u8(TAG_CHAIN);
+                w.u32(m.epoch);
+                encode_nodes(w, &m.chain);
+                encode_nodes(w, &m.learners);
+            }
+            SwishMsg::Group(m) => {
+                w.u8(TAG_GROUP);
+                w.u32(m.epoch);
+                encode_nodes(w, &m.members);
+            }
+            SwishMsg::Heartbeat(m) => {
+                w.u8(TAG_HEARTBEAT);
+                encode_node(w, m.from);
+                w.u32(m.epoch);
+            }
+            SwishMsg::DirLookup(m) => {
+                w.u8(TAG_DIR_LOOKUP);
+                encode_node(w, m.from);
+                w.u16(m.reg);
+                w.u32(m.key);
+            }
+            SwishMsg::DirReply(m) => {
+                w.u8(TAG_DIR_REPLY);
+                w.u16(m.reg);
+                w.u32(m.key);
+                encode_nodes(w, &m.owners);
+            }
+            SwishMsg::ReadForward(m) => {
+                w.u8(TAG_READ_FWD);
+                encode_node(w, m.origin);
+                m.inner.encode(w);
+            }
+        }
+    }
+
+    /// Decode a versioned message from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let ver = r.u8()?;
+        if ver != WIRE_VERSION {
+            return Err(WireError::VersionMismatch {
+                got: ver,
+                want: WIRE_VERSION,
+            });
+        }
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_WRITE => SwishMsg::Write(WriteRequest {
+                write_id: r.u64()?,
+                writer: decode_node(r)?,
+                epoch: r.u32()?,
+                reg: r.u16()?,
+                key: r.u32()?,
+                seq: r.u64()?,
+                op: WriteOp::decode(r)?,
+            }),
+            TAG_ACK => SwishMsg::Ack(WriteAck {
+                write_id: r.u64()?,
+                writer: decode_node(r)?,
+                reg: r.u16()?,
+                key: r.u32()?,
+                seq: r.u64()?,
+            }),
+            TAG_CLEAR => SwishMsg::Clear(PendingClear {
+                epoch: r.u32()?,
+                reg: r.u16()?,
+                key: r.u32()?,
+                seq: r.u64()?,
+            }),
+            TAG_SYNC => {
+                let reg = r.u16()?;
+                let origin = decode_node(r)?;
+                let n = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(SyncEntry {
+                        key: r.u32()?,
+                        slot: r.u8()?,
+                        version: r.u64()?,
+                        value: r.u64()?,
+                    });
+                }
+                SwishMsg::Sync(SyncUpdate {
+                    reg,
+                    origin,
+                    entries,
+                })
+            }
+            TAG_SNAP_REQ => SwishMsg::SnapReq(SnapshotRequest {
+                target: decode_node(r)?,
+                epoch: r.u32()?,
+            }),
+            TAG_SNAP_CHUNK => {
+                let reg = r.u16()?;
+                let origin = decode_node(r)?;
+                let last = r.u8()? != 0;
+                let n = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(SnapEntry {
+                        key: r.u32()?,
+                        seq: r.u64()?,
+                        value: r.u64()?,
+                    });
+                }
+                SwishMsg::SnapChunk(SnapshotChunk {
+                    reg,
+                    origin,
+                    entries,
+                    last,
+                })
+            }
+            TAG_CATCHUP => SwishMsg::CatchupDone(CatchupComplete {
+                node: decode_node(r)?,
+                epoch: r.u32()?,
+            }),
+            TAG_CHAIN => SwishMsg::Chain(ChainConfig {
+                epoch: r.u32()?,
+                chain: decode_nodes(r)?,
+                learners: decode_nodes(r)?,
+            }),
+            TAG_GROUP => SwishMsg::Group(GroupConfig {
+                epoch: r.u32()?,
+                members: decode_nodes(r)?,
+            }),
+            TAG_HEARTBEAT => SwishMsg::Heartbeat(Heartbeat {
+                from: decode_node(r)?,
+                epoch: r.u32()?,
+            }),
+            TAG_DIR_LOOKUP => SwishMsg::DirLookup(DirLookup {
+                from: decode_node(r)?,
+                reg: r.u16()?,
+                key: r.u32()?,
+            }),
+            TAG_DIR_REPLY => SwishMsg::DirReply(DirReply {
+                reg: r.u16()?,
+                key: r.u32()?,
+                owners: decode_nodes(r)?,
+            }),
+            TAG_READ_FWD => SwishMsg::ReadForward(ReadForward {
+                origin: decode_node(r)?,
+                inner: DataPacket::decode(r)?,
+            }),
+            t => return Err(WireError::UnknownTag(t)),
+        };
+        Ok(msg)
+    }
+
+    /// Encoded length in bytes, without allocating.
+    pub fn wire_len(&self) -> usize {
+        // version + tag
+        2 + match self {
+            SwishMsg::Write(_) => 8 + 2 + 4 + 2 + 4 + 8 + 9,
+            SwishMsg::Ack(_) => 8 + 2 + 2 + 4 + 8,
+            SwishMsg::Clear(_) => 4 + 2 + 4 + 8,
+            SwishMsg::Sync(m) => 2 + 2 + 2 + m.entries.len() * (4 + 1 + 8 + 8),
+            SwishMsg::SnapReq(_) => 2 + 4,
+            SwishMsg::SnapChunk(m) => 2 + 2 + 1 + 2 + m.entries.len() * (4 + 8 + 8),
+            SwishMsg::CatchupDone(_) => 2 + 4,
+            SwishMsg::Chain(m) => 4 + 2 + m.chain.len() * 2 + 2 + m.learners.len() * 2,
+            SwishMsg::Group(m) => 4 + 2 + m.members.len() * 2,
+            SwishMsg::Heartbeat(_) => 2 + 4,
+            SwishMsg::DirLookup(_) => 2 + 2 + 4,
+            SwishMsg::DirReply(m) => 2 + 4 + 2 + m.owners.len() * 2,
+            SwishMsg::ReadForward(m) => 2 + m.inner.wire_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::l4::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn samples() -> Vec<SwishMsg> {
+        vec![
+            SwishMsg::Write(WriteRequest {
+                write_id: 42,
+                writer: NodeId(1),
+                epoch: 7,
+                reg: 3,
+                key: 1000,
+                seq: 0,
+                op: WriteOp::Set(0xdead),
+            }),
+            SwishMsg::Write(WriteRequest {
+                write_id: 43,
+                writer: NodeId(2),
+                epoch: 7,
+                reg: 3,
+                key: 1001,
+                seq: 12,
+                op: WriteOp::Add(-5),
+            }),
+            SwishMsg::Ack(WriteAck {
+                write_id: 42,
+                writer: NodeId(1),
+                reg: 3,
+                key: 1000,
+                seq: 5,
+            }),
+            SwishMsg::Clear(PendingClear {
+                epoch: 7,
+                reg: 3,
+                key: 1000,
+                seq: 5,
+            }),
+            SwishMsg::Sync(SyncUpdate {
+                reg: 9,
+                origin: NodeId(4),
+                entries: vec![
+                    SyncEntry {
+                        key: 0,
+                        slot: 4,
+                        version: 11,
+                        value: 22,
+                    },
+                    SyncEntry {
+                        key: 5,
+                        slot: 4,
+                        version: 12,
+                        value: 23,
+                    },
+                ],
+            }),
+            SwishMsg::SnapReq(SnapshotRequest {
+                target: NodeId(6),
+                epoch: 9,
+            }),
+            SwishMsg::SnapChunk(SnapshotChunk {
+                reg: 1,
+                origin: NodeId(0),
+                entries: vec![SnapEntry {
+                    key: 3,
+                    seq: 17,
+                    value: 99,
+                }],
+                last: true,
+            }),
+            SwishMsg::CatchupDone(CatchupComplete {
+                node: NodeId(6),
+                epoch: 9,
+            }),
+            SwishMsg::Chain(ChainConfig {
+                epoch: 9,
+                chain: vec![NodeId(0), NodeId(1), NodeId(2)],
+                learners: vec![NodeId(6)],
+            }),
+            SwishMsg::Group(GroupConfig {
+                epoch: 9,
+                members: vec![NodeId(0), NodeId(2)],
+            }),
+            SwishMsg::Heartbeat(Heartbeat {
+                from: NodeId(2),
+                epoch: 9,
+            }),
+            SwishMsg::DirLookup(DirLookup {
+                from: NodeId(1),
+                reg: 2,
+                key: 77,
+            }),
+            SwishMsg::DirReply(DirReply {
+                reg: 2,
+                key: 77,
+                owners: vec![NodeId(0), NodeId(3)],
+            }),
+            SwishMsg::ReadForward(ReadForward {
+                origin: NodeId(5),
+                inner: DataPacket::tcp(
+                    crate::FlowKey::tcp(
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        1234,
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        80,
+                    ),
+                    TcpFlags::syn(),
+                    0,
+                    100,
+                ),
+            }),
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        for msg in samples() {
+            let mut w = Writer::new();
+            msg.encode(&mut w);
+            let buf = w.finish();
+            let mut r = Reader::new(&buf);
+            let back = SwishMsg::decode(&mut r).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            r.expect_end().unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        for msg in samples() {
+            let mut w = Writer::new();
+            msg.encode(&mut w);
+            assert_eq!(w.len(), msg.wire_len(), "wire_len mismatch for {msg:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut w = Writer::new();
+        SwishMsg::Heartbeat(Heartbeat {
+            from: NodeId(0),
+            epoch: 0,
+        })
+        .encode(&mut w);
+        let mut buf = w.finish().to_vec();
+        buf[0] = 99;
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            SwishMsg::decode(&mut r),
+            Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let buf = [WIRE_VERSION, 0xee];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            SwishMsg::decode(&mut r),
+            Err(WireError::UnknownTag(0xee))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_sync() {
+        let msg = SwishMsg::Sync(SyncUpdate {
+            reg: 1,
+            origin: NodeId(0),
+            entries: vec![SyncEntry {
+                key: 1,
+                slot: 0,
+                version: 1,
+                value: 1,
+            }],
+        });
+        let mut w = Writer::new();
+        msg.encode(&mut w);
+        let buf = w.finish();
+        for cut in 1..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(
+                SwishMsg::decode(&mut r).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+}

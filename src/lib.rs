@@ -1,0 +1,10 @@
+//! Workspace root crate: hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) of the SwiShmem reproduction.
+//! The library surface itself just re-exports the member crates for
+//! convenience.
+
+pub use swishmem;
+pub use swishmem_nf as nf;
+pub use swishmem_pisa as pisa;
+pub use swishmem_simnet as simnet;
+pub use swishmem_wire as wire;

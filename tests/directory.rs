@@ -1,0 +1,83 @@
+//! The partitioned-state directory extension (§7/§9): controller-hosted
+//! directory service answering switch lookups over the wire, with
+//! migration driven by observed access patterns.
+
+#![allow(clippy::field_reassign_with_default)] // configs read clearer as overrides
+
+use swishmem::prelude::*;
+use swishmem::{Controller, RegisterSpec};
+use swishmem_wire::NodeId as N;
+
+fn deployment() -> Deployment {
+    let mut dep = DeploymentBuilder::new(3)
+        .hosts(1)
+        .seed(43)
+        .register(RegisterSpec::sro(0, "part", 300))
+        .build(|_| {
+            Box::new(swishmem::api::ForwardAll {
+                dst: NodeId(HOST_BASE),
+            })
+        });
+    // Partition register 0's 300 keys across the three switches.
+    let owners: Vec<NodeId> = dep.switch_ids().to_vec();
+    dep.partition_register(0, 300, &owners);
+    dep
+}
+
+#[test]
+fn lookup_round_trip_caches_owner_set() {
+    let mut dep = deployment();
+    dep.settle();
+    let t = dep.now();
+    // Switch 2 asks who owns key 50 (range 0..100 → switch 0).
+    dep.dir_lookup(t, 2, 0, 50);
+    dep.run_for(SimDuration::millis(5));
+    assert_eq!(dep.dir_owners(2, 0, 50), Some(vec![N(0)]));
+    // Different range, different owner.
+    dep.dir_lookup(dep.now(), 2, 0, 250);
+    dep.run_for(SimDuration::millis(5));
+    assert_eq!(dep.dir_owners(2, 0, 250), Some(vec![N(2)]));
+    // Unqueried keys are not cached.
+    assert_eq!(dep.dir_owners(2, 0, 150), None);
+}
+
+#[test]
+fn migration_follows_the_hottest_requester() {
+    let mut dep = deployment();
+    dep.settle();
+    // Switch 2 hammers a key owned by switch 0.
+    let t0 = dep.now();
+    for i in 0..8u64 {
+        dep.dir_lookup(t0 + SimDuration::micros(i * 100), 2, 0, 10);
+    }
+    dep.dir_lookup(t0 + SimDuration::micros(900), 1, 0, 10);
+    dep.run_for(SimDuration::millis(5));
+    // Controller-side rebalance migrates the range to switch 2.
+    {
+        let ctrl = dep.sim.node_mut::<Controller>(N::CONTROLLER).unwrap();
+        let moves = ctrl.directory_mut().rebalance(0);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].1, N(2));
+        assert!(ctrl.directory().is_owner(0, 10, N(2)));
+        assert!(!ctrl.directory().is_owner(0, 10, N(0)));
+    }
+    // A fresh lookup now returns the new owner.
+    dep.dir_lookup(dep.now(), 1, 0, 10);
+    dep.run_for(SimDuration::millis(5));
+    assert_eq!(dep.dir_owners(1, 0, 10), Some(vec![N(2)]));
+}
+
+#[test]
+fn replication_grows_the_owner_set() {
+    let mut dep = deployment();
+    dep.settle();
+    {
+        let ctrl = dep.sim.node_mut::<Controller>(N::CONTROLLER).unwrap();
+        ctrl.directory_mut().replicate(0, 120, N(0)); // range 100..200, owner sw1
+    }
+    dep.dir_lookup(dep.now(), 0, 0, 120);
+    dep.run_for(SimDuration::millis(5));
+    let owners = dep.dir_owners(0, 0, 120).unwrap();
+    assert_eq!(owners.len(), 2);
+    assert!(owners.contains(&N(1)) && owners.contains(&N(0)));
+}
