@@ -45,7 +45,7 @@ fn main() {
         results.push(res);
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&results).expect("serialize results");
+        let json = swishmem_bench::table::results_to_json(&results);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

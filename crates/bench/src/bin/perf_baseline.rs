@@ -1,0 +1,281 @@
+//! Engine performance baseline: runs the simnet-engine and nf-pipeline
+//! scenarios outside criterion and records events/sec, ns/event, and
+//! peak event-queue depth so every PR has a perf trajectory to compare
+//! against.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p swishmem-bench --release --bin perf_baseline -- \
+//!     [--label NAME] [--out BENCH_simnet.json] [--reps N]
+//! ```
+//!
+//! The output file holds a JSON array of labeled runs; an existing file
+//! is appended to (never rewritten), so before/after pairs of the same
+//! scenario accumulate in one artifact.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+use swishmem::prelude::*;
+use swishmem::RegisterSpec;
+use swishmem_bench::json::Json;
+use swishmem_nf::{DdosConfig, DdosDetector, DdosStatsHandle};
+use swishmem_simnet::{Ctx, LinkParams, Node, Simulator};
+use swishmem_wire::{DataPacket, FlowKey, Packet, PacketBody};
+
+/// Bounces packets back and forth `ttl` times (mirror of the
+/// `simnet_engine` bench workload).
+struct Echo {
+    ttl: u32,
+}
+impl Node for Echo {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if let PacketBody::Data(d) = pkt.body {
+            if d.flow_seq < self.ttl {
+                let mut d2 = d;
+                d2.flow_seq += 1;
+                ctx.send(pkt.src, PacketBody::Data(d2));
+            }
+        }
+    }
+}
+
+fn ping() -> Packet {
+    Packet::data(
+        NodeId(0),
+        NodeId(1),
+        DataPacket::udp(
+            FlowKey::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2),
+            0,
+            64,
+        ),
+    )
+}
+
+struct Measured {
+    name: &'static str,
+    events: u64,
+    wall_ns: u64,
+    peak_queue_depth: usize,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_ns as f64 / 1e9)
+    }
+    fn ns_per_event(&self) -> f64 {
+        self.wall_ns as f64 / self.events as f64
+    }
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name)),
+            ("events", Json::from(self.events)),
+            ("wall_ns", Json::from(self.wall_ns)),
+            ("events_per_sec", Json::Num(self.events_per_sec())),
+            ("ns_per_event", Json::Num(self.ns_per_event())),
+            ("peak_queue_depth", Json::from(self.peak_queue_depth)),
+        ])
+    }
+}
+
+/// Run `setup() -> sim`, drive it to quiescence `reps` times, and keep
+/// the fastest run (least scheduler noise).
+fn measure_sim(
+    name: &'static str,
+    reps: u32,
+    setup: impl Fn() -> Simulator,
+    drive: impl Fn(&mut Simulator),
+) -> Measured {
+    let mut best: Option<Measured> = None;
+    for _ in 0..reps {
+        let mut sim = setup();
+        let t = Instant::now();
+        drive(&mut sim);
+        let wall_ns = t.elapsed().as_nanos() as u64;
+        let m = Measured {
+            name,
+            events: sim.events_processed(),
+            wall_ns,
+            peak_queue_depth: sim.peak_queue_depth(),
+        };
+        if best.as_ref().map(|b| m.wall_ns < b.wall_ns).unwrap_or(true) {
+            best = Some(m);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+const EVENTS: u64 = 10_000;
+
+fn ping_pong(reps: u32) -> Measured {
+    measure_sim(
+        "ping_pong_10k_events",
+        reps,
+        || {
+            let mut sim = Simulator::new(1);
+            sim.add_node(NodeId(0), Box::new(Echo { ttl: EVENTS as u32 }));
+            sim.add_node(NodeId(1), Box::new(Echo { ttl: EVENTS as u32 }));
+            sim.topology_mut()
+                .connect(NodeId(0), NodeId(1), LinkParams::datacenter());
+            sim.inject(SimTime::ZERO, ping());
+            sim
+        },
+        |sim| {
+            sim.run_until_quiescent(SimTime(10_000_000_000));
+            assert!(sim.stats().delivered_total().packets >= EVENTS);
+        },
+    )
+}
+
+fn lossy_jittered(reps: u32) -> Measured {
+    measure_sim(
+        "lossy_jittered_10k_events",
+        reps,
+        || {
+            let mut sim = Simulator::new(7);
+            sim.add_node(NodeId(0), Box::new(Echo { ttl: u32::MAX }));
+            sim.add_node(NodeId(1), Box::new(Echo { ttl: u32::MAX }));
+            sim.topology_mut().connect(
+                NodeId(0),
+                NodeId(1),
+                LinkParams::lossy(0.05).with_jitter(SimDuration::micros(3)),
+            );
+            for i in 0..EVENTS / 4 {
+                sim.inject(SimTime(i * 1000), ping());
+            }
+            sim
+        },
+        |sim| {
+            sim.run_until_quiescent(SimTime(10_000_000_000));
+        },
+    )
+}
+
+/// The nf-pipeline DDoS scenario: EWO counters with mirror multicast and
+/// periodic sync — the protocol path the zero-copy work targets.
+fn nf_ddos(reps: u32) -> Measured {
+    let build = || {
+        let cfg = DdosConfig {
+            row_regs: vec![0, 1, 2],
+            width: 2048,
+            total_reg: 3,
+            share_millis: 1001,
+            min_total: u64::MAX,
+            min_est: u64::MAX,
+            egress_host: NodeId(HOST_BASE),
+        };
+        let mut b = DeploymentBuilder::new(3).hosts(1);
+        for r in 0..3u16 {
+            b = b.register(RegisterSpec::ewo_counter(r, &format!("cm{r}"), 2048));
+        }
+        b = b.register(RegisterSpec::ewo_counter(3, "tot", 4));
+        let mut dep =
+            b.build(move |_| Box::new(DdosDetector::new(cfg.clone(), DdosStatsHandle::default())));
+        dep.settle();
+        dep
+    };
+    let mut best: Option<Measured> = None;
+    for _ in 0..reps {
+        let mut dep = build();
+        let pre_events = dep.sim.events_processed();
+        let t0 = dep.now();
+        for i in 0..500u64 {
+            dep.inject(
+                t0 + SimDuration::micros(i * 2),
+                (i % 3) as usize,
+                0,
+                DataPacket::udp(
+                    FlowKey::udp(
+                        Ipv4Addr::new(1, 1, 1, 1),
+                        (1000 + i) as u16,
+                        Ipv4Addr::new(20, 0, 0, (i % 200) as u8),
+                        80,
+                    ),
+                    0,
+                    64,
+                ),
+            );
+        }
+        let t = Instant::now();
+        dep.run_for(SimDuration::millis(30));
+        let wall_ns = t.elapsed().as_nanos() as u64;
+        let m = Measured {
+            name: "nf_ddos_500pkts_ewo_sync",
+            events: dep.sim.events_processed() - pre_events,
+            wall_ns,
+            peak_queue_depth: dep.sim.peak_queue_depth(),
+        };
+        if best.as_ref().map(|b| m.wall_ns < b.wall_ns).unwrap_or(true) {
+            best = Some(m);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Append `run` to the JSON array in `path` (creating it if missing).
+fn append_run(path: &str, run: Json) {
+    let rendered = run.pretty();
+    let entry: String = rendered
+        .trim_end()
+        .lines()
+        .map(|l| format!("  {l}\n"))
+        .collect();
+    let content = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) => {
+                    let head = head.trim_end();
+                    if head.ends_with('[') {
+                        format!("{head}\n{entry}]\n")
+                    } else {
+                        format!("{head},\n{entry}]\n")
+                    }
+                }
+                None => panic!("{path} exists but is not a JSON array; refusing to overwrite"),
+            }
+        }
+        Err(_) => format!("[\n{entry}]\n"),
+    };
+    std::fs::write(path, content).expect("write baseline json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let label = get("--label").unwrap_or_else(|| "current".to_string());
+    let out = get("--out").unwrap_or_else(|| "BENCH_simnet.json".to_string());
+    let reps: u32 = get("--reps").and_then(|r| r.parse().ok()).unwrap_or(5);
+
+    eprintln!("measuring engine baseline ({reps} reps per scenario) ...");
+    let scenarios = vec![ping_pong(reps), lossy_jittered(reps), nf_ddos(reps)];
+    for m in &scenarios {
+        eprintln!(
+            "  {:<28} {:>12.0} events/s  {:>8.1} ns/event  peak queue {}",
+            m.name,
+            m.events_per_sec(),
+            m.ns_per_event(),
+            m.peak_queue_depth
+        );
+    }
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let run = Json::obj(vec![
+        ("label", Json::str(&label)),
+        ("unix_time", Json::from(unix_secs)),
+        (
+            "scenarios",
+            Json::Arr(scenarios.iter().map(Measured::to_json).collect()),
+        ),
+    ]);
+    append_run(&out, run);
+    eprintln!("appended run '{label}' to {out}");
+}

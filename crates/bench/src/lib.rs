@@ -17,6 +17,7 @@
 #![allow(clippy::field_reassign_with_default)] // experiment configs read clearer as sequential overrides
 
 pub mod experiments;
+pub mod json;
 pub mod scenarios;
 pub mod table;
 

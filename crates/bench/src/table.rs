@@ -1,9 +1,9 @@
 //! Text-table rendering and JSON export for experiment results.
 
-use serde::Serialize;
+use crate::json::Json;
 
 /// One rendered table of an experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table caption.
     pub title: String,
@@ -62,10 +62,30 @@ impl Table {
         }
         out
     }
+
+    /// JSON form (mirrors the old derive-based serialization shape).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("title", Json::str(&self.title)),
+            (
+                "headers",
+                Json::Arr(self.headers.iter().map(Json::str).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(Json::str).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// The full result of one experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id ("E1" ... "E14").
     pub id: String,
@@ -99,6 +119,29 @@ impl ExperimentResult {
         }
         out
     }
+
+    /// JSON form (mirrors the old derive-based serialization shape).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(&self.id)),
+            ("title", Json::str(&self.title)),
+            ("paper_anchor", Json::str(&self.paper_anchor)),
+            ("expectation", Json::str(&self.expectation)),
+            (
+                "tables",
+                Json::Arr(self.tables.iter().map(Table::to_json).collect()),
+            ),
+            (
+                "findings",
+                Json::Arr(self.findings.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Pretty-printed JSON export of a full experiment run.
+pub fn results_to_json(results: &[ExperimentResult]) -> String {
+    Json::Arr(results.iter().map(ExperimentResult::to_json).collect()).pretty()
 }
 
 /// Format a float compactly.

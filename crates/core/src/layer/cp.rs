@@ -222,7 +222,7 @@ impl SwishCp {
                 chunks.push(SnapshotChunk {
                     reg,
                     origin: self.me,
-                    entries: vec![],
+                    entries: vec![].into(),
                     last: false,
                 });
                 continue;
@@ -231,7 +231,7 @@ impl SwishCp {
                 chunks.push(SnapshotChunk {
                     reg,
                     origin: self.me,
-                    entries: slice.to_vec(),
+                    entries: slice.into(),
                     last: false,
                 });
             }
@@ -240,7 +240,7 @@ impl SwishCp {
             chunks.push(SnapshotChunk {
                 reg: 0,
                 origin: self.me,
-                entries: vec![],
+                entries: vec![].into(),
                 last: true,
             });
         } else {

@@ -295,7 +295,7 @@ impl SwishProgram {
                 PacketBody::Swish(SwishMsg::Sync(SyncUpdate {
                     reg,
                     origin: self.me,
-                    entries,
+                    entries: entries.into(),
                 })),
             );
         }
@@ -527,7 +527,7 @@ impl SwishProgram {
                 PacketBody::Swish(SwishMsg::Sync(SyncUpdate {
                     reg,
                     origin: self.me,
-                    entries,
+                    entries: entries.into(),
                 })),
             );
         }
@@ -564,19 +564,21 @@ impl SwishProgram {
 }
 
 impl DataPlaneProgram for SwishProgram {
-    fn on_packet(&mut self, pkt: &Packet, dp: &mut DpView<'_>, eff: &mut Effects) {
-        match &pkt.body {
-            PacketBody::Data(d) => self.handle_data(*d, pkt.src, true, dp, eff),
+    fn on_packet(&mut self, pkt: Packet, dp: &mut DpView<'_>, eff: &mut Effects) {
+        match pkt.body {
+            PacketBody::Data(d) => self.handle_data(d, pkt.src, true, dp, eff),
             PacketBody::Swish(msg) => match msg {
-                SwishMsg::Write(req) => self.on_chain_write(*req, dp, eff),
-                SwishMsg::Clear(c) => self.on_clear(*c, dp),
-                SwishMsg::Sync(u) => self.on_sync(u, dp),
+                SwishMsg::Write(req) => self.on_chain_write(req, dp, eff),
+                SwishMsg::Clear(c) => self.on_clear(c, dp),
+                SwishMsg::Sync(u) => self.on_sync(&u, dp),
                 SwishMsg::ReadForward(rf) => {
                     self.metrics.tail_reads_served += 1;
                     self.handle_data(rf.inner, rf.origin, false, dp, eff);
                 }
-                SwishMsg::SnapChunk(ch) => self.on_snap_chunk(ch, dp, eff),
-                other => eff.punt(CpItem::Proto(other.clone())),
+                SwishMsg::SnapChunk(ch) => self.on_snap_chunk(&ch, dp, eff),
+                // Control-plane messages move into the punt item whole —
+                // the punt path never deep-copies.
+                other => eff.punt(CpItem::Proto(other)),
             },
         }
     }

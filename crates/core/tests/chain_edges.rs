@@ -59,7 +59,7 @@ fn deliver(r: &mut Rig, pkt: Packet) -> Vec<Effect> {
     let mut eff = Effects::new();
     {
         let mut view = DpView::new(&mut r.dp, SimTime(1_000));
-        r.prog.on_packet(&pkt, &mut view, &mut eff);
+        r.prog.on_packet(pkt, &mut view, &mut eff);
     }
     eff.drain().collect()
 }

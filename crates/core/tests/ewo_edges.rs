@@ -60,7 +60,7 @@ fn deliver(r: &mut Rig, pkt: Packet, at_ns: u64) -> Vec<Effect> {
     let mut eff = Effects::new();
     {
         let mut view = DpView::new(&mut r.dp, SimTime(at_ns));
-        r.prog.on_packet(&pkt, &mut view, &mut eff);
+        r.prog.on_packet(pkt, &mut view, &mut eff);
     }
     eff.drain().collect()
 }
@@ -98,7 +98,7 @@ fn sync(origin: u16, entries: Vec<SyncEntry>) -> Packet {
         SwishMsg::Sync(SyncUpdate {
             reg: 0,
             origin: NodeId(origin),
-            entries,
+            entries: entries.into(),
         }),
     )
 }

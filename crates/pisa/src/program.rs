@@ -133,8 +133,9 @@ impl Effects {
 /// the engine may run the same program on several switches and the
 /// SwiShmem read-forwarding path assumes identical processing at the tail.
 pub trait DataPlaneProgram: 'static {
-    /// Process one packet.
-    fn on_packet(&mut self, pkt: &swishmem_wire::Packet, dp: &mut DpView<'_>, eff: &mut Effects);
+    /// Process one packet. The program owns the packet: punting or
+    /// re-emitting it is a move, never a deep copy.
+    fn on_packet(&mut self, pkt: swishmem_wire::Packet, dp: &mut DpView<'_>, eff: &mut Effects);
 
     /// A packet-generator tick fired (§7's "periodic background task ...
     /// using the switch's packet generator"). `token` identifies which

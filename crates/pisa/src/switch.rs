@@ -220,7 +220,7 @@ impl<P: DataPlaneProgram, C: ControlApp> Node for Switch<P, C> {
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         self.stats.pipeline_packets += 1;
-        self.run_program(ctx, |p, dp, eff| p.on_packet(&pkt, dp, eff));
+        self.run_program(ctx, |p, dp, eff| p.on_packet(pkt, dp, eff));
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
@@ -255,7 +255,7 @@ impl<P: DataPlaneProgram, C: ControlApp> Node for Switch<P, C> {
                         body,
                     };
                     self.stats.pipeline_packets += 1;
-                    self.run_program(ctx, |p, dp, eff| p.on_packet(&pkt, dp, eff));
+                    self.run_program(ctx, |p, dp, eff| p.on_packet(pkt, dp, eff));
                 }
             }
             _ => {}
@@ -310,9 +310,9 @@ mod tests {
         next: NodeId,
     }
     impl DataPlaneProgram for CountAndForward {
-        fn on_packet(&mut self, pkt: &Packet, dp: &mut DpView<'_>, eff: &mut Effects) {
+        fn on_packet(&mut self, pkt: Packet, dp: &mut DpView<'_>, eff: &mut Effects) {
             dp.reg_add(self.reg, 0, 1);
-            eff.forward(self.next, pkt.body.clone());
+            eff.forward(self.next, pkt.body);
         }
     }
 
@@ -349,8 +349,8 @@ mod tests {
     /// Punts every packet; the CP echoes it out after the CP costs.
     struct PuntAll;
     impl DataPlaneProgram for PuntAll {
-        fn on_packet(&mut self, pkt: &Packet, _dp: &mut DpView<'_>, eff: &mut Effects) {
-            eff.punt(pkt.clone());
+        fn on_packet(&mut self, pkt: Packet, _dp: &mut DpView<'_>, eff: &mut Effects) {
+            eff.punt(pkt); // moved, not cloned: the pipeline owns the packet
         }
     }
     struct EchoCp {
@@ -401,12 +401,12 @@ mod tests {
         next: NodeId,
     }
     impl DataPlaneProgram for RecircOnce {
-        fn on_packet(&mut self, pkt: &Packet, _dp: &mut DpView<'_>, eff: &mut Effects) {
+        fn on_packet(&mut self, pkt: Packet, _dp: &mut DpView<'_>, eff: &mut Effects) {
             if pkt.src == pkt.dst {
                 // second pass
-                eff.forward(self.next, pkt.body.clone());
+                eff.forward(self.next, pkt.body);
             } else {
-                eff.recirculate(pkt.body.clone());
+                eff.recirculate(pkt.body);
             }
         }
     }
@@ -439,7 +439,7 @@ mod tests {
         reg: RegHandle,
     }
     impl DataPlaneProgram for TickCounter {
-        fn on_packet(&mut self, _pkt: &Packet, _dp: &mut DpView<'_>, _eff: &mut Effects) {}
+        fn on_packet(&mut self, _pkt: Packet, _dp: &mut DpView<'_>, _eff: &mut Effects) {}
         fn on_pktgen(&mut self, token: u64, dp: &mut DpView<'_>, _eff: &mut Effects) {
             dp.reg_add(self.reg, token as usize, 1);
         }

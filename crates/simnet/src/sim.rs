@@ -6,6 +6,13 @@
 //! guaranteed by (a) a total order on events — `(time, insertion seq)` —
 //! and (b) a single engine-owned RNG consumed only during deterministic
 //! event processing.
+//!
+//! Hot-path layout: event payloads live in a slab and the priority queue
+//! orders flat `(time, seq, slab index)` triples, so heap sifts move
+//! 24-byte entries instead of full packets; node ids resolve through a
+//! dense index table instead of a hash map; and per-dispatch command
+//! buffers are pooled. See DESIGN.md's "Performance model" for the
+//! measurements behind these choices.
 
 use crate::ctx::{Command, Ctx, GroupId};
 use crate::node::Node;
@@ -16,8 +23,6 @@ use crate::trace::TraceHandle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use swishmem_wire::{NodeId, Packet, PacketBody};
 
 /// Blanket `Any`-access helper so the engine can hand out typed references
@@ -60,35 +65,127 @@ enum EventKind {
         b: NodeId,
         down: bool,
     },
+    /// Slab slot whose payload was popped (free-listed).
+    Vacant,
 }
 
-struct Event {
-    time: SimTime,
+/// Flat heap entry: the payload stays in the slab, so sifting moves 24
+/// bytes regardless of how large the packet inside the event is.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    time: u64,
     seq: u64,
-    kind: EventKind,
+    idx: u32,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.time, self.seq)
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Binary min-heap over `(time, seq)` with slab-allocated payloads.
+///
+/// Chosen over a timer wheel by measurement: event delays span nanosecond
+/// serialization gaps to millisecond CP timers (six orders of magnitude),
+/// which a wheel only covers hierarchically, and flattening the heap
+/// entries already removes the dominant cost (moving packet-sized events
+/// during sifts).
+#[derive(Default)]
+struct EventQueue {
+    heap: Vec<HeapEntry>,
+    slab: Vec<EventKind>,
+    free: Vec<u32>,
 }
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+impl EventQueue {
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|e| SimTime(e.time))
+    }
+
+    fn push(&mut self, time: SimTime, seq: u64, kind: EventKind) {
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = kind;
+                i
+            }
+            None => {
+                self.slab.push(kind);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.heap.push(HeapEntry {
+            time: time.nanos(),
+            seq,
+            idx,
+        });
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        let n = self.heap.len();
+        if n == 0 {
+            return None;
+        }
+        self.heap.swap(0, n - 1);
+        let top = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        let kind = std::mem::replace(&mut self.slab[top.idx as usize], EventKind::Vacant);
+        self.free.push(top.idx);
+        Some((SimTime(top.time), kind))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let e = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].key() <= e.key() {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = e;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        let e = self.heap[i];
+        loop {
+            let mut child = 2 * i + 1;
+            if child >= n {
+                break;
+            }
+            if child + 1 < n && self.heap[child + 1].key() < self.heap[child].key() {
+                child += 1;
+            }
+            if e.key() <= self.heap[child].key() {
+                break;
+            }
+            self.heap[i] = self.heap[child];
+            i = child;
+        }
+        self.heap[i] = e;
     }
 }
 
 struct NodeSlot {
+    id: NodeId,
     node: Box<dyn NodeObj>,
     failed: bool,
 }
+
+/// Sentinel in the id -> slot table.
+const ABSENT: u32 = u32::MAX;
 
 /// Object-safe supertrait combining [`Node`] and [`AsAny`].
 pub trait NodeObj: Node + AsAny {}
@@ -98,15 +195,22 @@ impl<T: Node + AsAny> NodeObj for T {}
 pub struct Simulator {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<Event>>,
-    nodes: HashMap<NodeId, NodeSlot>,
+    queue: EventQueue,
+    /// `NodeId.0` -> slot in `nodes` (`ABSENT` when unregistered).
+    node_index: Vec<u32>,
+    nodes: Vec<NodeSlot>,
     topo: Topology,
     rng: StdRng,
     stats: NetStats,
     started: bool,
     events_processed: u64,
+    peak_queue_depth: usize,
     trace: Option<TraceHandle>,
     wire_check: bool,
+    /// Pooled command buffer reused across dispatches.
+    cmd_scratch: Vec<Command>,
+    /// Pooled member buffer reused across multicast/anycast fan-outs.
+    member_scratch: Vec<NodeId>,
 }
 
 impl Simulator {
@@ -115,15 +219,19 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
-            nodes: HashMap::new(),
+            queue: EventQueue::default(),
+            node_index: Vec::new(),
+            nodes: Vec::new(),
             topo: Topology::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
             started: false,
             events_processed: 0,
+            peak_queue_depth: 0,
             trace: None,
             wire_check: false,
+            cmd_scratch: Vec::new(),
+            member_scratch: Vec::new(),
         }
     }
 
@@ -143,14 +251,26 @@ impl Simulator {
 
     /// Register a node under `id`. Panics if `id` is already taken.
     pub fn add_node(&mut self, id: NodeId, node: Box<dyn NodeObj>) {
-        let prev = self.nodes.insert(
+        let i = id.index();
+        if i >= self.node_index.len() {
+            self.node_index.resize(i + 1, ABSENT);
+        }
+        assert!(self.node_index[i] == ABSENT, "duplicate node id {id}");
+        self.node_index[i] = self.nodes.len() as u32;
+        self.nodes.push(NodeSlot {
             id,
-            NodeSlot {
-                node,
-                failed: false,
-            },
-        );
-        assert!(prev.is_none(), "duplicate node id {id}");
+            node,
+            failed: false,
+        });
+    }
+
+    /// Slot index of `id`, if registered.
+    #[inline]
+    fn slot_of(&self, id: NodeId) -> Option<usize> {
+        match self.node_index.get(id.index()) {
+            Some(&s) if s != ABSENT => Some(s as usize),
+            _ => None,
+        }
     }
 
     /// Mutable access to the topology (add links/groups before or during a
@@ -174,6 +294,11 @@ impl Simulator {
         self.events_processed
     }
 
+    /// High-water mark of the pending event queue.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue_depth
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats
@@ -188,27 +313,28 @@ impl Simulator {
     pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
         // Deref through the Box explicitly: the blanket AsAny impl would
         // otherwise resolve on `Box<dyn NodeObj>` itself.
-        self.nodes
-            .get(&id)
-            .and_then(|s| (*s.node).as_any().downcast_ref())
+        self.slot_of(id)
+            .and_then(|s| (*self.nodes[s].node).as_any().downcast_ref())
     }
 
     /// Typed mutable access to a node.
     pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
-        self.nodes
-            .get_mut(&id)
-            .and_then(|s| (*s.node).as_any_mut().downcast_mut())
+        let s = self.slot_of(id)?;
+        (*self.nodes[s].node).as_any_mut().downcast_mut()
     }
 
     /// Whether `id` is currently failed.
     pub fn is_failed(&self, id: NodeId) -> bool {
-        self.nodes.get(&id).map(|s| s.failed).unwrap_or(false)
+        self.slot_of(id)
+            .map(|s| self.nodes[s].failed)
+            .unwrap_or(false)
     }
 
     fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Event { time, seq, kind }));
+        self.queue.push(time, seq, kind);
+        self.peak_queue_depth = self.peak_queue_depth.max(self.queue.len());
     }
 
     /// Schedule delivery of `pkt` to `pkt.dst` at absolute time `t`,
@@ -248,22 +374,27 @@ impl Simulator {
             return;
         }
         self.started = true;
-        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
-        ids.sort(); // deterministic start order
-        for id in ids {
-            self.dispatch(id, |node, ctx| node.on_start(ctx));
+        let mut order: Vec<(NodeId, usize)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(s, n)| (n.id, s))
+            .collect();
+        order.sort(); // deterministic start order
+        for (_, slot) in order {
+            self.dispatch(slot, |node, ctx| node.on_start(ctx));
         }
     }
 
     /// Run until simulated time reaches `t` (inclusive of events at `t`).
     pub fn run_until(&mut self, t: SimTime) {
         self.start();
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.time > t {
+        while let Some(et) = self.queue.peek_time() {
+            if et > t {
                 break;
             }
-            let Reverse(ev) = self.heap.pop().unwrap();
-            self.process(ev);
+            let (time, kind) = self.queue.pop().expect("peeked");
+            self.process(time, kind);
         }
         self.now = self.now.max(t);
     }
@@ -278,37 +409,36 @@ impl Simulator {
     /// final simulated time.
     pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
         self.start();
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.time > limit {
+        while let Some(et) = self.queue.peek_time() {
+            if et > limit {
                 self.now = limit;
                 return self.now;
             }
-            let Reverse(ev) = self.heap.pop().unwrap();
-            self.process(ev);
+            let (time, kind) = self.queue.pop().expect("peeked");
+            self.process(time, kind);
         }
         self.now
     }
 
-    fn process(&mut self, ev: Event) {
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
+    fn process(&mut self, time: SimTime, kind: EventKind) {
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
         self.events_processed += 1;
-        match ev.kind {
+        match kind {
             EventKind::Deliver { to, pkt, corrupt } => {
-                let dst = to;
-                match self.nodes.get(&dst) {
+                match self.slot_of(to) {
                     None => {
                         self.stats.record_drop(DropReason::NoRoute, pkt.wire_len());
                     }
-                    Some(slot) if slot.failed => {
+                    Some(slot) if self.nodes[slot].failed => {
                         self.stats.record_drop(DropReason::NodeDown, pkt.wire_len());
                     }
-                    Some(_) if corrupt => {
+                    Some(slot) if corrupt => {
                         self.stats.record_drop(DropReason::Corrupt, pkt.wire_len());
-                        self.dispatch(dst, |node, ctx| node.on_corrupt_packet(pkt, ctx));
+                        self.dispatch(slot, |node, ctx| node.on_corrupt_packet(pkt, ctx));
                     }
-                    Some(_) => {
-                        self.stats.record_delivery(&pkt, dst, pkt.wire_len());
+                    Some(slot) => {
+                        self.stats.record_delivery(&pkt, to, pkt.wire_len());
                         if self.wire_check {
                             let bytes = pkt.to_bytes();
                             assert_eq!(bytes.len(), pkt.wire_len(), "wire_len drift: {pkt:?}");
@@ -327,92 +457,103 @@ impl Simulator {
                         if let Some(trace) = &self.trace {
                             trace.borrow_mut().record(self.now, &pkt);
                         }
-                        self.dispatch(dst, |node, ctx| node.on_packet(pkt, ctx));
+                        self.dispatch(slot, |node, ctx| node.on_packet(pkt, ctx));
                     }
                 }
             }
             EventKind::Timer { node, token } => {
-                if self.nodes.get(&node).map(|s| !s.failed).unwrap_or(false) {
-                    self.dispatch(node, |n, ctx| n.on_timer(token, ctx));
+                if let Some(slot) = self.slot_of(node) {
+                    if !self.nodes[slot].failed {
+                        self.dispatch(slot, |n, ctx| n.on_timer(token, ctx));
+                    }
                 }
             }
             EventKind::Fail { node } => {
-                if let Some(slot) = self.nodes.get_mut(&node) {
-                    if !slot.failed {
-                        slot.failed = true;
-                        slot.node.on_fail();
+                if let Some(slot) = self.slot_of(node) {
+                    let s = &mut self.nodes[slot];
+                    if !s.failed {
+                        s.failed = true;
+                        s.node.on_fail();
                     }
                 }
             }
             EventKind::Recover { node } => {
-                let was_failed = self
-                    .nodes
-                    .get_mut(&node)
-                    .map(|s| std::mem::replace(&mut s.failed, false));
-                if was_failed == Some(true) {
-                    self.dispatch(node, |n, ctx| n.on_start(ctx));
+                if let Some(slot) = self.slot_of(node) {
+                    if std::mem::replace(&mut self.nodes[slot].failed, false) {
+                        self.dispatch(slot, |n, ctx| n.on_start(ctx));
+                    }
                 }
             }
             EventKind::LinkSet { a, b, down } => {
                 self.topo.set_link_down(a, b, down);
             }
+            EventKind::Vacant => unreachable!("vacant slab slot in the event queue"),
         }
     }
 
-    /// Run a node callback and apply the commands it issued.
-    fn dispatch<F>(&mut self, id: NodeId, f: F)
+    /// Run a node callback and apply the commands it issued. The command
+    /// buffer is pooled: steady-state dispatches allocate nothing.
+    fn dispatch<F>(&mut self, slot: usize, f: F)
     where
         F: FnOnce(&mut dyn NodeObj, &mut Ctx<'_>),
     {
-        let mut commands = Vec::new();
+        let mut commands = std::mem::take(&mut self.cmd_scratch);
+        debug_assert!(commands.is_empty());
+        let id = self.nodes[slot].id;
         {
-            let slot = match self.nodes.get_mut(&id) {
-                Some(s) => s,
-                None => return,
-            };
             let mut ctx = Ctx {
                 now: self.now,
                 node: id,
                 rng: &mut self.rng,
                 commands: &mut commands,
             };
-            f(slot.node.as_mut(), &mut ctx);
+            f(self.nodes[slot].node.as_mut(), &mut ctx);
         }
-        for cmd in commands {
+        for cmd in commands.drain(..) {
             self.apply(id, cmd);
         }
+        self.cmd_scratch = commands;
+    }
+
+    /// Collect `group` members other than `from` into the pooled member
+    /// buffer; the caller must hand the buffer back afterwards.
+    fn take_members(&mut self, group: GroupId, from: NodeId) -> Vec<NodeId> {
+        let mut members = std::mem::take(&mut self.member_scratch);
+        members.clear();
+        members.extend(
+            self.topo
+                .group(group)
+                .iter()
+                .copied()
+                .filter(|&m| m != from),
+        );
+        members
     }
 
     fn apply(&mut self, from: NodeId, cmd: Command) {
         match cmd {
             Command::Send { to, body } => self.transmit(from, to, body),
             Command::Multicast { group, body } => {
-                let members: Vec<NodeId> = self
-                    .topo
-                    .group(group)
-                    .iter()
-                    .copied()
-                    .filter(|&m| m != from)
-                    .collect();
-                for m in members {
+                let members = self.take_members(group, from);
+                for &m in &members {
+                    // Fan-out clones are reference-count bumps for the
+                    // shared message bodies (see `swishmem_wire::Shared`).
                     self.transmit(from, m, body.clone());
                 }
+                self.member_scratch = members;
             }
             Command::Timer { delay, token } => {
                 let t = self.now + delay;
                 self.push(t, EventKind::Timer { node: from, token });
             }
             Command::SendRandom { group, body } => {
-                let candidates: Vec<NodeId> = self
-                    .topo
-                    .group(group)
-                    .iter()
-                    .copied()
-                    .filter(|&m| m != from)
-                    .collect();
+                let candidates = self.take_members(group, from);
                 if !candidates.is_empty() {
                     let pick = candidates[self.rng.gen_range(0..candidates.len())];
+                    self.member_scratch = candidates;
                     self.transmit(from, pick, body);
+                } else {
+                    self.member_scratch = candidates;
                 }
             }
             Command::SetGroup { group, members } => {
@@ -436,26 +577,24 @@ impl Simulator {
         let bytes = pkt.wire_len();
         // A failed source cannot transmit (its events shouldn't fire, but a
         // command applied the instant of failure is also suppressed).
-        if self.nodes.get(&from).map(|s| s.failed).unwrap_or(false) {
+        if self
+            .slot_of(from)
+            .map(|s| self.nodes[s].failed)
+            .unwrap_or(false)
+        {
             self.stats.record_drop(DropReason::NodeDown, bytes);
             return;
         }
-        // Resolve the next hop: direct link, or a static route through a
-        // relay (leaf-spine fabrics).
-        let hop = match self.topo.next_hop(from, to) {
-            Some(h) => h,
+        // Resolve the next hop (direct link, or a static route through a
+        // relay in leaf-spine fabrics) and the outgoing link in one pass.
+        let (hop, link_ref) = match self.topo.resolve(from, to) {
+            Some(r) => r,
             None => {
                 self.stats.record_drop(DropReason::NoRoute, bytes);
                 return;
             }
         };
-        let link = match self.topo.link_mut(from, hop) {
-            Some(l) => l,
-            None => {
-                self.stats.record_drop(DropReason::NoRoute, bytes);
-                return;
-            }
-        };
+        let link = self.topo.link_at(link_ref);
         if link.state.down {
             self.stats.record_drop(DropReason::LinkDown, bytes);
             return;
@@ -472,8 +611,11 @@ impl Simulator {
             SimDuration::ZERO
         };
         let corrupt = params.corrupt_prob > 0.0 && self.rng.gen::<f64>() < params.corrupt_prob;
-        let link = self.topo.link_mut(from, hop).expect("link vanished");
-        if let Some(arrival) = link.transmit(self.now, bytes, jitter) {
+        if let Some(arrival) = self
+            .topo
+            .link_at_mut(link_ref)
+            .transmit(self.now, bytes, jitter)
+        {
             self.push(
                 arrival,
                 EventKind::Deliver {

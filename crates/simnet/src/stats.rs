@@ -5,7 +5,54 @@
 //! every message type.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use swishmem_wire::{NodeId, Packet, PacketBody, SwishMsg};
+
+/// Multiply-and-rotate hasher (FxHash-style) for the small integer keys
+/// used below. `record_delivery` runs once per delivered frame, so the
+/// default SipHash cost dominates otherwise.
+#[derive(Default)]
+struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// Traffic classes, for attribution of bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,41 +139,53 @@ pub enum DropReason {
     Corrupt,
 }
 
+impl DropReason {
+    /// All reasons, for iteration in reports (and counter-array sizing).
+    pub const ALL: [DropReason; 5] = [
+        DropReason::Loss,
+        DropReason::NoRoute,
+        DropReason::NodeDown,
+        DropReason::LinkDown,
+        DropReason::Corrupt,
+    ];
+}
+
 /// Aggregate simulation statistics.
+///
+/// Per-class and per-reason counters are flat arrays indexed by the enum
+/// discriminant; only the per-link and per-node breakdowns (unbounded key
+/// spaces) stay in hash maps, behind the cheap hasher above.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    delivered: HashMap<TrafficClass, Counter>,
-    dropped: HashMap<DropReason, Counter>,
-    per_link: HashMap<(NodeId, NodeId), Counter>,
-    per_node_rx: HashMap<NodeId, Counter>,
+    delivered: [Counter; TrafficClass::ALL.len()],
+    dropped: [Counter; DropReason::ALL.len()],
+    per_link: FxMap<(NodeId, NodeId), Counter>,
+    per_node_rx: FxMap<NodeId, Counter>,
 }
 
 impl NetStats {
     /// Record a successful delivery of `pkt` at hop `to` (equal to
     /// `pkt.dst` except when a relay forwards the frame).
     pub(crate) fn record_delivery(&mut self, pkt: &Packet, to: NodeId, bytes: usize) {
-        self.delivered
-            .entry(TrafficClass::of(pkt))
-            .or_default()
-            .add(bytes);
+        self.delivered[TrafficClass::of(pkt) as usize].add(bytes);
         self.per_link.entry((pkt.src, to)).or_default().add(bytes);
         self.per_node_rx.entry(to).or_default().add(bytes);
     }
 
     /// Record a drop.
     pub(crate) fn record_drop(&mut self, reason: DropReason, bytes: usize) {
-        self.dropped.entry(reason).or_default().add(bytes);
+        self.dropped[reason as usize].add(bytes);
     }
 
     /// Delivered counter for one traffic class.
     pub fn delivered(&self, class: TrafficClass) -> Counter {
-        self.delivered.get(&class).copied().unwrap_or_default()
+        self.delivered[class as usize]
     }
 
     /// Total delivered across all classes.
     pub fn delivered_total(&self) -> Counter {
         let mut total = Counter::default();
-        for c in self.delivered.values() {
+        for c in &self.delivered {
             total.packets += c.packets;
             total.bytes += c.bytes;
         }
@@ -135,7 +194,7 @@ impl NetStats {
 
     /// Dropped counter for one reason.
     pub fn dropped(&self, reason: DropReason) -> Counter {
-        self.dropped.get(&reason).copied().unwrap_or_default()
+        self.dropped[reason as usize]
     }
 
     /// Bytes delivered over the directed link `src -> dst`.
@@ -150,8 +209,8 @@ impl NetStats {
 
     /// Reset all counters (used to scope measurements to a window).
     pub fn reset(&mut self) {
-        self.delivered.clear();
-        self.dropped.clear();
+        self.delivered = Default::default();
+        self.dropped = Default::default();
         self.per_link.clear();
         self.per_node_rx.clear();
     }
@@ -208,7 +267,7 @@ mod tests {
             SwishMsg::Sync(SyncUpdate {
                 reg: 0,
                 origin: NodeId(0),
-                entries: vec![],
+                entries: vec![].into(),
             }),
         );
         let h = Packet::swish(

@@ -1,19 +1,44 @@
 //! Network topology: the directed-link table and multicast groups.
+//!
+//! Node ids are interned into dense indices on first use, and links hang
+//! off a per-source adjacency row, so the per-transmit lookups the engine
+//! does (`resolve` + `link_at_mut`) are array indexing plus a short scan
+//! of the source's neighbors — no hashing on the hot path. The public
+//! API is expressed entirely in `NodeId`s; the dense scheme is an
+//! internal representation.
 
 use crate::ctx::GroupId;
 use crate::link::{Link, LinkParams};
-use std::collections::HashMap;
 use swishmem_wire::NodeId;
+
+/// Sentinel in the id -> dense-index table.
+const ABSENT: u32 = u32::MAX;
+
+/// A resolved position of a directed link: the source's dense index and
+/// the slot within its adjacency row. Lets the engine re-access the same
+/// link in O(1) after RNG draws without repeating the search.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkRef {
+    src: u32,
+    slot: u32,
+}
 
 /// The set of links and multicast groups of a simulation.
 #[derive(Debug, Default)]
 pub struct Topology {
-    links: HashMap<(NodeId, NodeId), Link>,
-    groups: HashMap<GroupId, Vec<NodeId>>,
-    /// Static next-hop routes for node pairs without a direct link:
-    /// `(src, dst) -> via`. The frame is transmitted over `src -> via`
-    /// with its final destination intact; a relay node at `via` forwards.
-    routes: HashMap<(NodeId, NodeId), NodeId>,
+    /// `NodeId.0` -> dense index (`ABSENT` when the id was never seen).
+    index: Vec<u32>,
+    /// Dense index -> `NodeId` (reverse of `index`).
+    ids: Vec<NodeId>,
+    /// Per-source adjacency row: `(dense dst, link)`.
+    adj: Vec<Vec<(u32, Link)>>,
+    /// Static next-hop routes for node pairs without a direct link, per
+    /// source: `(dense dst, dense via)`. The frame is transmitted over
+    /// `src -> via` with its final destination intact; a relay node at
+    /// `via` forwards.
+    routes: Vec<Vec<(u32, u32)>>,
+    /// Multicast groups (few per simulation; linear scan).
+    groups: Vec<(GroupId, Vec<NodeId>)>,
 }
 
 impl Topology {
@@ -22,9 +47,40 @@ impl Topology {
         Topology::default()
     }
 
+    /// Intern `id`, growing the tables as needed.
+    fn dense(&mut self, id: NodeId) -> u32 {
+        let i = id.index();
+        if i >= self.index.len() {
+            self.index.resize(i + 1, ABSENT);
+        }
+        if self.index[i] != ABSENT {
+            return self.index[i];
+        }
+        let d = self.ids.len() as u32;
+        self.index[i] = d;
+        self.ids.push(id);
+        self.adj.push(Vec::new());
+        self.routes.push(Vec::new());
+        d
+    }
+
+    #[inline]
+    fn lookup(&self, id: NodeId) -> Option<u32> {
+        match self.index.get(id.index()) {
+            Some(&d) if d != ABSENT => Some(d),
+            _ => None,
+        }
+    }
+
     /// Add a one-directional link `src -> dst`. Replaces any existing link.
     pub fn add_link(&mut self, src: NodeId, dst: NodeId, params: LinkParams) {
-        self.links.insert((src, dst), Link::new(params));
+        let s = self.dense(src);
+        let d = self.dense(dst);
+        let row = &mut self.adj[s as usize];
+        match row.iter_mut().find(|(x, _)| *x == d) {
+            Some((_, l)) => *l = Link::new(params),
+            None => row.push((d, Link::new(params))),
+        }
     }
 
     /// Add links in both directions with the same parameters.
@@ -58,37 +114,58 @@ impl Topology {
 
     /// Look up the directed link `src -> dst`.
     pub fn link_mut(&mut self, src: NodeId, dst: NodeId) -> Option<&mut Link> {
-        self.links.get_mut(&(src, dst))
+        let s = self.lookup(src)?;
+        let d = self.lookup(dst)?;
+        self.adj[s as usize]
+            .iter_mut()
+            .find(|(x, _)| *x == d)
+            .map(|(_, l)| l)
     }
 
     /// Look up the directed link `src -> dst` (read-only).
     pub fn link(&self, src: NodeId, dst: NodeId) -> Option<&Link> {
-        self.links.get(&(src, dst))
+        let s = self.lookup(src)?;
+        let d = self.lookup(dst)?;
+        self.adj[s as usize]
+            .iter()
+            .find(|(x, _)| *x == d)
+            .map(|(_, l)| l)
     }
 
     /// Mark the duplex link between `a` and `b` up or down.
     pub fn set_link_down(&mut self, a: NodeId, b: NodeId, down: bool) {
-        if let Some(l) = self.links.get_mut(&(a, b)) {
+        let (sa, sb) = match (self.lookup(a), self.lookup(b)) {
+            (Some(sa), Some(sb)) => (sa, sb),
+            _ => return,
+        };
+        if let Some((_, l)) = self.adj[sa as usize].iter_mut().find(|(x, _)| *x == sb) {
             l.state.down = down;
         }
-        if let Some(l) = self.links.get_mut(&(b, a)) {
+        if let Some((_, l)) = self.adj[sb as usize].iter_mut().find(|(x, _)| *x == sa) {
             l.state.down = down;
         }
     }
 
     /// Define (or redefine) a multicast group's membership.
     pub fn set_group(&mut self, group: GroupId, members: Vec<NodeId>) {
-        self.groups.insert(group, members);
+        match self.groups.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, m)) => *m = members,
+            None => self.groups.push((group, members)),
+        }
     }
 
     /// Current members of a group (empty if undefined).
     pub fn group(&self, group: GroupId) -> &[NodeId] {
-        self.groups.get(&group).map(Vec::as_slice).unwrap_or(&[])
+        self.groups
+            .iter()
+            .find(|(g, _)| *g == group)
+            .map(|(_, m)| m.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Remove one member from a group (e.g. a failed switch, §6.3).
     pub fn remove_from_group(&mut self, group: GroupId, node: NodeId) {
-        if let Some(members) = self.groups.get_mut(&group) {
+        if let Some((_, members)) = self.groups.iter_mut().find(|(g, _)| *g == group) {
             members.retain(|&m| m != node);
         }
     }
@@ -96,17 +173,72 @@ impl Topology {
     /// Install a static route: frames from `src` to `dst` take the link
     /// toward `via` (which must itself have a link or route onward).
     pub fn set_route(&mut self, src: NodeId, dst: NodeId, via: NodeId) {
-        self.routes.insert((src, dst), via);
+        let s = self.dense(src);
+        let d = self.dense(dst);
+        let v = self.dense(via);
+        let row = &mut self.routes[s as usize];
+        match row.iter_mut().find(|(x, _)| *x == d) {
+            Some((_, r)) => *r = v,
+            None => row.push((d, v)),
+        }
     }
 
     /// Next hop for `src -> dst`: the direct link if present, else the
     /// configured route, else `None`.
     pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
-        if self.links.contains_key(&(src, dst)) {
-            Some(dst)
-        } else {
-            self.routes.get(&(src, dst)).copied()
+        self.resolve(src, dst).map(|(hop, _)| hop).or_else(|| {
+            // `resolve` additionally requires the src->via link to exist;
+            // `next_hop` reports the configured route regardless (the
+            // caller's link lookup then fails, as before).
+            let s = self.lookup(src)?;
+            let d = self.lookup(dst)?;
+            self.routes[s as usize]
+                .iter()
+                .find(|(x, _)| *x == d)
+                .map(|&(_, v)| self.ids[v as usize])
+        })
+    }
+
+    /// Resolve `src -> dst` to the next hop plus the position of the
+    /// outgoing link, in a single pass (engine fast path).
+    pub(crate) fn resolve(&self, src: NodeId, dst: NodeId) -> Option<(NodeId, LinkRef)> {
+        let s = self.lookup(src)?;
+        let d = self.lookup(dst)?;
+        let row = &self.adj[s as usize];
+        if let Some(slot) = row.iter().position(|(x, _)| *x == d) {
+            return Some((
+                dst,
+                LinkRef {
+                    src: s,
+                    slot: slot as u32,
+                },
+            ));
         }
+        let via = self.routes[s as usize]
+            .iter()
+            .find(|(x, _)| *x == d)
+            .map(|&(_, v)| v)?;
+        let slot = row.iter().position(|(x, _)| *x == via)?;
+        Some((
+            self.ids[via as usize],
+            LinkRef {
+                src: s,
+                slot: slot as u32,
+            },
+        ))
+    }
+
+    /// O(1) access to a link previously located by [`Topology::resolve`].
+    #[inline]
+    pub(crate) fn link_at(&self, r: LinkRef) -> &Link {
+        &self.adj[r.src as usize][r.slot as usize].1
+    }
+
+    /// O(1) mutable access to a link previously located by
+    /// [`Topology::resolve`].
+    #[inline]
+    pub(crate) fn link_at_mut(&mut self, r: LinkRef) -> &mut Link {
+        &mut self.adj[r.src as usize][r.slot as usize].1
     }
 }
 
@@ -169,5 +301,33 @@ mod tests {
         t.set_link_down(NodeId(0), NodeId(1), true);
         assert!(t.link(NodeId(0), NodeId(1)).unwrap().state.down);
         assert!(t.link(NodeId(1), NodeId(0)).unwrap().state.down);
+    }
+
+    #[test]
+    fn routes_resolve_via_relay() {
+        let mut t = Topology::new();
+        t.connect(NodeId(0), NodeId(9), LinkParams::datacenter());
+        t.connect(NodeId(9), NodeId(1), LinkParams::datacenter());
+        t.set_route(NodeId(0), NodeId(1), NodeId(9));
+        assert_eq!(t.next_hop(NodeId(0), NodeId(1)), Some(NodeId(9)));
+        let (hop, r) = t.resolve(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(hop, NodeId(9));
+        assert!(!t.link_at(r).state.down);
+        // Direct links win over routes.
+        assert_eq!(t.next_hop(NodeId(0), NodeId(9)), Some(NodeId(9)));
+        // Unknown destinations resolve to nothing.
+        assert_eq!(t.next_hop(NodeId(0), NodeId(42)), None);
+        assert!(t.resolve(NodeId(0), NodeId(42)).is_none());
+    }
+
+    #[test]
+    fn replacing_a_link_resets_its_state() {
+        let mut t = Topology::new();
+        t.add_link(NodeId(0), NodeId(1), LinkParams::datacenter());
+        t.link_mut(NodeId(0), NodeId(1)).unwrap().state.down = true;
+        t.add_link(NodeId(0), NodeId(1), LinkParams::lossy(0.5));
+        let l = t.link(NodeId(0), NodeId(1)).unwrap();
+        assert!(!l.state.down);
+        assert_eq!(l.params.drop_prob, 0.5);
     }
 }

@@ -26,11 +26,13 @@ pub mod flow;
 pub mod ipv4;
 pub mod l4;
 pub mod packet;
+pub mod shared;
 pub mod swish;
 
 pub use error::WireError;
 pub use flow::FlowKey;
 pub use packet::{DataPacket, Packet, PacketBody};
+pub use shared::Shared;
 pub use swish::SwishMsg;
 
 /// Identifier of a node (switch, host, or controller) in the simulated

@@ -306,7 +306,8 @@ mod tests {
                     slot: 0,
                     version: 3,
                     value: 4,
-                }],
+                }]
+                .into(),
             }),
         )
     }

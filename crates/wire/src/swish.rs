@@ -21,6 +21,7 @@
 
 use crate::cursor::{Reader, Writer};
 use crate::packet::DataPacket;
+use crate::shared::Shared;
 use crate::{NodeId, WireError};
 
 /// Protocol version spoken by this library.
@@ -141,8 +142,9 @@ pub struct SyncUpdate {
     pub reg: RegId,
     /// Switch that sent this batch.
     pub origin: NodeId,
-    /// The entries.
-    pub entries: Vec<SyncEntry>,
+    /// The entries. Shared so multicast fan-out / mirroring clone by
+    /// reference-count bump; receivers must not mutate them in place.
+    pub entries: Shared<SyncEntry>,
 }
 
 /// Controller → control-plane request to stream a snapshot to `target`
@@ -175,8 +177,9 @@ pub struct SnapshotChunk {
     pub reg: RegId,
     /// Switch streaming the snapshot.
     pub origin: NodeId,
-    /// Entries in this chunk.
-    pub entries: Vec<SnapEntry>,
+    /// Entries in this chunk. Shared for the same zero-copy reason as
+    /// [`SyncUpdate::entries`].
+    pub entries: Shared<SnapEntry>,
     /// True on the final chunk of the final register.
     pub last: bool,
 }
@@ -473,7 +476,7 @@ impl SwishMsg {
                 SwishMsg::Sync(SyncUpdate {
                     reg,
                     origin,
-                    entries,
+                    entries: entries.into(),
                 })
             }
             TAG_SNAP_REQ => SwishMsg::SnapReq(SnapshotRequest {
@@ -496,7 +499,7 @@ impl SwishMsg {
                 SwishMsg::SnapChunk(SnapshotChunk {
                     reg,
                     origin,
-                    entries,
+                    entries: entries.into(),
                     last,
                 })
             }
@@ -612,7 +615,8 @@ mod tests {
                         version: 12,
                         value: 23,
                     },
-                ],
+                ]
+                .into(),
             }),
             SwishMsg::SnapReq(SnapshotRequest {
                 target: NodeId(6),
@@ -625,7 +629,8 @@ mod tests {
                     key: 3,
                     seq: 17,
                     value: 99,
-                }],
+                }]
+                .into(),
                 last: true,
             }),
             SwishMsg::CatchupDone(CatchupComplete {
@@ -731,7 +736,8 @@ mod tests {
                 slot: 0,
                 version: 1,
                 value: 1,
-            }],
+            }]
+            .into(),
         });
         let mut w = Writer::new();
         msg.encode(&mut w);

@@ -58,7 +58,8 @@ fn single_byte_mutations_never_panic() {
                 version: 30,
                 value: 40,
             },
-        ],
+        ]
+        .into(),
     });
     let pkt = Packet::swish(NodeId(0), NodeId(1), msg);
     let bytes = pkt.to_bytes();
@@ -85,7 +86,8 @@ fn every_truncation_point_errors() {
                 slot: 2,
                 version: 7,
                 value: 8,
-            }],
+            }]
+            .into(),
         }),
     );
     let bytes = pkt.to_bytes();

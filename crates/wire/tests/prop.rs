@@ -111,7 +111,7 @@ fn arb_msg() -> impl Strategy<Value = SwishMsg> {
             .prop_map(|(reg, origin, entries)| SwishMsg::Sync(SyncUpdate {
                 reg,
                 origin,
-                entries
+                entries: entries.into()
             })),
         (
             any::<u16>(),

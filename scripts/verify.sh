@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything a change must pass before review.
+# Usage: scripts/verify.sh  (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "verify: all gates passed"

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the subset of the criterion API its benches use as a local path
+//! dependency with the same crate name. It is a plain wall-clock
+//! harness: each benchmark is calibrated to a short measurement window
+//! and reported as ns/iter (plus elements/sec when a throughput is set).
+//! No statistics, plots, or baselines — `cargo bench` output is meant
+//! for coarse before/after comparison only.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark. Override with
+/// `CRITERION_MEASURE_MS` when more stable numbers are needed.
+fn measure_window() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(400);
+    Duration::from_millis(ms)
+}
+
+/// Batch sizing hints (accepted for API compatibility; batching is
+/// always per-iteration here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: setup runs once per measured iteration.
+    SmallInput,
+    /// Large inputs: same behaviour as `SmallInput` in this shim.
+    LargeInput,
+}
+
+/// Units processed per iteration, used to derive a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly; timing covers only the routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until it fills ~1/10 of the window.
+        let window = measure_window();
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= window / 10 || batch >= 1 << 30 {
+                let total_iters = if elapsed.is_zero() {
+                    batch
+                } else {
+                    let per = elapsed.as_secs_f64() / batch as f64;
+                    ((window.as_secs_f64() / per) as u64).max(1)
+                };
+                let t = Instant::now();
+                for _ in 0..total_iters {
+                    black_box(routine());
+                }
+                self.ns_per_iter = t.elapsed().as_secs_f64() * 1e9 / total_iters as f64;
+                return;
+            }
+            batch *= 4;
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`; timing covers
+    /// only the routine.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let window = measure_window();
+        // One calibration run.
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        let one = t.elapsed().max(Duration::from_nanos(1));
+        let iters = ((window.as_secs_f64() / one.as_secs_f64()) as u64).clamp(1, 1 << 20);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.ns_per_iter = total.as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.0} elem/s)", n as f64 / (ns_per_iter / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(" ({:.0} B/s)", n as f64 / (ns_per_iter / 1e9))
+        }
+        None => String::new(),
+    };
+    println!("bench: {name:<44} {ns_per_iter:>14.1} ns/iter{rate}");
+}
+
+/// Benchmark registry/runner (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named benchmark group with an optional throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim sizes runs by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function from a list of `fn(&mut Criterion)`
+/// targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}
