@@ -1,0 +1,142 @@
+//! E17 — fault-plane sweep: randomized fault schedules (crashes, link
+//! outages, loss/jitter/corruption bursts, gray links, partitions) run
+//! against SRO/ERO/EWO deployments with every online consistency oracle
+//! armed. The paper's robustness story (§6.3 + the §5 failure model)
+//! quantified: zero oracle violations, plus the cost the control plane
+//! paid to get there (retries, sheds, sweep repairs).
+
+use crate::scenarios::udp_write;
+use crate::table::{ExperimentResult, Table};
+use swishmem::oracle::{OracleConfig, OracleSuite};
+use swishmem::prelude::*;
+use swishmem::{NfApp, NfDecision, RegisterSpec, SharedState};
+use swishmem_simnet::FaultGen;
+
+struct WriteNf;
+impl NfApp for WriteNf {
+    fn process(&mut self, pkt: &DataPacket, _i: NodeId, st: &mut dyn SharedState) -> NfDecision {
+        st.write(0, u32::from(pkt.flow.dst_port), u64::from(pkt.payload_len));
+        NfDecision::Forward {
+            dst: NodeId(HOST_BASE),
+            pkt: *pkt,
+        }
+    }
+}
+
+struct CountNf;
+impl NfApp for CountNf {
+    fn process(&mut self, pkt: &DataPacket, _i: NodeId, st: &mut dyn SharedState) -> NfDecision {
+        st.add(0, u32::from(pkt.flow.dst_port), 1);
+        NfDecision::Forward {
+            dst: NodeId(HOST_BASE),
+            pkt: *pkt,
+        }
+    }
+}
+
+struct SweepOutcome {
+    events: usize,
+    violations: usize,
+    retries: u64,
+    jobs_failed: u64,
+    sweep_clears: u64,
+}
+
+fn sweep(kind: &str, seed: u64) -> SweepOutcome {
+    let spec = match kind {
+        "SRO" => RegisterSpec::sro(0, "t", 16),
+        "ERO" => RegisterSpec::ero(0, "t", 16),
+        _ => RegisterSpec::ewo_counter(0, "c", 16),
+    };
+    let is_ewo = kind == "EWO";
+    let mut dep = DeploymentBuilder::new(3)
+        .hosts(1)
+        .seed(seed)
+        .register(spec)
+        .build(move |_| -> Box<dyn NfApp> {
+            if is_ewo {
+                Box::new(CountNf)
+            } else {
+                Box::new(WriteNf)
+            }
+        });
+    dep.settle();
+    let t0 = dep.now();
+    let horizon = SimDuration::millis(60);
+    let nodes = dep.switch_ids().to_vec();
+    let links = dep.fault_links();
+    let sched = FaultGen::new(seed).generate(&nodes, &links, horizon, 4);
+    dep.schedule_faults(t0, &sched);
+    for i in 0..48u64 {
+        dep.inject(
+            t0 + SimDuration::micros(i * 1000),
+            (i % 3) as usize,
+            0,
+            udp_write((i % 16) as u16, 100 + i as u16),
+        );
+    }
+    let ocfg = OracleConfig::new(t0 + horizon);
+    let mut suite = OracleSuite::attach(&mut dep, ocfg);
+    let end = t0 + horizon + ocfg.convergence_grace + SimDuration::millis(100);
+    let violations = usize::from(suite.run(&mut dep, end).is_err());
+    SweepOutcome {
+        events: sched.len(),
+        violations,
+        retries: dep.sum_metric(|m| m.cp.retries),
+        jobs_failed: dep.sum_metric(|m| m.cp.jobs_failed + m.cp.jobs_shed),
+        sweep_clears: dep.sum_metric(|m| m.dp.pending_sweep_clears),
+    }
+}
+
+/// Run E17.
+pub fn run(quick: bool) -> ExperimentResult {
+    let per_class: u64 = if quick { 2 } else { 4 };
+    let mut t = Table::new(
+        "Seeded fault sweeps with online oracles (3-switch chain, 4 fault episodes each)",
+        &[
+            "class",
+            "seed",
+            "fault events",
+            "oracle violations",
+            "CP retries",
+            "jobs failed/shed",
+            "sweep clears",
+        ],
+    );
+    let mut total_viol = 0usize;
+    let mut total_runs = 0usize;
+    for (kind, base) in [("SRO", 400u64), ("ERO", 500), ("EWO", 600)] {
+        for s in 0..per_class {
+            let seed = base + s;
+            let o = sweep(kind, seed);
+            total_viol += o.violations;
+            total_runs += 1;
+            t.row(vec![
+                kind.into(),
+                seed.to_string(),
+                o.events.to_string(),
+                o.violations.to_string(),
+                o.retries.to_string(),
+                o.jobs_failed.to_string(),
+                o.sweep_clears.to_string(),
+            ]);
+        }
+    }
+    let findings = vec![
+        format!(
+            "{total_runs} randomized fault schedules across SRO/ERO/EWO produced {total_viol} oracle violations \
+             (linearizable value provenance, epoch/sequence monotonicity, pending-bit liveness, post-fault convergence)"
+        ),
+        "recovery is paid for in the control plane (retries, shed jobs) and the tail's pending sweep, \
+         never in invented or regressed data-plane state"
+            .into(),
+    ];
+    ExperimentResult {
+        id: "E17".into(),
+        title: "Fault sweep: scripted failures vs online consistency oracles".into(),
+        paper_anchor: "§5 failure model, §6.3 (handling failures)".into(),
+        expectation: "zero oracle violations across every seeded schedule".into(),
+        tables: vec![t],
+        findings,
+    }
+}

@@ -18,6 +18,7 @@ pub mod e13_batching;
 pub mod e14_cp_vs_dp;
 pub mod e15_clock_skew;
 pub mod e16_setup_latency;
+pub mod e17_fault_sweep;
 
 use crate::table::ExperimentResult;
 
@@ -43,5 +44,6 @@ pub fn all() -> Vec<(&'static str, RunFn)> {
         ("e14", e14_cp_vs_dp::run),
         ("e15", e15_clock_skew::run),
         ("e16", e16_setup_latency::run),
+        ("e17", e17_fault_sweep::run),
     ]
 }

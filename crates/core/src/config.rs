@@ -127,11 +127,23 @@ pub enum ClockMode {
 /// Protocol tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct SwishConfig {
-    /// Writer control-plane retry timeout for unacknowledged chain writes.
+    /// Writer control-plane retry timeout for unacknowledged chain writes;
+    /// the base of the capped exponential backoff (doubled per attempt
+    /// with deterministic jitter, up to [`SwishConfig::retry_backoff_max`]).
     pub retry_timeout: SimDuration,
+    /// Ceiling of the exponential retry backoff.
+    pub retry_backoff_max: SimDuration,
     /// Give up on a write after this many attempts (it stays unreleased;
     /// counted in metrics). High by default: chain repair should win first.
     pub max_retries: u32,
+    /// Maximum concurrent write jobs buffered in the writer CP; jobs
+    /// beyond this are shed (counted, buffered packet dropped) rather
+    /// than growing DRAM without bound.
+    pub cp_job_buffer: usize,
+    /// Tail pending-sweep period: the tail periodically re-multicasts
+    /// `Clear` for committed group slots so pending bits orphaned by a
+    /// lost clear still converge. `ZERO` disables the sweep.
+    pub pending_sweep_period: SimDuration,
     /// EWO periodic full-sync period (the paper's example: 1 ms).
     pub sync_period: SimDuration,
     /// Entries per periodic-sync packet (array walked in chunks).
@@ -162,7 +174,10 @@ impl Default for SwishConfig {
     fn default() -> Self {
         SwishConfig {
             retry_timeout: SimDuration::millis(1),
+            retry_backoff_max: SimDuration::millis(16),
             max_retries: 100,
+            cp_job_buffer: 4096,
+            pending_sweep_period: SimDuration::millis(5),
             sync_period: SimDuration::millis(1),
             sync_chunk: 128,
             eager_updates: true,

@@ -133,12 +133,26 @@ impl Controller {
     }
 
     fn note_heartbeat(&mut self, from: NodeId, epoch: u32, now: SimTime, ctx: &mut Ctx<'_>) {
+        let mut amnesia = false;
         match self.last_hb.iter_mut().find(|(n, _, _)| *n == from) {
             Some((_, t, e)) => {
+                // A member that previously reported a non-zero epoch and
+                // now reports 0 has restarted with fresh state faster
+                // than the failure detector could notice. Left in place
+                // it would serve amnesiac (wiped) replicas; demote it so
+                // it rejoins through the learner/snapshot path.
+                amnesia = *e > 0
+                    && epoch == 0
+                    && (self.view.chain.contains(&from) || self.view.learners.contains(&from));
                 *t = now;
                 *e = epoch;
             }
             None => self.last_hb.push((from, now, epoch)),
+        }
+        if amnesia {
+            self.view.chain.retain(|&n| n != from);
+            self.view.learners.retain(|&n| n != from);
+            self.broadcast(ctx, ConfigEventKind::Failed(from));
         }
         let known = self.view.chain.contains(&from) || self.view.learners.contains(&from);
         if !known && self.switches.contains(&from) {

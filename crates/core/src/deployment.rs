@@ -10,14 +10,17 @@ use crate::config::{ClockMode, RegisterSpec, SwishConfig};
 use crate::controller::{ConfigEvent, Controller};
 use crate::layer::cp::SwishCp;
 use crate::layer::program::SwishProgram;
-use crate::layer::{Handles, SYNC_PKTGEN_TOKEN};
+use crate::layer::{ChainView, Handles, RegKind, PENDING_SWEEP_PKTGEN_TOKEN, SYNC_PKTGEN_TOKEN};
 use crate::metrics::SwitchMetrics;
 use crate::version::SwitchClock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::rc::Rc;
 use swishmem_pisa::{DataPlane, MemoryBudget, Switch, SwitchConfig};
-use swishmem_simnet::{LinkParams, RecorderNode, Recording, SimDuration, SimTime, Simulator};
+use swishmem_simnet::{
+    FaultSchedule, LinkParams, ObserverHandle, RecorderNode, Recording, SimDuration, SimTime,
+    Simulator,
+};
 use swishmem_wire::swish::{Key, RegId};
 use swishmem_wire::{DataPacket, NodeId, Packet};
 
@@ -155,6 +158,12 @@ impl DeploymentBuilder {
             let cp = SwishCp::new(id, self.swish_cfg, NodeId::CONTROLLER, handles);
             let mut sw = Switch::new(self.switch_cfg, dp, program, cp);
             sw.add_pktgen(self.swish_cfg.sync_period, SYNC_PKTGEN_TOKEN);
+            if self.swish_cfg.pending_sweep_period.as_nanos() > 0 {
+                sw.add_pktgen(
+                    self.swish_cfg.pending_sweep_period,
+                    PENDING_SWEEP_PKTGEN_TOKEN,
+                );
+            }
             sim.add_node(id, Box::new(sw));
         }
 
@@ -226,6 +235,7 @@ impl DeploymentBuilder {
             hosts,
             recordings,
             cfg: self.swish_cfg,
+            specs: self.registers,
         }
     }
 }
@@ -239,6 +249,7 @@ pub struct Deployment {
     hosts: Vec<NodeId>,
     recordings: Vec<Recording>,
     cfg: SwishConfig,
+    specs: Vec<RegisterSpec>,
 }
 
 impl Deployment {
@@ -310,6 +321,98 @@ impl Deployment {
             .node::<Controller>(NodeId::CONTROLLER)
             .map(|c| c.events().to_vec())
             .unwrap_or_default()
+    }
+
+    /// The deployment's register specifications.
+    pub fn register_specs(&self) -> &[RegisterSpec] {
+        &self.specs
+    }
+
+    /// The protocol configuration in effect.
+    pub fn config(&self) -> &SwishConfig {
+        &self.cfg
+    }
+
+    /// Index of a switch id in [`Deployment::switch_ids`], if it is one.
+    pub fn switch_index(&self, id: NodeId) -> Option<usize> {
+        self.switches.iter().position(|&s| s == id)
+    }
+
+    /// Whether switch `i` is currently failed.
+    pub fn is_switch_failed(&self, i: usize) -> bool {
+        self.sim.is_failed(self.switches[i])
+    }
+
+    /// The configuration epoch switch `i`'s control plane has adopted.
+    pub fn adopted_epoch(&self, i: usize) -> u32 {
+        self.switch(i).cp_app().view().epoch
+    }
+
+    /// The controller's current chain view.
+    pub fn controller_view(&self) -> ChainView {
+        self.sim
+            .node::<Controller>(NodeId::CONTROLLER)
+            .map(|c| c.view().clone())
+            .unwrap_or_default()
+    }
+
+    /// Per-group applied sequence numbers of a chain register at switch
+    /// `i` (empty for EWO registers).
+    pub fn chain_seqs(&self, i: usize, reg: RegId) -> Vec<u64> {
+        let sw = self.switch(i);
+        let entry = &sw.program().handles().regs[reg as usize];
+        let RegKind::Chain { seq, .. } = &entry.kind else {
+            return Vec::new();
+        };
+        let slots = self.cfg.group_slots(entry.spec.keys);
+        (0..slots)
+            .map(|g| sw.dp().reg(*seq).read(g as usize))
+            .collect()
+    }
+
+    /// Per-group pending (in-flight) sequence numbers of an SRO register
+    /// at switch `i` (empty for ERO/EWO registers; 0 = not pending).
+    pub fn pending_seqs(&self, i: usize, reg: RegId) -> Vec<u64> {
+        let sw = self.switch(i);
+        let entry = &sw.program().handles().regs[reg as usize];
+        let RegKind::Chain {
+            pending: Some(p), ..
+        } = &entry.kind
+        else {
+            return Vec::new();
+        };
+        let slots = self.cfg.group_slots(entry.spec.keys);
+        (0..slots)
+            .map(|g| sw.dp().reg(*p).read(g as usize))
+            .collect()
+    }
+
+    /// Install a [`FaultSchedule`] with offsets relative to `base`.
+    pub fn schedule_faults(&mut self, base: SimTime, sched: &FaultSchedule) {
+        self.sim.schedule_faults(base, sched);
+    }
+
+    /// Attach a passive engine observer (e.g. the oracle suite's wire
+    /// checker).
+    pub fn add_observer(&mut self, obs: ObserverHandle) {
+        self.sim.add_observer(obs);
+    }
+
+    /// Fault-plane link targets of this deployment: every inter-switch
+    /// pair plus the controller star (the latter models control-plane
+    /// message delay/drop when degraded). Pairs without a physical link
+    /// (e.g. leaf-leaf under a spine fabric) are tolerated no-ops.
+    pub fn fault_links(&self) -> Vec<(NodeId, NodeId)> {
+        let mut links = Vec::new();
+        for (i, &a) in self.switches.iter().enumerate() {
+            for &b in &self.switches[i + 1..] {
+                links.push((a, b));
+            }
+        }
+        for &s in &self.switches {
+            links.push((s, NodeId::CONTROLLER));
+        }
+        links
     }
 
     /// Schedule a fail-stop failure of switch `i` at `t`.

@@ -23,7 +23,7 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use swishmem_pisa::{ControlApp, CpCtx, RegHandle};
-use swishmem_simnet::SimTime;
+use swishmem_simnet::{SimDuration, SimTime};
 use swishmem_wire::swish::{
     CatchupComplete, Heartbeat, Key, RegId, SnapEntry, SnapshotChunk, WriteOp, WriteRequest,
 };
@@ -34,6 +34,14 @@ const TT_HEARTBEAT: u64 = 2 << 44;
 const TT_SNAP: u64 = 3 << 44;
 const TT_MASK: u64 = 0xf << 44;
 const ID_MASK: u64 = (1 << 44) - 1;
+
+/// SplitMix64 finalizer: the deterministic hash behind retry jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 #[derive(Debug)]
 struct Job {
@@ -109,6 +117,20 @@ impl SwishCp {
         &self.view
     }
 
+    /// Capped exponential backoff with deterministic jitter: base
+    /// `retry_timeout` doubled per attempt up to `retry_backoff_max`,
+    /// plus a hashed jitter in `[0, delay/4]`. Hashed — not drawn from
+    /// the engine RNG — so CP retry timing adds no RNG draw sites and
+    /// replays bit-for-bit, while still desynchronizing the retry storms
+    /// of concurrent writers after a chain outage.
+    fn retry_delay(&self, write_id: u64, attempts: u32) -> SimDuration {
+        let base = self.cfg.retry_timeout.as_nanos().max(1);
+        let cap = self.cfg.retry_backoff_max.as_nanos().max(base);
+        let backed = base.saturating_mul(1u64 << attempts.min(20)).min(cap);
+        let h = splitmix64((u64::from(self.me.0) << 52) ^ (write_id << 8) ^ u64::from(attempts));
+        SimDuration::nanos(backed + h % (backed / 4 + 1))
+    }
+
     fn send_write(&mut self, write_id: u64, cp: &mut CpCtx<'_, '_>) {
         let Some(ws) = self.writes.get(&write_id) else {
             return;
@@ -137,6 +159,16 @@ impl SwishCp {
         decision: Option<(NodeId, DataPacket)>,
         cp: &mut CpCtx<'_, '_>,
     ) {
+        // Bounded buffer: shed (and count) rather than queueing without
+        // limit — a dead chain must not OOM the writer CP. The buffered
+        // output packet is dropped here, explicitly.
+        if self.jobs.len() >= self.cfg.cp_job_buffer.max(1) {
+            self.metrics.jobs_shed += 1;
+            if decision.is_some() {
+                self.metrics.packets_shed += 1;
+            }
+            return;
+        }
         let job_id = self.next_job;
         self.next_job += 1;
         self.metrics.jobs_started += 1;
@@ -162,7 +194,7 @@ impl SwishCp {
                 },
             );
             self.send_write(write_id, cp);
-            cp.set_timer(self.cfg.retry_timeout, TT_RETRY | write_id);
+            cp.set_timer(self.retry_delay(write_id, 0), TT_RETRY | write_id);
         }
     }
 
@@ -184,6 +216,76 @@ impl SwishCp {
                 cp.packet_out(dst, PacketBody::Data(pkt));
             }
         }
+    }
+
+    /// Retry exhaustion: abandon `write_id` *and* its sibling writes (the
+    /// job can never complete once one member is given up), release the
+    /// buffered output packet explicitly, and record every abandoned
+    /// `(reg, key)` so the convergence oracle can exclude those groups —
+    /// an abandoned write may legitimately leave a chain prefix applied
+    /// ahead of the tail forever.
+    fn abandon_write(&mut self, write_id: u64) {
+        let Some(ws) = self.writes.remove(&write_id) else {
+            return;
+        };
+        let job_id = ws.job;
+        self.metrics.writes_exhausted += 1;
+        self.metrics.abandoned_writes.push((ws.reg, ws.key));
+        let siblings: Vec<u64> = self
+            .writes
+            .iter()
+            .filter(|(_, w)| w.job == job_id)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in siblings {
+            let w = self.writes.remove(&id).expect("sibling present");
+            self.metrics.writes_exhausted += 1;
+            self.metrics.abandoned_writes.push((w.reg, w.key));
+        }
+        if let Some(job) = self.jobs.remove(&job_id) {
+            self.metrics.jobs_failed += 1;
+            if job.decision.is_some() {
+                self.metrics.packets_shed += 1;
+            }
+            // `job.decision` drops here: the buffered packet is freed, not
+            // leaked; sibling retry timers now find no write state and die.
+        }
+    }
+
+    /// On epoch adoption: drop write state orphaned from any live job and
+    /// queued snapshot chunks whose target left the configuration.
+    /// CRAQ rule on becoming tail: the tail's applied state *is* the
+    /// committed state, so any pending bit this switch still holds (set
+    /// while it was a mid-chain member or a catching-up learner) is
+    /// stale. Multicast clears never loop back to their sender, so
+    /// nothing else would ever clear them once we are the tail.
+    fn clear_own_pending(&mut self, cp: &mut CpCtx<'_, '_>) {
+        for entry in &self.handles.regs {
+            let RegKind::Chain {
+                pending: Some(p), ..
+            } = &entry.kind
+            else {
+                continue;
+            };
+            let slots = self.cfg.group_slots(entry.spec.keys) as usize;
+            let r = cp.dataplane().reg_mut(*p);
+            for s in 0..slots {
+                r.write(s, 0);
+            }
+        }
+    }
+
+    fn gc_on_epoch_change(&mut self) {
+        let before = self.writes.len();
+        let jobs = &self.jobs;
+        self.writes.retain(|_, w| jobs.contains_key(&w.job));
+        self.metrics.writes_gced += (before - self.writes.len()) as u64;
+
+        let before = self.snap_out.len();
+        let view = &self.view;
+        self.snap_out
+            .retain(|(t, _)| view.chain.contains(t) || view.learners.contains(t));
+        self.metrics.snap_chunks_gced += (before - self.snap_out.len()) as u64;
     }
 
     fn handle_snapshot_request(&mut self, target: NodeId, cp: &mut CpCtx<'_, '_>) {
@@ -304,6 +406,10 @@ impl ControlApp for SwishCp {
                     let cfgblk: RegHandle = self.handles.cfgblk;
                     write_chain(cp.dataplane(), cfgblk, &self.view);
                     self.metrics.epochs_adopted += 1;
+                    if self.view.chain.last() == Some(&self.me) {
+                        self.clear_own_pending(cp);
+                    }
+                    self.gc_on_epoch_change();
                 }
                 SwishMsg::Group(_) => {
                     // Replica-group membership is enforced by the fabric's
@@ -328,16 +434,13 @@ impl ControlApp for SwishCp {
                 };
                 ws.attempts += 1;
                 if ws.attempts > self.cfg.max_retries {
-                    let job_id = ws.job;
-                    self.writes.remove(&write_id);
-                    if self.jobs.remove(&job_id).is_some() {
-                        self.metrics.jobs_failed += 1;
-                    }
+                    self.abandon_write(write_id);
                     return;
                 }
+                let attempts = ws.attempts;
                 self.metrics.retries += 1;
                 self.send_write(write_id, cp);
-                cp.set_timer(self.cfg.retry_timeout, TT_RETRY | write_id);
+                cp.set_timer(self.retry_delay(write_id, attempts), TT_RETRY | write_id);
             }
             TT_HEARTBEAT => {
                 self.metrics.heartbeats += 1;

@@ -26,6 +26,11 @@ pub const REPLICA_GROUP: GroupId = GroupId(0);
 /// Packet-generator token used for the EWO periodic sync task.
 pub const SYNC_PKTGEN_TOKEN: u64 = 1;
 
+/// Packet-generator token for the tail's pending sweep: periodic
+/// re-multicast of `Clear` for committed group slots, repairing pending
+/// bits orphaned by a lost clear or a tail crash mid-commit.
+pub const PENDING_SWEEP_PKTGEN_TOKEN: u64 = 2;
+
 /// Maximum chain length encodable in the data-plane config block.
 pub const MAX_NODES: usize = 32;
 

@@ -3,7 +3,8 @@
 
 use super::nfctx::NfCtx;
 use super::{
-    read_chain, ChainView, CpItem, Handles, RegKind, StagedWrite, REPLICA_GROUP, SYNC_PKTGEN_TOKEN,
+    read_chain, ChainView, CpItem, Handles, RegKind, StagedWrite, PENDING_SWEEP_PKTGEN_TOKEN,
+    REPLICA_GROUP, SYNC_PKTGEN_TOKEN,
 };
 use crate::api::{NfApp, NfDecision};
 use crate::config::{MergePolicy, RegisterClass, SwishConfig};
@@ -28,6 +29,8 @@ pub struct SwishProgram {
     metrics: DpMetrics,
     /// Periodic-sync walk position: (register id, next key).
     sync_cursor: (usize, u32),
+    /// Pending-sweep walk position: (register index, next group slot).
+    sweep_cursor: (usize, u32),
     /// Eager-mirror entries awaiting a batch flush.
     mirror_buf: Vec<(RegId, SyncEntry)>,
 }
@@ -50,6 +53,7 @@ impl SwishProgram {
             clock,
             metrics: DpMetrics::default(),
             sync_cursor: (0, 0),
+            sweep_cursor: (0, 0),
             mirror_buf: Vec::new(),
         }
     }
@@ -412,6 +416,89 @@ impl SwishProgram {
         }
     }
 
+    /// The tail's pending sweep: periodically re-multicast `Clear` for
+    /// group slots with a committed sequence number. A clear lost on the
+    /// wire — or never sent because the tail crashed mid-commit — would
+    /// otherwise park a pending bit forever, forcing every read of that
+    /// group to the tail. Only committed sequence numbers are swept:
+    /// `on_clear`'s `in_flight <= seq` guard keeps genuinely in-flight
+    /// writes pending, preserving SRO linearizability. Cursor-bounded to
+    /// `sync_chunk` slots per tick, like the EWO sync walk.
+    fn pending_sweep(&mut self, dp: &mut DpView<'_>, eff: &mut Effects) {
+        let chain = read_chain(dp, self.handles.cfgblk);
+        if chain.tail() != Some(self.me) || chain.chain.len() < 2 {
+            return; // only the tail sweeps, and only for a real chain
+        }
+        let sro_regs: Vec<usize> = self
+            .handles
+            .regs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                matches!(
+                    r.kind,
+                    RegKind::Chain {
+                        pending: Some(_),
+                        ..
+                    }
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if sro_regs.is_empty() {
+            return;
+        }
+        let (mut reg_i, mut slot) = self.sweep_cursor;
+        if !sro_regs.contains(&reg_i) {
+            reg_i = sro_regs[0];
+            slot = 0;
+        }
+        let mut budget = self.cfg.sync_chunk.max(1);
+        let total_slots: usize = sro_regs
+            .iter()
+            .map(|&i| self.cfg.group_slots(self.handles.regs[i].spec.keys) as usize)
+            .sum();
+        let mut visited = 0usize;
+        while budget > 0 && visited < total_slots {
+            let (reg_id, seq_h, slots_n) = {
+                let entry = &self.handles.regs[reg_i];
+                let RegKind::Chain { seq, .. } = &entry.kind else {
+                    unreachable!()
+                };
+                (entry.spec.id, *seq, self.cfg.group_slots(entry.spec.keys))
+            };
+            if slot >= slots_n {
+                let next = sro_regs
+                    .iter()
+                    .position(|&i| i == reg_i)
+                    .map(|p| sro_regs[(p + 1) % sro_regs.len()])
+                    .unwrap_or(sro_regs[0]);
+                reg_i = next;
+                slot = 0;
+                continue;
+            }
+            let committed = dp.reg_read(seq_h, slot as usize);
+            if committed > 0 {
+                self.metrics.pending_sweep_clears += 1;
+                // `key % slots == slot` for `key == slot`, so the slot
+                // index doubles as a representative key for the group.
+                eff.multicast(
+                    REPLICA_GROUP,
+                    PacketBody::Swish(SwishMsg::Clear(PendingClear {
+                        epoch: chain.epoch,
+                        reg: reg_id,
+                        key: slot,
+                        seq: committed,
+                    })),
+                );
+            }
+            budget -= 1;
+            slot += 1;
+            visited += 1;
+        }
+        self.sweep_cursor = (reg_i, slot);
+    }
+
     // ------------------------------------------------------------------
     // EWO merge + periodic sync (§6.2, §7)
     // ------------------------------------------------------------------
@@ -587,12 +674,15 @@ impl DataPlaneProgram for SwishProgram {
         if token == SYNC_PKTGEN_TOKEN {
             self.flush_mirror(eff); // batched eager entries must not linger
             self.periodic_sync(dp, eff);
+        } else if token == PENDING_SWEEP_PKTGEN_TOKEN {
+            self.pending_sweep(dp, eff);
         }
     }
 
     fn reset(&mut self) {
         self.metrics = DpMetrics::default();
         self.sync_cursor = (0, 0);
+        self.sweep_cursor = (0, 0);
         self.mirror_buf.clear();
         self.clock.reset();
         self.app.reset();

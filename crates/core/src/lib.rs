@@ -52,6 +52,7 @@ pub mod deployment;
 pub mod directory;
 pub mod layer;
 pub mod metrics;
+pub mod oracle;
 pub mod typed;
 pub mod version;
 
@@ -62,6 +63,7 @@ pub use deployment::{Deployment, DeploymentBuilder, Fabric, SwishSwitch, HOST_BA
 pub use directory::DirectoryService;
 pub use layer::{ChainView, REPLICA_GROUP};
 pub use metrics::{CpMetrics, DpMetrics, Histogram, SwitchMetrics};
+pub use oracle::{OracleConfig, OracleSuite, Violation, ViolationKind};
 pub use typed::{SharedCounter, SharedValue};
 pub use version::SwitchClock;
 

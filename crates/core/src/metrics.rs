@@ -2,6 +2,7 @@
 //! aggregated by the deployment for the experiment harness.
 
 use swishmem_simnet::SimDuration;
+use swishmem_wire::swish::{Key, RegId};
 
 /// A sample collector with percentile summaries.
 #[derive(Debug, Clone, Default)]
@@ -100,6 +101,8 @@ pub struct DpMetrics {
     pub snapshot_applied: u64,
     /// Snapshot entries rejected by the sequence guard.
     pub snapshot_stale: u64,
+    /// `Clear` messages re-multicast by the tail's pending sweep.
+    pub pending_sweep_clears: u64,
 }
 
 /// Control-plane-side metrics (kept by the SwiShmem control app).
@@ -123,6 +126,23 @@ pub struct CpMetrics {
     pub epochs_adopted: u64,
     /// Snapshot chunks streamed (as recovery source).
     pub snapshot_chunks_sent: u64,
+    /// Write jobs shed because the job buffer was full (overflow policy:
+    /// shed + count, never OOM).
+    pub jobs_shed: u64,
+    /// Individual writes abandoned after retry exhaustion.
+    pub writes_exhausted: u64,
+    /// Buffered output packets dropped explicitly (job shed or failed)
+    /// instead of leaking in the buffer.
+    pub packets_shed: u64,
+    /// Orphaned write states garbage-collected on epoch change.
+    pub writes_gced: u64,
+    /// Queued snapshot chunks dropped on epoch change because the target
+    /// left the configuration.
+    pub snap_chunks_gced: u64,
+    /// `(reg, key)` of writes abandoned after retry exhaustion. The
+    /// convergence oracle excludes these groups: an abandoned write may
+    /// legitimately leave a chain prefix ahead of the tail forever.
+    pub abandoned_writes: Vec<(RegId, Key)>,
 }
 
 /// Combined per-switch metrics snapshot.

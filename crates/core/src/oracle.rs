@@ -1,0 +1,741 @@
+//! Online consistency oracles for fault-plane runs.
+//!
+//! An [`OracleSuite`] attaches to a [`Deployment`] and checks invariants
+//! *while the simulation runs*: a wire-level observer (fed by the engine's
+//! observer hooks) watches every delivered protocol packet, and a periodic
+//! poll inspects switch register state and the controller's event log. The
+//! first violation aborts the run with enough context (seed + schedule,
+//! printed by the caller) to replay it deterministically.
+//!
+//! ## Soundness notes
+//!
+//! Faults make many "obvious" invariants false; each oracle here is scoped
+//! to what actually holds under loss, reordering, and crashes:
+//!
+//! * **No invented values** — every *sequenced* chain write (`seq > 0`)
+//!   must carry a `Set` value previously requested by some writer
+//!   (`seq == 0` requests are all observable on the wire, including the
+//!   head writing to itself over its loopback link). Keys that ever see an
+//!   `Add` op are tainted and skipped: the head legally rewrites `Add`
+//!   into a derived `Set`. The final tail state of untainted keys must
+//!   likewise be a requested value or the initial `0`.
+//! * **Epoch monotonicity** — checked on *adopted* state (each switch
+//!   CP's current view), not on wire delivery order: jitter legally
+//!   reorders configuration messages in flight, but a CP must never adopt
+//!   a smaller epoch. Controller-issued epochs are strictly increasing.
+//!   Baselines reset when a switch crashes (fresh state restarts at 0).
+//! * **Per-slot sequence monotonicity** — a chain member's stored
+//!   sequence numbers never regress *between crashes of that switch*.
+//! * **Tail commit monotonicity** — the tail's committed sequence per
+//!   slot never regresses *while the tail identity is stable*; baselines
+//!   reset on reconfiguration (a freshly promoted tail is a different
+//!   authority).
+//! * **No stuck pending bits** — after the fault horizon (`quiesce_at`),
+//!   a pending bit whose sequence is already committed at the tail must
+//!   clear within `pending_bound` (the tail's pending sweep re-multicasts
+//!   lost clears). Pending bits with `seq >` the tail's commit belong to
+//!   abandoned in-flight writes and MUST stay set — they are not flagged.
+//! * **Bounded divergence** — once faults cease and a grace period
+//!   passes, all live chain members agree with the tail (SRO/ERO) and all
+//!   live replicas agree pairwise (EWO). Key groups named in any CP's
+//!   `abandoned_writes` are excluded: an abandoned write may legitimately
+//!   leave a chain prefix ahead of the tail forever.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+use swishmem_simnet::{NetEvent, NetObserver, ObserverHandle, SimDuration, SimTime};
+use swishmem_wire::swish::{Key, RegId, WriteOp};
+use swishmem_wire::{NodeId, PacketBody, SwishMsg};
+
+use crate::config::{RegisterClass, SwishConfig};
+use crate::deployment::Deployment;
+
+/// Oracle tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// How often the polling oracles inspect switch state.
+    pub poll_interval: SimDuration,
+    /// How long a committed-but-pending bit may persist after
+    /// `quiesce_at` before it counts as stuck. Must comfortably exceed
+    /// the tail sweep period plus delivery latency.
+    pub pending_bound: SimDuration,
+    /// Time after which the fault schedule is guaranteed quiet; the
+    /// pending-bit and convergence oracles only arm from here.
+    pub quiesce_at: SimTime,
+    /// Extra settling time after `quiesce_at` before the convergence
+    /// oracle arms (covers reconfiguration, catch-up, and EWO sync).
+    pub convergence_grace: SimDuration,
+}
+
+impl OracleConfig {
+    /// Defaults for a schedule that is quiet from `quiesce_at` on.
+    pub fn new(quiesce_at: SimTime) -> OracleConfig {
+        OracleConfig {
+            poll_interval: SimDuration::micros(500),
+            pending_bound: SimDuration::millis(25),
+            quiesce_at,
+            convergence_grace: SimDuration::millis(150),
+        }
+    }
+}
+
+/// A detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Simulation time of detection.
+    pub at: SimTime,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} ns] {}", self.at.nanos(), self.kind)
+    }
+}
+
+/// The invariant classes the suite checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A value appeared that no writer requested.
+    InventedValue {
+        /// Register.
+        reg: RegId,
+        /// Key.
+        key: Key,
+        /// The unexplained value.
+        value: u64,
+        /// Where it was seen: `"wire"` (forwarded write) or `"state"`
+        /// (final tail value).
+        stage: &'static str,
+    },
+    /// A chain member's stored per-slot sequence number went backwards
+    /// without an intervening crash.
+    SeqRegressed {
+        /// The switch.
+        switch: NodeId,
+        /// Register.
+        reg: RegId,
+        /// Group slot.
+        slot: u32,
+        /// Previously observed sequence.
+        from: u64,
+        /// Newly observed (smaller) sequence.
+        to: u64,
+    },
+    /// A switch CP adopted a smaller epoch than it already had.
+    EpochRegressed {
+        /// The switch.
+        switch: NodeId,
+        /// Previously adopted epoch.
+        from: u32,
+        /// Newly adopted (smaller) epoch.
+        to: u32,
+    },
+    /// The controller issued a non-increasing epoch.
+    ControllerEpochNotIncreasing {
+        /// Epoch of the earlier event.
+        from: u32,
+        /// Epoch of the later event.
+        to: u32,
+    },
+    /// The tail's committed sequence regressed while the tail identity
+    /// was unchanged.
+    CommitRegressed {
+        /// The stable tail.
+        tail: NodeId,
+        /// Register.
+        reg: RegId,
+        /// Group slot.
+        slot: u32,
+        /// Previously committed sequence.
+        from: u64,
+        /// Newly observed (smaller) sequence.
+        to: u64,
+    },
+    /// A pending bit for an already-committed write outlived the bound
+    /// after the fault horizon.
+    PendingStuck {
+        /// The switch holding the bit.
+        switch: NodeId,
+        /// Register.
+        reg: RegId,
+        /// Group slot.
+        slot: u32,
+        /// The pending sequence (≤ tail commit, so it should clear).
+        seq: u64,
+        /// When the suite first saw this exact pending sequence.
+        since: SimTime,
+    },
+    /// Replicas still disagree after the fault horizon plus grace.
+    Diverged {
+        /// Register.
+        reg: RegId,
+        /// Key.
+        key: Key,
+        /// Reference replica.
+        a: NodeId,
+        /// Reference value.
+        va: u64,
+        /// Disagreeing replica.
+        b: NodeId,
+        /// Its value.
+        vb: u64,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::InventedValue {
+                reg,
+                key,
+                value,
+                stage,
+            } => write!(
+                f,
+                "invented value: reg {reg} key {key} = {value} never requested ({stage})"
+            ),
+            ViolationKind::SeqRegressed {
+                switch,
+                reg,
+                slot,
+                from,
+                to,
+            } => write!(
+                f,
+                "seq regression: {switch} reg {reg} slot {slot}: {from} -> {to}"
+            ),
+            ViolationKind::EpochRegressed { switch, from, to } => {
+                write!(f, "epoch regression: {switch} adopted {to} after {from}")
+            }
+            ViolationKind::ControllerEpochNotIncreasing { from, to } => {
+                write!(f, "controller epoch not increasing: {from} -> {to}")
+            }
+            ViolationKind::CommitRegressed {
+                tail,
+                reg,
+                slot,
+                from,
+                to,
+            } => write!(
+                f,
+                "tail commit regression: tail {tail} reg {reg} slot {slot}: {from} -> {to}"
+            ),
+            ViolationKind::PendingStuck {
+                switch,
+                reg,
+                slot,
+                seq,
+                since,
+            } => write!(
+                f,
+                "pending bit stuck: {switch} reg {reg} slot {slot} seq {seq} \
+                 pending since {} ns despite tail commit",
+                since.nanos()
+            ),
+            ViolationKind::Diverged {
+                reg,
+                key,
+                a,
+                va,
+                b,
+                vb,
+            } => write!(
+                f,
+                "divergence: reg {reg} key {key}: {a} has {va}, {b} has {vb}"
+            ),
+        }
+    }
+}
+
+/// Wire-level observer state: requested write values, taint, crash
+/// notifications, and the first wire-level violation.
+#[derive(Debug, Default)]
+pub struct WireState {
+    /// `Set` values requested per `(reg, key)` (from `seq == 0` writes).
+    requested: BTreeMap<(RegId, Key), BTreeSet<u64>>,
+    /// Keys that ever saw an `Add` op (head rewrites these into derived
+    /// `Set`s, so value provenance can't be tracked).
+    tainted: BTreeSet<(RegId, Key)>,
+    /// In-flight chain writes per writer: requested (`seq == 0`
+    /// delivered) but no ack delivered back yet.
+    outstanding: BTreeMap<NodeId, BTreeSet<(RegId, Key)>>,
+    /// Writes whose writer crashed before its ack arrived: nobody will
+    /// retry them, so a chain prefix may legally stay ahead of the tail
+    /// for these keys. The convergence oracle excludes their groups.
+    orphaned: BTreeSet<(RegId, Key)>,
+    /// Crash notifications since the last poll drained them.
+    crashed: Vec<NodeId>,
+    /// First wire-level violation (picked up by the next poll).
+    violation: Option<(SimTime, ViolationKind)>,
+}
+
+impl WireState {
+    fn requested_contains(&self, reg: RegId, key: Key, value: u64) -> bool {
+        self.requested
+            .get(&(reg, key))
+            .is_some_and(|vals| vals.contains(&value))
+    }
+
+    fn is_tainted(&self, reg: RegId, key: Key) -> bool {
+        self.tainted.contains(&(reg, key))
+    }
+}
+
+impl NetObserver for WireState {
+    fn on_net_event(&mut self, now: SimTime, ev: &NetEvent<'_>) {
+        match ev {
+            NetEvent::NodeFailed { node } => {
+                self.crashed.push(*node);
+                if let Some(inflight) = self.outstanding.remove(node) {
+                    self.orphaned.extend(inflight);
+                }
+            }
+            NetEvent::Delivered { pkt, .. } => match &pkt.body {
+                PacketBody::Swish(SwishMsg::Write(w)) => {
+                    if w.seq == 0 {
+                        self.outstanding
+                            .entry(w.writer)
+                            .or_default()
+                            .insert((w.reg, w.key));
+                    }
+                    match w.op {
+                        WriteOp::Add(_) => {
+                            self.tainted.insert((w.reg, w.key));
+                        }
+                        WriteOp::Set(v) if w.seq == 0 => {
+                            self.requested.entry((w.reg, w.key)).or_default().insert(v);
+                        }
+                        WriteOp::Set(v) => {
+                            // A sequenced write: its value must stem from a
+                            // previously delivered request (sequencing
+                            // happens only after the head *received* the
+                            // request).
+                            if self.violation.is_none()
+                                && !self.is_tainted(w.reg, w.key)
+                                && !self.requested_contains(w.reg, w.key, v)
+                            {
+                                self.violation = Some((
+                                    now,
+                                    ViolationKind::InventedValue {
+                                        reg: w.reg,
+                                        key: w.key,
+                                        value: v,
+                                        stage: "wire",
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+                PacketBody::Swish(SwishMsg::Ack(a)) => {
+                    if let Some(set) = self.outstanding.get_mut(&a.writer) {
+                        set.remove(&(a.reg, a.key));
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+/// The online oracle suite. Attach to a deployment before running, then
+/// drive the run through [`OracleSuite::run`] (or interleave
+/// [`Deployment::run_for`] with [`OracleSuite::poll`] manually).
+pub struct OracleSuite {
+    cfg: OracleConfig,
+    wire: Rc<RefCell<WireState>>,
+    /// Last adopted epoch per switch index (0 = not yet adopted).
+    epoch_seen: Vec<u32>,
+    /// Per `(switch index, reg)`: last observed per-slot sequences.
+    seq_seen: BTreeMap<(usize, RegId), Vec<u64>>,
+    /// Tail identity at the previous poll (commit baselines are only
+    /// valid while this is stable).
+    last_tail: Option<NodeId>,
+    /// Per chain register: the tail's last committed per-slot sequences.
+    commit_seen: BTreeMap<RegId, Vec<u64>>,
+    /// `(switch index, reg, slot)` → `(pending seq, first seen)`.
+    pending_since: BTreeMap<(usize, RegId, u32), (u64, SimTime)>,
+    /// Controller event-log prefix already validated.
+    ctrl_events_seen: usize,
+    /// Last controller-issued epoch.
+    ctrl_epoch: u32,
+    first: Option<Violation>,
+}
+
+impl OracleSuite {
+    /// Build a suite and register its wire observer on the deployment.
+    pub fn attach(dep: &mut Deployment, cfg: OracleConfig) -> OracleSuite {
+        let wire: Rc<RefCell<WireState>> = Rc::new(RefCell::new(WireState::default()));
+        dep.add_observer(wire.clone() as ObserverHandle);
+        let n = dep.switch_ids().len();
+        OracleSuite {
+            cfg,
+            wire,
+            epoch_seen: vec![0; n],
+            seq_seen: BTreeMap::new(),
+            last_tail: None,
+            commit_seen: BTreeMap::new(),
+            pending_since: BTreeMap::new(),
+            ctrl_events_seen: 0,
+            ctrl_epoch: 0,
+            first: None,
+        }
+    }
+
+    /// The first violation, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.first.as_ref()
+    }
+
+    /// Drive the deployment to `until`, polling every `poll_interval`.
+    /// Returns the first violation found, or `Ok(())`.
+    pub fn run(&mut self, dep: &mut Deployment, until: SimTime) -> Result<(), Violation> {
+        while dep.now() < until {
+            dep.run_for(self.cfg.poll_interval);
+            if self.poll(dep).is_some() {
+                break;
+            }
+        }
+        match &self.first {
+            Some(v) => Err(v.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn record(&mut self, at: SimTime, kind: ViolationKind) {
+        if self.first.is_none() {
+            self.first = Some(Violation { at, kind });
+        }
+    }
+
+    /// Run all polling oracles once against current deployment state.
+    /// Returns the first violation (sticky across polls).
+    pub fn poll(&mut self, dep: &Deployment) -> Option<&Violation> {
+        let now = dep.now();
+
+        // 1. Wire-level violation detected since the last poll, and crash
+        //    notifications (crashes reset per-switch baselines: recovered
+        //    switches legitimately restart from epoch 0 / seq 0).
+        let (wire_violation, crashed) = {
+            let mut w = self.wire.borrow_mut();
+            (w.violation.take(), std::mem::take(&mut w.crashed))
+        };
+        if let Some((at, kind)) = wire_violation {
+            self.record(at, kind);
+        }
+        for node in crashed {
+            if let Some(i) = dep.switch_index(node) {
+                self.epoch_seen[i] = 0;
+                self.seq_seen.retain(|&(s, _), _| s != i);
+                self.pending_since.retain(|&(s, _, _), _| s != i);
+            }
+            // A crashed tail restarts wiped; its commit counters only
+            // become meaningful again once it is demoted (amnesia
+            // detection) or re-promoted through the learner path.
+            if self.last_tail == Some(node) {
+                self.commit_seen.clear();
+            }
+        }
+
+        // 2. Controller-issued epochs are strictly increasing.
+        let events = dep.controller_events();
+        for ev in &events[self.ctrl_events_seen.min(events.len())..] {
+            if self.ctrl_events_seen > 0 && ev.epoch <= self.ctrl_epoch {
+                self.record(
+                    ev.time,
+                    ViolationKind::ControllerEpochNotIncreasing {
+                        from: self.ctrl_epoch,
+                        to: ev.epoch,
+                    },
+                );
+            }
+            self.ctrl_epoch = ev.epoch;
+            self.ctrl_events_seen += 1;
+        }
+
+        let specs = dep.register_specs().to_vec();
+        let swish = *dep.config();
+        let chain_regs: Vec<(RegId, RegisterClass)> = specs
+            .iter()
+            .filter(|s| matches!(s.class, RegisterClass::Sro | RegisterClass::Ero))
+            .map(|s| (s.id, s.class))
+            .collect();
+
+        // 3. Per-switch adopted-epoch and per-slot sequence monotonicity.
+        for i in 0..dep.switch_ids().len() {
+            if dep.is_switch_failed(i) {
+                continue;
+            }
+            let sw_id = dep.switch_ids()[i];
+            let e = dep.adopted_epoch(i);
+            if e != 0 {
+                if e < self.epoch_seen[i] {
+                    self.record(
+                        now,
+                        ViolationKind::EpochRegressed {
+                            switch: sw_id,
+                            from: self.epoch_seen[i],
+                            to: e,
+                        },
+                    );
+                }
+                self.epoch_seen[i] = e;
+            }
+            for &(reg, _) in &chain_regs {
+                let seqs = dep.chain_seqs(i, reg);
+                let base = self.seq_seen.get(&(i, reg)).cloned().unwrap_or_default();
+                for (slot, &s) in seqs.iter().enumerate() {
+                    if let Some(&b) = base.get(slot) {
+                        if s < b {
+                            self.record(
+                                now,
+                                ViolationKind::SeqRegressed {
+                                    switch: sw_id,
+                                    reg,
+                                    slot: slot as u32,
+                                    from: b,
+                                    to: s,
+                                },
+                            );
+                        }
+                    }
+                }
+                self.seq_seen.insert((i, reg), seqs);
+            }
+        }
+
+        // 4. Tail commit monotonicity (only while the tail is stable).
+        let view = dep.controller_view();
+        let tail = view.chain.last().copied();
+        if tail != self.last_tail {
+            self.commit_seen.clear();
+            self.last_tail = tail;
+        }
+        let tail_alive = tail
+            .and_then(|t| dep.switch_index(t))
+            .filter(|&i| !dep.is_switch_failed(i));
+        if let (Some(t), Some(ti)) = (tail, tail_alive) {
+            for &(reg, _) in &chain_regs {
+                let seqs = dep.chain_seqs(ti, reg);
+                if let Some(base) = self.commit_seen.get(&reg).cloned() {
+                    for (slot, &s) in seqs.iter().enumerate() {
+                        if let Some(&b) = base.get(slot) {
+                            if s < b {
+                                self.record(
+                                    now,
+                                    ViolationKind::CommitRegressed {
+                                        tail: t,
+                                        reg,
+                                        slot: slot as u32,
+                                        from: b,
+                                        to: s,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                self.commit_seen.insert(reg, seqs);
+            }
+        }
+
+        // 5. Pending bits for committed writes must clear after the fault
+        //    horizon. A pending seq *above* the tail's commit belongs to
+        //    an abandoned in-flight write and must stay set.
+        if now >= self.cfg.quiesce_at {
+            if let Some(ti) = tail_alive {
+                for spec in specs.iter().filter(|s| s.class == RegisterClass::Sro) {
+                    let committed = dep.chain_seqs(ti, spec.id);
+                    for i in 0..dep.switch_ids().len() {
+                        if dep.is_switch_failed(i) || !view.chain.contains(&dep.switch_ids()[i]) {
+                            continue;
+                        }
+                        let pend = dep.pending_seqs(i, spec.id);
+                        for (slot, &p) in pend.iter().enumerate() {
+                            let key = (i, spec.id, slot as u32);
+                            let commit = committed.get(slot).copied().unwrap_or(0);
+                            if p != 0 && p <= commit {
+                                let (seq0, since) =
+                                    *self.pending_since.entry(key).or_insert((p, now));
+                                if seq0 == p && now.since(since) > self.cfg.pending_bound {
+                                    self.record(
+                                        now,
+                                        ViolationKind::PendingStuck {
+                                            switch: dep.switch_ids()[i],
+                                            reg: spec.id,
+                                            slot: slot as u32,
+                                            seq: p,
+                                            since,
+                                        },
+                                    );
+                                } else if seq0 != p {
+                                    self.pending_since.insert(key, (p, now));
+                                }
+                            } else {
+                                self.pending_since.remove(&key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 6. Convergence once faults have ceased and the grace elapsed.
+        if now.nanos() >= self.cfg.quiesce_at.nanos() + self.cfg.convergence_grace.as_nanos() {
+            self.check_convergence(dep, &specs, &swish, now);
+        }
+
+        self.first.as_ref()
+    }
+
+    fn check_convergence(
+        &mut self,
+        dep: &Deployment,
+        specs: &[crate::config::RegisterSpec],
+        swish: &SwishConfig,
+        now: SimTime,
+    ) {
+        // Key groups with an abandoned (retry-exhausted) or orphaned
+        // (writer crashed pre-ack) write may hold a chain prefix ahead of
+        // the tail forever: exclude them.
+        let mut abandoned: BTreeSet<(RegId, u32)> = BTreeSet::new();
+        for i in 0..dep.switch_ids().len() {
+            if dep.is_switch_failed(i) {
+                continue;
+            }
+            for &(reg, key) in &dep.metrics(i).cp.abandoned_writes {
+                if let Some(spec) = specs.iter().find(|s| s.id == reg) {
+                    abandoned.insert((reg, key % swish.group_slots(spec.keys)));
+                }
+            }
+        }
+        let view = dep.controller_view();
+        let wire = self.wire.borrow();
+        for &(reg, key) in &wire.orphaned {
+            if let Some(spec) = specs.iter().find(|s| s.id == reg) {
+                abandoned.insert((reg, key % swish.group_slots(spec.keys)));
+            }
+        }
+        let mut found: Vec<ViolationKind> = Vec::new();
+        for spec in specs {
+            match spec.class {
+                RegisterClass::Sro | RegisterClass::Ero => {
+                    // All live chain members agree with the tail; the
+                    // tail's value itself must have been requested.
+                    let Some(ti) = view
+                        .chain
+                        .last()
+                        .and_then(|&t| dep.switch_index(t))
+                        .filter(|&i| !dep.is_switch_failed(i))
+                    else {
+                        continue;
+                    };
+                    let slots = swish.group_slots(spec.keys);
+                    for key in 0..spec.keys {
+                        if abandoned.contains(&(spec.id, key % slots)) {
+                            continue;
+                        }
+                        let vt = dep.peek(ti, spec.id, key);
+                        if vt != 0
+                            && !wire.is_tainted(spec.id, key)
+                            && !wire.requested_contains(spec.id, key, vt)
+                        {
+                            found.push(ViolationKind::InventedValue {
+                                reg: spec.id,
+                                key,
+                                value: vt,
+                                stage: "state",
+                            });
+                        }
+                        for &member in &view.chain {
+                            let Some(j) = dep.switch_index(member) else {
+                                continue;
+                            };
+                            if j == ti || dep.is_switch_failed(j) {
+                                continue;
+                            }
+                            let vj = dep.peek(j, spec.id, key);
+                            if vj != vt {
+                                found.push(ViolationKind::Diverged {
+                                    reg: spec.id,
+                                    key,
+                                    a: dep.switch_ids()[ti],
+                                    va: vt,
+                                    b: member,
+                                    vb: vj,
+                                });
+                            }
+                        }
+                    }
+                }
+                RegisterClass::Ewo => {
+                    // All live replicas agree pairwise (against the first
+                    // live one as reference).
+                    let alive: Vec<usize> = (0..dep.switch_ids().len())
+                        .filter(|&i| !dep.is_switch_failed(i))
+                        .collect();
+                    let Some(&r) = alive.first() else { continue };
+                    for key in 0..spec.keys {
+                        let vr = dep.peek(r, spec.id, key);
+                        for &j in &alive[1..] {
+                            let vj = dep.peek(j, spec.id, key);
+                            if vj != vr {
+                                found.push(ViolationKind::Diverged {
+                                    reg: spec.id,
+                                    key,
+                                    a: dep.switch_ids()[r],
+                                    va: vr,
+                                    b: dep.switch_ids()[j],
+                                    vb: vj,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        drop(wire);
+        for kind in found {
+            self.record(now, kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_state_tracks_requests_and_taint() {
+        let mut w = WireState::default();
+        w.requested.entry((1, 2)).or_default().insert(7);
+        assert!(w.requested_contains(1, 2, 7));
+        assert!(!w.requested_contains(1, 2, 8));
+        assert!(!w.is_tainted(1, 2));
+        w.tainted.insert((1, 2));
+        assert!(w.is_tainted(1, 2));
+    }
+
+    #[test]
+    fn violation_display_is_replayable_context() {
+        let v = Violation {
+            at: SimTime(123),
+            kind: ViolationKind::PendingStuck {
+                switch: NodeId(2),
+                reg: 0,
+                slot: 3,
+                seq: 9,
+                since: SimTime(50),
+            },
+        };
+        let s = v.to_string();
+        assert!(s.contains("123 ns"), "{s}");
+        assert!(s.contains("pending bit stuck"), "{s}");
+    }
+}

@@ -36,8 +36,10 @@
 //! ```
 
 pub mod ctx;
+pub mod fault;
 pub mod link;
 pub mod node;
+pub mod observe;
 pub mod recorder;
 pub mod sim;
 pub mod stats;
@@ -46,8 +48,10 @@ pub mod topology;
 pub mod trace;
 
 pub use ctx::{Ctx, GroupId};
+pub use fault::{FaultAction, FaultEvent, FaultGen, FaultSchedule, LinkOverlay};
 pub use link::{Link, LinkParams, LinkState};
 pub use node::{Node, NodeId, RelayNode};
+pub use observe::{NetEvent, NetObserver, ObserverHandle};
 pub use recorder::{RecorderNode, Recording};
 pub use sim::{AsAny, NodeObj, Simulator};
 pub use stats::{Counter, DropReason, NetStats, TrafficClass};

@@ -15,7 +15,9 @@
 //! measurements behind these choices.
 
 use crate::ctx::{Command, Ctx, GroupId};
+use crate::fault::{FaultAction, FaultSchedule, LinkOverlay};
 use crate::node::Node;
+use crate::observe::{NetEvent, ObserverHandle};
 use crate::stats::{DropReason, NetStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
@@ -64,6 +66,15 @@ enum EventKind {
         a: NodeId,
         b: NodeId,
         down: bool,
+    },
+    LinkDegrade {
+        a: NodeId,
+        b: NodeId,
+        overlay: LinkOverlay,
+    },
+    LinkRestore {
+        a: NodeId,
+        b: NodeId,
     },
     /// Slab slot whose payload was popped (free-listed).
     Vacant,
@@ -206,6 +217,7 @@ pub struct Simulator {
     events_processed: u64,
     peak_queue_depth: usize,
     trace: Option<TraceHandle>,
+    observers: Vec<ObserverHandle>,
     wire_check: bool,
     /// Pooled command buffer reused across dispatches.
     cmd_scratch: Vec<Command>,
@@ -229,6 +241,7 @@ impl Simulator {
             events_processed: 0,
             peak_queue_depth: 0,
             trace: None,
+            observers: Vec::new(),
             wire_check: false,
             cmd_scratch: Vec::new(),
             member_scratch: Vec::new(),
@@ -247,6 +260,20 @@ impl Simulator {
     /// Attach a packet trace: every delivered frame is recorded into it.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Attach a passive observer notified of deliveries and fault-plane
+    /// transitions. Observers cannot influence the run; attaching one
+    /// never changes the event order or RNG stream.
+    pub fn add_observer(&mut self, obs: ObserverHandle) {
+        self.observers.push(obs);
+    }
+
+    #[inline]
+    fn notify(&self, ev: &NetEvent<'_>) {
+        for obs in &self.observers {
+            obs.borrow_mut().on_net_event(self.now, ev);
+        }
     }
 
     /// Register a node under `id`. Panics if `id` is already taken.
@@ -367,6 +394,36 @@ impl Simulator {
         self.push(t, EventKind::LinkSet { a, b, down });
     }
 
+    /// Schedule a parameter overlay on the duplex link `a <-> b` at `t`
+    /// (loss/jitter/corruption burst or gray-failure slowness).
+    pub fn schedule_degrade(&mut self, t: SimTime, a: NodeId, b: NodeId, overlay: LinkOverlay) {
+        self.push(t, EventKind::LinkDegrade { a, b, overlay });
+    }
+
+    /// Schedule restoration of the duplex link `a <-> b` to its pristine
+    /// parameters at `t`.
+    pub fn schedule_restore(&mut self, t: SimTime, a: NodeId, b: NodeId) {
+        self.push(t, EventKind::LinkRestore { a, b });
+    }
+
+    /// Install a [`FaultSchedule`]: each action becomes an ordinary engine
+    /// event at `base + offset`, so the `(time, seq)` total order and the
+    /// single engine RNG are untouched — the same seed plus the same
+    /// schedule replays bit-for-bit, and an empty schedule changes nothing.
+    pub fn schedule_faults(&mut self, base: SimTime, sched: &FaultSchedule) {
+        for ev in sched.events() {
+            let t = base + ev.at;
+            match ev.action {
+                FaultAction::Crash { node } => self.schedule_fail(t, node),
+                FaultAction::Restart { node } => self.schedule_recover(t, node),
+                FaultAction::LinkDown { a, b } => self.schedule_link_set(t, a, b, true),
+                FaultAction::LinkUp { a, b } => self.schedule_link_set(t, a, b, false),
+                FaultAction::Degrade { a, b, overlay } => self.schedule_degrade(t, a, b, overlay),
+                FaultAction::Restore { a, b } => self.schedule_restore(t, a, b),
+            }
+        }
+    }
+
     /// Call `on_start` on every node (idempotent; run methods call it
     /// automatically).
     pub fn start(&mut self) {
@@ -457,6 +514,9 @@ impl Simulator {
                         if let Some(trace) = &self.trace {
                             trace.borrow_mut().record(self.now, &pkt);
                         }
+                        if !self.observers.is_empty() {
+                            self.notify(&NetEvent::Delivered { to, pkt: &pkt });
+                        }
                         self.dispatch(slot, |node, ctx| node.on_packet(pkt, ctx));
                     }
                 }
@@ -474,18 +534,29 @@ impl Simulator {
                     if !s.failed {
                         s.failed = true;
                         s.node.on_fail();
+                        self.notify(&NetEvent::NodeFailed { node });
                     }
                 }
             }
             EventKind::Recover { node } => {
                 if let Some(slot) = self.slot_of(node) {
                     if std::mem::replace(&mut self.nodes[slot].failed, false) {
+                        self.notify(&NetEvent::NodeRecovered { node });
                         self.dispatch(slot, |n, ctx| n.on_start(ctx));
                     }
                 }
             }
             EventKind::LinkSet { a, b, down } => {
                 self.topo.set_link_down(a, b, down);
+                self.notify(&NetEvent::LinkChanged { a, b, down });
+            }
+            EventKind::LinkDegrade { a, b, overlay } => {
+                self.topo.degrade_link(a, b, &overlay);
+                self.notify(&NetEvent::LinkDegraded { a, b });
+            }
+            EventKind::LinkRestore { a, b } => {
+                self.topo.restore_link(a, b);
+                self.notify(&NetEvent::LinkRestored { a, b });
             }
             EventKind::Vacant => unreachable!("vacant slab slot in the event queue"),
         }

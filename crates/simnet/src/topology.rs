@@ -8,6 +8,7 @@
 //! internal representation.
 
 use crate::ctx::GroupId;
+use crate::fault::LinkOverlay;
 use crate::link::{Link, LinkParams};
 use swishmem_wire::NodeId;
 
@@ -143,6 +144,37 @@ impl Topology {
         }
         if let Some((_, l)) = self.adj[sb as usize].iter_mut().find(|(x, _)| *x == sa) {
             l.state.down = down;
+        }
+    }
+
+    /// Overlay fault parameters on the duplex link between `a` and `b`
+    /// (both directions); pristine parameters are saved for
+    /// [`Topology::restore_link`]. No-op when no such link exists.
+    pub fn degrade_link(&mut self, a: NodeId, b: NodeId, overlay: &LinkOverlay) {
+        let (sa, sb) = match (self.lookup(a), self.lookup(b)) {
+            (Some(sa), Some(sb)) => (sa, sb),
+            _ => return,
+        };
+        if let Some((_, l)) = self.adj[sa as usize].iter_mut().find(|(x, _)| *x == sb) {
+            l.degrade(overlay);
+        }
+        if let Some((_, l)) = self.adj[sb as usize].iter_mut().find(|(x, _)| *x == sa) {
+            l.degrade(overlay);
+        }
+    }
+
+    /// Restore the duplex link between `a` and `b` (both directions) to
+    /// its pristine parameters. No-op on missing or undegraded links.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        let (sa, sb) = match (self.lookup(a), self.lookup(b)) {
+            (Some(sa), Some(sb)) => (sa, sb),
+            _ => return,
+        };
+        if let Some((_, l)) = self.adj[sa as usize].iter_mut().find(|(x, _)| *x == sb) {
+            l.restore();
+        }
+        if let Some((_, l)) = self.adj[sb as usize].iter_mut().find(|(x, _)| *x == sa) {
+            l.restore();
         }
     }
 

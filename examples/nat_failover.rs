@@ -12,6 +12,7 @@ use std::net::Ipv4Addr;
 use swishmem::prelude::*;
 use swishmem::{ConfigEventKind, RegisterSpec};
 use swishmem_nf::{Nat, NatConfig, NatStatsHandle};
+use swishmem_simnet::FaultSchedule;
 use swishmem_wire::PacketBody;
 
 fn main() {
@@ -34,6 +35,17 @@ fn main() {
         .register(RegisterSpec::sro(1, "nat_rev", 4096))
         .build(move |id| Box::new(Nat::new(cfg.clone(), s2[id.index()].clone())));
     dep.settle();
+
+    // The whole failure story is declared up front as a fault schedule:
+    // switch 0 crashes 30 ms in and restarts 90 ms later. The same
+    // schedule replayed against the same deployment seed reproduces this
+    // run bit-for-bit.
+    let victim = dep.switch_ids()[0];
+    let sched =
+        FaultSchedule::new().crash_for(victim, SimDuration::millis(30), SimDuration::millis(90));
+    println!("{sched}");
+    let t0 = dep.now();
+    dep.schedule_faults(t0, &sched);
 
     // 1. Outbound connection through switch 0.
     let out = DataPacket::udp(
@@ -58,9 +70,9 @@ fn main() {
     };
     println!("outbound 10.0.0.5:5555 translated to 203.0.113.1:{ext_port} via switch 0");
 
-    // 2. Switch 0 (the one that allocated the mapping) fails.
+    // 2. Switch 0 (the one that allocated the mapping) fails, per the
+    //    schedule (crash fired at t0 + 30 ms).
     let t_fail = dep.now();
-    dep.schedule_fail(t_fail, 0);
     dep.run_for(SimDuration::millis(60));
     println!("switch 0 failed at {t_fail}; controller events:");
     for e in dep.controller_events() {
@@ -94,9 +106,7 @@ fn main() {
         println!("reply translated back at switch 2 despite the failure ✓");
     }
 
-    // 4. Switch 0 recovers and catches up.
-    let t_rec = dep.now();
-    dep.schedule_recover(t_rec, 0);
+    // 4. Switch 0 restarts (schedule: t0 + 120 ms) and catches up.
     dep.run_for(SimDuration::millis(200));
     let events = dep.controller_events();
     assert!(events

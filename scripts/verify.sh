@@ -10,6 +10,12 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+# The seeded fault-sweep suite is part of the workspace run above, but it
+# is the robustness gate, so run it by name too: a failure here prints the
+# deployment seed and the full fault schedule needed to replay it.
+echo "==> cargo test --test fault_sweep (seeded fault schedules vs oracles)"
+cargo test -q --test fault_sweep
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -150,13 +150,65 @@ fn corrupted_frames_are_dropped_not_processed() {
     // corrupted (corrupt frames dropped, periodic sync repairs).
     assert_eq!(dep.peek(0, 0, 1), 30);
     assert_eq!(dep.peek(1, 0, 1), 30);
+    // Corruption is accounted under its own drop reason, not conflated
+    // with random loss (the link here has corrupt_prob but zero loss).
+    let stats = dep.sim.stats();
     assert!(
-        dep.sim
-            .stats()
-            .dropped(swishmem_simnet::DropReason::Corrupt)
-            .packets
-            > 0
+        stats.dropped(swishmem_simnet::DropReason::Corrupt).packets > 0,
+        "seed 23: no corrupt drops despite corrupt_prob=0.5"
     );
+    assert_eq!(
+        stats.dropped(swishmem_simnet::DropReason::Loss).packets,
+        0,
+        "seed 23: loss counter moved on a loss-free link"
+    );
+}
+
+#[test]
+fn lost_clears_repaired_by_tail_pending_sweep() {
+    // Permanently lossy links drop some of the tail's Clear multicasts.
+    // Without repair, the pending bits those clears addressed would stay
+    // set forever and SRO reads would detour to the tail indefinitely.
+    // The tail's periodic pending sweep re-multicasts Clear for committed
+    // slots until every replica has caught up.
+    let seed = 53;
+    let mut dep = DeploymentBuilder::new(3)
+        .hosts(1)
+        .seed(seed)
+        .link(LinkParams::lossy(0.25).with_latency(SimDuration::micros(2)))
+        .register(RegisterSpec::sro(0, "t", 32))
+        .build(|_| Box::new(WriteNf));
+    dep.settle();
+    let t0 = dep.now();
+    for k in 0..32u16 {
+        let mut p = count_pkt(k);
+        p.payload_len = 300 + k;
+        dep.inject(t0 + SimDuration::micros(u64::from(k) * 300), 0, 0, p);
+    }
+    dep.run_for(SimDuration::millis(400));
+
+    // Writers retried everything to completion despite the loss.
+    for k in 0..32u32 {
+        assert_eq!(
+            dep.peek(2, 0, k),
+            u64::from(300 + k as u16),
+            "seed {seed}: key {k} never committed at the tail"
+        );
+    }
+    // No chain member still holds a pending bit for a committed seq.
+    let committed = dep.chain_seqs(2, 0);
+    for i in 0..3 {
+        for (slot, &p) in dep.pending_seqs(i, 0).iter().enumerate() {
+            assert!(
+                p == 0 || p > committed[slot],
+                "seed {seed}: switch {i} slot {slot} pending {p} <= committed {}",
+                committed[slot]
+            );
+        }
+    }
+    // And the sweep actually ran (it is the repair mechanism under test).
+    let sweeps = dep.sum_metric(|m| m.dp.pending_sweep_clears);
+    assert!(sweeps > 0, "seed {seed}: pending sweep never fired");
 }
 
 #[test]

@@ -4,8 +4,10 @@
 #![allow(clippy::field_reassign_with_default)] // configs read clearer as overrides
 
 use std::net::Ipv4Addr;
+use swishmem::oracle::{OracleConfig, OracleSuite};
 use swishmem::prelude::*;
 use swishmem::{ConfigEventKind, NfApp, NfDecision, RegisterSpec, SharedState};
+use swishmem_simnet::FaultSchedule;
 
 struct WriteNf;
 impl NfApp for WriteNf {
@@ -168,5 +170,79 @@ fn epoch_numbers_strictly_increase() {
             "epochs must be strictly increasing"
         );
         assert!(w[1].time >= w[0].time);
+    }
+}
+
+#[test]
+fn repeated_tail_crashes_clear_pending_within_bound() {
+    // The chain *tail* is the member whose death strands pending bits:
+    // writes forwarded to a dead tail are never acknowledged and never
+    // cleared until the chain reconfigures and the writer's retry (or
+    // the new tail's pending sweep) catches up. Cycle the tail down and
+    // up three times via a declarative fault schedule with the online
+    // oracles armed — pending bits set while the tail was down must
+    // clear within the oracle bound once the chain heals.
+    let seed = 47;
+    let mut dep = DeploymentBuilder::new(3)
+        .hosts(1)
+        .seed(seed)
+        .register(RegisterSpec::sro(0, "t", 64))
+        .build(|_| Box::new(WriteNf));
+    dep.settle();
+    let t0 = dep.now();
+
+    // Initial chain is declaration order, so the tail is switch 2.
+    let tail = dep.switch_ids()[2];
+    let mut sched = FaultSchedule::new();
+    for cycle in 0..3u64 {
+        let at = SimDuration::millis(5 + cycle * 55);
+        sched = sched.crash_for(tail, at, SimDuration::millis(25));
+    }
+    let sched_str = sched.to_string();
+    dep.schedule_faults(t0, &sched);
+
+    // Steady writes from switch 0 (never crashes) across all cycles;
+    // some land while the tail is down and strand pending bits upstream.
+    for i in 0..80u64 {
+        dep.inject(
+            t0 + SimDuration::micros(i * 2000),
+            0,
+            0,
+            wpkt((i % 32) as u16, 100 + i as u16),
+        );
+    }
+
+    let horizon = SimDuration::millis(165);
+    let ocfg = OracleConfig::new(t0 + horizon);
+    let mut suite = OracleSuite::attach(&mut dep, ocfg);
+    let end = t0 + horizon + ocfg.convergence_grace + SimDuration::millis(100);
+    if let Err(v) = suite.run(&mut dep, end) {
+        panic!("oracle violation: {v}\nreplay: seed={seed}\n{sched_str}");
+    }
+
+    // The tail came back through the learner path every cycle.
+    let promos = dep
+        .controller_events()
+        .iter()
+        .filter(|e| e.kind == ConfigEventKind::Promoted(tail))
+        .count();
+    assert!(
+        promos >= 3,
+        "expected 3 promotions of the tail, got {promos}"
+    );
+
+    // Explicit post-condition on top of the oracle: no chain member
+    // still holds a pending bit for a sequence the tail has committed.
+    let view = dep.controller_view();
+    let ti = dep.switch_index(view.chain[view.chain.len() - 1]).unwrap();
+    let committed = dep.chain_seqs(ti, 0);
+    for i in 0..3 {
+        for (slot, &p) in dep.pending_seqs(i, 0).iter().enumerate() {
+            assert!(
+                p == 0 || p > committed[slot],
+                "switch {i} slot {slot}: pending seq {p} <= committed {}",
+                committed[slot]
+            );
+        }
     }
 }
