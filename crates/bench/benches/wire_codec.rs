@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::net::Ipv4Addr;
 use swishmem_wire::cursor::{Reader, Writer};
 use swishmem_wire::l4::TcpFlags;
-use swishmem_wire::swish::{SyncEntry, SyncUpdate, WriteOp, WriteRequest};
+use swishmem_wire::swish::{SyncEntry, SyncUpdate, TraceId, WriteOp, WriteRequest};
 use swishmem_wire::{DataPacket, FlowKey, NodeId, Packet, SwishMsg};
 
 fn data_packet() -> Packet {
@@ -34,6 +34,7 @@ fn sync_packet(entries: usize) -> Packet {
         SwishMsg::Sync(SyncUpdate {
             reg: 3,
             origin: NodeId(0),
+            trace: TraceId::new(NodeId(0), 1),
             entries: (0..entries as u32)
                 .map(|k| SyncEntry {
                     key: k,
@@ -64,6 +65,7 @@ fn bench(c: &mut Criterion) {
         key: 777,
         seq: 5,
         op: WriteOp::Set(0xdead_beef),
+        trace: TraceId::new(NodeId(1), 42),
     });
     c.bench_function("wire/write_request_encode", |b| {
         b.iter(|| {

@@ -27,7 +27,7 @@ fn main() {
             .collect()
     };
     if to_run.is_empty() {
-        eprintln!("no matching experiments; known ids: e1..e14");
+        eprintln!("no matching experiments; known ids: e1..e18");
         std::process::exit(2);
     }
 

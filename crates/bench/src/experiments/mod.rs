@@ -19,6 +19,7 @@ pub mod e14_cp_vs_dp;
 pub mod e15_clock_skew;
 pub mod e16_setup_latency;
 pub mod e17_fault_sweep;
+pub mod e18_trace_overhead;
 
 use crate::table::ExperimentResult;
 
@@ -45,5 +46,6 @@ pub fn all() -> Vec<(&'static str, RunFn)> {
         ("e15", e15_clock_skew::run),
         ("e16", e16_setup_latency::run),
         ("e17", e17_fault_sweep::run),
+        ("e18", e18_trace_overhead::run),
     ]
 }

@@ -19,6 +19,7 @@
 pub mod experiments;
 pub mod json;
 pub mod scenarios;
+pub mod spans;
 pub mod table;
 
 pub use table::{ExperimentResult, Table};

@@ -1,0 +1,264 @@
+//! Span analysis: reconstruct per-operation latency breakdowns from the
+//! simulator's causal span markers, aggregate per-phase percentiles, and
+//! export Chrome/Perfetto `trace_event` JSON.
+//!
+//! Span markers are *points*, not intervals; a phase's duration is the
+//! gap from the previous marker, attributed to the **later** marker's
+//! kind ("the time it took to reach this phase"). Consecutive gaps
+//! telescope, so a completed operation's per-phase durations sum exactly
+//! to its end-to-end latency — the property `trace_explain` uses to
+//! reconcile breakdowns against the `write_latency` histogram with zero
+//! slack.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use swishmem::Histogram;
+use swishmem_simnet::{SpanEvent, SpanPhase};
+use swishmem_wire::TraceId;
+
+/// One attributed phase of one operation.
+#[derive(Debug, Clone)]
+pub struct PhaseSlice {
+    /// Display label of the phase reached (`punt`, `retry[2]`, ...).
+    pub label: String,
+    /// Time spent reaching it from the previous marker, in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// The reconstructed timeline of one logical operation.
+#[derive(Debug, Clone)]
+pub struct TraceBreakdown {
+    /// The operation.
+    pub trace: TraceId,
+    /// Attributed phases in time order (first marker opens the clock and
+    /// contributes no slice of its own).
+    pub slices: Vec<PhaseSlice>,
+    /// End-to-end nanoseconds: last marker minus first marker. Equals the
+    /// sum of `slices` durations by construction.
+    pub total_ns: u64,
+    /// The operation's final phase (e.g. `Release` for a completed SRO
+    /// write, `Abandon` for an exhausted one).
+    pub last_phase: SpanPhase,
+}
+
+impl TraceBreakdown {
+    /// True when the operation is a fully-acknowledged SRO/ERO write.
+    pub fn completed_write(&self) -> bool {
+        self.last_phase == SpanPhase::Release
+    }
+}
+
+/// Group raw span events into per-trace breakdowns (time-sorted; ties
+/// keep emission order, which matches causal order within one node).
+pub fn explain(events: &[SpanEvent]) -> Vec<TraceBreakdown> {
+    let mut by_trace: BTreeMap<u64, Vec<SpanEvent>> = BTreeMap::new();
+    for e in events {
+        by_trace.entry(e.trace.0).or_default().push(*e);
+    }
+    let mut out = Vec::with_capacity(by_trace.len());
+    for (id, mut tl) in by_trace {
+        tl.sort_by_key(|e| e.time);
+        let slices = tl
+            .windows(2)
+            .map(|w| PhaseSlice {
+                label: w[1].phase.label(),
+                dur_ns: (w[1].time - w[0].time).as_nanos(),
+            })
+            .collect();
+        out.push(TraceBreakdown {
+            trace: TraceId(id),
+            slices,
+            total_ns: (tl[tl.len() - 1].time - tl[0].time).as_nanos(),
+            last_phase: tl[tl.len() - 1].phase,
+        });
+    }
+    out
+}
+
+/// Aggregate per-phase duration histograms across many operations,
+/// keyed by phase label, in first-seen order.
+pub fn phase_histograms(breakdowns: &[TraceBreakdown]) -> Vec<(String, Histogram)> {
+    let mut out: Vec<(String, Histogram)> = Vec::new();
+    for b in breakdowns {
+        for s in &b.slices {
+            match out.iter_mut().find(|(l, _)| *l == s.label) {
+                Some((_, h)) => h.record_ns(s.dur_ns),
+                None => {
+                    let mut h = Histogram::new();
+                    h.record_ns(s.dur_ns);
+                    out.push((s.label.clone(), h));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render span events as a Chrome/Perfetto `trace_event` JSON document
+/// (loadable in ui.perfetto.dev or chrome://tracing).
+///
+/// Layout: one Perfetto *thread* per trace (named after its TraceId),
+/// grouped under one *process* per originating switch. Each phase slice
+/// is a complete (`"X"`) event whose `ts`/`dur` are the gap from the
+/// previous marker, so the rendered track mirrors the telescoping
+/// breakdown; the opening marker is an instant (`"i"`) event.
+pub fn to_perfetto(events: &[SpanEvent]) -> Json {
+    // Chrome trace_event timestamps are microseconds; keep sub-µs
+    // precision by emitting fractional values.
+    let us = |ns: u64| Json::Num(ns as f64 / 1000.0);
+
+    let mut by_trace: BTreeMap<u64, Vec<SpanEvent>> = BTreeMap::new();
+    for e in events {
+        by_trace.entry(e.trace.0).or_default().push(*e);
+    }
+
+    let mut out: Vec<Json> = Vec::new();
+    let mut named_pids: Vec<u64> = Vec::new();
+    for (tid_seq, (id, tl)) in by_trace.iter_mut().enumerate() {
+        tl.sort_by_key(|e| e.time);
+        let trace = TraceId(*id);
+        let pid = tl[0].trace.0 >> 48; // origin node + 1
+        let tid = tid_seq as u64 + 1;
+        if !named_pids.contains(&pid) {
+            named_pids.push(pid);
+            out.push(Json::obj(vec![
+                ("name", Json::str("process_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::from(pid)),
+                (
+                    "args",
+                    Json::obj(vec![(
+                        "name",
+                        Json::str(format!("switch n{}", pid.saturating_sub(1))),
+                    )]),
+                ),
+            ]));
+        }
+        out.push(Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::from(pid)),
+            ("tid", Json::from(tid)),
+            (
+                "args",
+                Json::obj(vec![("name", Json::str(format!("{trace}")))]),
+            ),
+        ]));
+        out.push(Json::obj(vec![
+            ("name", Json::str(tl[0].phase.label())),
+            ("cat", Json::str("span")),
+            ("ph", Json::str("i")),
+            ("s", Json::str("t")),
+            ("ts", us(tl[0].time.nanos())),
+            ("pid", Json::from(pid)),
+            ("tid", Json::from(tid)),
+            (
+                "args",
+                Json::obj(vec![("node", Json::str(format!("{}", tl[0].node)))]),
+            ),
+        ]));
+        for w in tl.windows(2) {
+            out.push(Json::obj(vec![
+                ("name", Json::str(w[1].phase.label())),
+                ("cat", Json::str("span")),
+                ("ph", Json::str("X")),
+                ("ts", us(w[0].time.nanos())),
+                ("dur", us((w[1].time - w[0].time).as_nanos())),
+                ("pid", Json::from(pid)),
+                ("tid", Json::from(tid)),
+                (
+                    "args",
+                    Json::obj(vec![("node", Json::str(format!("{}", w[1].node)))]),
+                ),
+            ]));
+        }
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::str("ns")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swishmem_simnet::SimTime;
+    use swishmem_wire::NodeId;
+
+    fn ev(t: u64, trace: TraceId, node: u16, phase: SpanPhase) -> SpanEvent {
+        SpanEvent {
+            time: SimTime(t),
+            trace,
+            node: NodeId(node),
+            phase,
+        }
+    }
+
+    fn write_timeline(trace: TraceId) -> Vec<SpanEvent> {
+        vec![
+            ev(100, trace, 0, SpanPhase::Ingress),
+            ev(135, trace, 0, SpanPhase::Punt),
+            ev(145, trace, 0, SpanPhase::CpDequeue),
+            ev(155, trace, 0, SpanPhase::JobStart),
+            ev(200, trace, 0, SpanPhase::ChainHop(0)),
+            ev(260, trace, 1, SpanPhase::ChainHop(1)),
+            ev(320, trace, 2, SpanPhase::Ack),
+            ev(400, trace, 0, SpanPhase::Release),
+        ]
+    }
+
+    #[test]
+    fn breakdown_telescopes_to_end_to_end() {
+        let t = TraceId::new(NodeId(0), 1);
+        let b = explain(&write_timeline(t));
+        assert_eq!(b.len(), 1);
+        let b = &b[0];
+        assert!(b.completed_write());
+        assert_eq!(b.total_ns, 300);
+        let sum: u64 = b.slices.iter().map(|s| s.dur_ns).sum();
+        assert_eq!(sum, b.total_ns, "phase gaps telescope exactly");
+        assert_eq!(b.slices[0].label, "punt");
+        assert_eq!(b.slices.last().unwrap().label, "release");
+    }
+
+    #[test]
+    fn gap_attribution_uses_the_later_marker() {
+        // A retry firing after the ack was sent (interleaving): the gap
+        // before `retry[1]` belongs to the retry, the next gap to release.
+        let t = TraceId::new(NodeId(3), 9);
+        let mut tl = write_timeline(t);
+        tl.push(ev(350, t, 0, SpanPhase::Retry(1)));
+        let b = explain(&tl);
+        let labels: Vec<&str> = b[0].slices.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels[labels.len() - 2], "retry[1]");
+        assert_eq!(labels[labels.len() - 1], "release");
+        let sum: u64 = b[0].slices.iter().map(|s| s.dur_ns).sum();
+        assert_eq!(sum, b[0].total_ns);
+    }
+
+    #[test]
+    fn phase_histograms_aggregate_across_traces() {
+        let a = TraceId::new(NodeId(0), 1);
+        let b = TraceId::new(NodeId(1), 1);
+        let mut evs = write_timeline(a);
+        evs.extend(write_timeline(b));
+        let hists = phase_histograms(&explain(&evs));
+        let punt = hists.iter().find(|(l, _)| l == "punt").unwrap();
+        assert_eq!(punt.1.count(), 2);
+        assert_eq!(punt.1.max_ns(), 35);
+    }
+
+    #[test]
+    fn perfetto_document_shape() {
+        let t = TraceId::new(NodeId(0), 1);
+        let doc = to_perfetto(&write_timeline(t)).pretty();
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"ph\": \"X\""));
+        assert!(doc.contains("\"ph\": \"M\""));
+        assert!(doc.contains("\"ph\": \"i\""));
+        assert!(doc.contains("\"chain_hop[1]\""));
+        assert!(doc.contains("switch n0"));
+        // ts rendered in microseconds: the 100 ns ingress is 0.1 µs.
+        assert!(doc.contains("\"ts\": 0.1"));
+    }
+}

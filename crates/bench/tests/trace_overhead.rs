@@ -1,0 +1,22 @@
+//! Smoke test for the E18 gate: span telemetry compiled in but disabled
+//! must not meaningfully slow the event engine. The CI gate here is
+//! deliberately generous (25%) to tolerate noisy shared runners; the
+//! experiment itself reports against the real <2% target.
+
+use swishmem_bench::experiments::e18_trace_overhead::measure_pair;
+
+#[test]
+fn detached_tracing_overhead_is_small() {
+    const EVENTS: u64 = 20_000;
+    // Interleaved best-of-5 each — min wall-clock of a deterministic
+    // workload is robust to scheduler noise.
+    let (plain, traced) = measure_pair(EVENTS, 5);
+    let ratio = plain / traced;
+    assert!(
+        ratio < 1.25,
+        "detached span tracing slowed the engine {:.1}% (plain {:.2}M ev/s, traced {:.2}M ev/s)",
+        (ratio - 1.0) * 100.0,
+        plain / 1e6,
+        traced / 1e6,
+    );
+}

@@ -398,6 +398,32 @@ impl Deployment {
         self.sim.add_observer(obs);
     }
 
+    /// Attach a causal span collector: every protocol phase marker
+    /// (ingress, punt, chain hops, ack, release, …) is recorded into the
+    /// returned handle, capped at `capacity` events. Purely passive —
+    /// attaching changes no simulation outcome (see the determinism
+    /// tests).
+    pub fn attach_tracing(&mut self, capacity: usize) -> swishmem_simnet::SpanHandle {
+        let h = swishmem_simnet::SpanCollector::new(capacity);
+        self.sim.set_spans(h.clone());
+        h
+    }
+
+    /// Detach the span collector; span emission reverts to a no-op.
+    pub fn detach_tracing(&mut self) {
+        self.sim.clear_spans();
+    }
+
+    /// Run to absolute time `t`, pausing every `sampler.interval()` to
+    /// take a metrics sample of every switch.
+    pub fn run_sampled(&mut self, t: SimTime, sampler: &mut crate::telemetry::TimeSeriesSampler) {
+        while self.now() < t {
+            let next = (self.now() + sampler.interval()).min(t);
+            self.sim.run_until(next);
+            sampler.sample(self);
+        }
+    }
+
     /// Fault-plane link targets of this deployment: every inter-switch
     /// pair plus the controller star (the latter models control-plane
     /// message delay/drop when degraded). Pairs without a physical link

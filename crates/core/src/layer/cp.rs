@@ -23,11 +23,11 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use swishmem_pisa::{ControlApp, CpCtx, RegHandle};
-use swishmem_simnet::{SimDuration, SimTime};
+use swishmem_simnet::{SimDuration, SimTime, SpanPhase};
 use swishmem_wire::swish::{
     CatchupComplete, Heartbeat, Key, RegId, SnapEntry, SnapshotChunk, WriteOp, WriteRequest,
 };
-use swishmem_wire::{DataPacket, NodeId, PacketBody, SwishMsg};
+use swishmem_wire::{DataPacket, NodeId, PacketBody, SwishMsg, TraceId};
 
 const TT_RETRY: u64 = 1 << 44;
 const TT_HEARTBEAT: u64 = 2 << 44;
@@ -47,7 +47,13 @@ fn splitmix64(mut x: u64) -> u64 {
 struct Job {
     remaining: usize,
     decision: Option<(NodeId, DataPacket)>,
-    started: SimTime,
+    /// Causal trace assigned at NF ingress; every span this job's writes
+    /// produce carries it.
+    trace: TraceId,
+    /// NF-ingress time of the punted packet: `write_latency` measures
+    /// ingress → output-packet release, so punt + CP queueing delay is
+    /// part of the reported write latency.
+    ingress: SimTime,
 }
 
 #[derive(Debug)]
@@ -57,6 +63,7 @@ struct WriteState {
     key: Key,
     op: WriteOp,
     attempts: u32,
+    trace: TraceId,
 }
 
 /// The control-plane application of one SwiShmem switch.
@@ -112,6 +119,17 @@ impl SwishCp {
         self.writes.len()
     }
 
+    /// Jobs currently buffered (output packet held in DRAM). The
+    /// time-series sampler records this as the CP queue depth.
+    pub fn buffered_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Snapshot chunks queued toward a recovering switch.
+    pub fn snapshot_backlog(&self) -> usize {
+        self.snap_out.len()
+    }
+
     /// The chain configuration this switch currently operates under.
     pub fn view(&self) -> &ChainView {
         &self.view
@@ -149,6 +167,7 @@ impl SwishCp {
                 key: ws.key,
                 seq: 0, // the head sequences
                 op: ws.op,
+                trace: ws.trace,
             })),
         );
     }
@@ -157,6 +176,8 @@ impl SwishCp {
         &mut self,
         writes: Vec<super::StagedWrite>,
         decision: Option<(NodeId, DataPacket)>,
+        trace: TraceId,
+        ingress: SimTime,
         cp: &mut CpCtx<'_, '_>,
     ) {
         // Bounded buffer: shed (and count) rather than queueing without
@@ -167,17 +188,20 @@ impl SwishCp {
             if decision.is_some() {
                 self.metrics.packets_shed += 1;
             }
+            cp.span(trace, SpanPhase::Shed);
             return;
         }
         let job_id = self.next_job;
         self.next_job += 1;
         self.metrics.jobs_started += 1;
+        cp.span(trace, SpanPhase::JobStart);
         self.jobs.insert(
             job_id,
             Job {
                 remaining: writes.len(),
                 decision,
-                started: cp.now(),
+                trace,
+                ingress,
             },
         );
         for w in writes {
@@ -191,6 +215,7 @@ impl SwishCp {
                     key: w.key,
                     op: w.op,
                     attempts: 0,
+                    trace,
                 },
             );
             self.send_write(write_id, cp);
@@ -209,7 +234,8 @@ impl SwishCp {
         if job.remaining == 0 {
             let job = self.jobs.remove(&ws.job).expect("job present");
             self.metrics.jobs_completed += 1;
-            self.metrics.write_latency.record(cp.now() - job.started);
+            self.metrics.write_latency.record(cp.now() - job.ingress);
+            cp.span(job.trace, SpanPhase::Release);
             if let Some((dst, pkt)) = job.decision {
                 // Release P': "the packet is injected back to the data
                 // plane and forwarded to its destination" (§7).
@@ -224,13 +250,14 @@ impl SwishCp {
     /// `(reg, key)` so the convergence oracle can exclude those groups —
     /// an abandoned write may legitimately leave a chain prefix applied
     /// ahead of the tail forever.
-    fn abandon_write(&mut self, write_id: u64) {
+    fn abandon_write(&mut self, write_id: u64, cp: &mut CpCtx<'_, '_>) {
         let Some(ws) = self.writes.remove(&write_id) else {
             return;
         };
         let job_id = ws.job;
+        cp.span(ws.trace, SpanPhase::Abandon);
         self.metrics.writes_exhausted += 1;
-        self.metrics.abandoned_writes.push((ws.reg, ws.key));
+        self.metrics.record_abandoned(ws.reg, ws.key);
         let siblings: Vec<u64> = self
             .writes
             .iter()
@@ -240,7 +267,7 @@ impl SwishCp {
         for id in siblings {
             let w = self.writes.remove(&id).expect("sibling present");
             self.metrics.writes_exhausted += 1;
-            self.metrics.abandoned_writes.push((w.reg, w.key));
+            self.metrics.record_abandoned(w.reg, w.key);
         }
         if let Some(job) = self.jobs.remove(&job_id) {
             self.metrics.jobs_failed += 1;
@@ -385,7 +412,12 @@ impl ControlApp for SwishCp {
             return;
         };
         match *item {
-            CpItem::WriteJob { writes, decision } => self.handle_write_job(writes, decision, cp),
+            CpItem::WriteJob {
+                writes,
+                decision,
+                trace,
+                ingress,
+            } => self.handle_write_job(writes, decision, trace, ingress, cp),
             CpItem::SnapshotDone => {
                 cp.packet_out(
                     self.controller,
@@ -434,11 +466,13 @@ impl ControlApp for SwishCp {
                 };
                 ws.attempts += 1;
                 if ws.attempts > self.cfg.max_retries {
-                    self.abandon_write(write_id);
+                    self.abandon_write(write_id, cp);
                     return;
                 }
                 let attempts = ws.attempts;
+                let trace = ws.trace;
                 self.metrics.retries += 1;
+                cp.span(trace, SpanPhase::Retry(attempts as u16));
                 self.send_write(write_id, cp);
                 cp.set_timer(self.retry_delay(write_id, attempts), TT_RETRY | write_id);
             }

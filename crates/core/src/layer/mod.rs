@@ -298,6 +298,12 @@ pub enum CpItem {
         writes: Vec<StagedWrite>,
         /// The output packet `P'` and its destination, released on ack.
         decision: Option<(NodeId, DataPacket)>,
+        /// Causal trace assigned at NF ingress, carried through every
+        /// protocol message this job spawns.
+        trace: swishmem_wire::TraceId,
+        /// NF-ingress time of the packet that staged these writes; the
+        /// `write_latency` histogram measures ingress → release.
+        ingress: swishmem_simnet::SimTime,
     },
     /// A protocol message the control plane handles (acks, configuration,
     /// snapshot requests).

@@ -12,11 +12,11 @@ use crate::metrics::DpMetrics;
 use crate::version::SwitchClock;
 use std::rc::Rc;
 use swishmem_pisa::{DataPlane, DataPlaneProgram, DpView, Effects};
-use swishmem_simnet::SimTime;
+use swishmem_simnet::{SimTime, SpanPhase};
 use swishmem_wire::swish::{
     PendingClear, ReadForward, RegId, SnapshotChunk, SyncEntry, SyncUpdate, WriteOp, WriteRequest,
 };
-use swishmem_wire::{DataPacket, NodeId, Packet, PacketBody, SwishMsg};
+use swishmem_wire::{DataPacket, NodeId, Packet, PacketBody, SwishMsg, TraceId};
 
 /// The data-plane program of one SwiShmem switch.
 pub struct SwishProgram {
@@ -33,6 +33,11 @@ pub struct SwishProgram {
     sweep_cursor: (usize, u32),
     /// Eager-mirror entries awaiting a batch flush.
     mirror_buf: Vec<(RegId, SyncEntry)>,
+    /// Per-switch causal-trace counter: each logical operation entering
+    /// the NF at this switch gets `TraceId::new(me, counter)`. Pure
+    /// bookkeeping — advancing it draws no randomness and schedules no
+    /// events, so tracing never perturbs the simulation.
+    next_trace: u64,
 }
 
 impl SwishProgram {
@@ -55,7 +60,14 @@ impl SwishProgram {
             sync_cursor: (0, 0),
             sweep_cursor: (0, 0),
             mirror_buf: Vec::new(),
+            next_trace: 0,
         }
+    }
+
+    /// Allocate the next causal trace id originating at this switch.
+    fn alloc_trace(&mut self) -> TraceId {
+        self.next_trace += 1;
+        TraceId::new(self.me, self.next_trace)
     }
 
     /// Data-plane metrics.
@@ -117,6 +129,7 @@ impl SwishProgram {
         d: DataPacket,
         ingress: NodeId,
         may_redirect: bool,
+        trace: TraceId,
         dp: &mut DpView<'_>,
         eff: &mut Effects,
     ) {
@@ -143,10 +156,12 @@ impl SwishProgram {
                     // Discard this pass entirely; the tail re-executes the
                     // packet against committed state (§6.1).
                     self.metrics.reads_forwarded += 1;
+                    eff.span(trace, SpanPhase::RedirectToTail);
                     eff.forward(
                         tail,
                         PacketBody::Swish(SwishMsg::ReadForward(ReadForward {
                             origin: self.me,
+                            trace,
                             inner: d,
                         })),
                     );
@@ -167,7 +182,7 @@ impl SwishProgram {
 
         if !ewo_writes.is_empty() {
             let entries = self.apply_ewo(&ewo_writes, dp);
-            self.queue_mirror(entries, eff);
+            self.queue_mirror(entries, trace, eff);
         }
 
         if !chain_writes.is_empty() {
@@ -178,10 +193,15 @@ impl SwishProgram {
                 NfDecision::Forward { dst, pkt } => Some((dst, pkt)),
                 NfDecision::Drop => None,
             };
-            eff.punt(CpItem::WriteJob {
-                writes: chain_writes,
-                decision,
-            });
+            eff.punt_traced(
+                CpItem::WriteJob {
+                    writes: chain_writes,
+                    decision,
+                    trace,
+                    ingress: dp.now(),
+                },
+                trace,
+            );
             return;
         }
 
@@ -270,17 +290,24 @@ impl SwishProgram {
 
     /// Queue eager-mirror entries, flushing when the batch threshold is
     /// reached (§7: batching trades bandwidth for staleness).
-    fn queue_mirror(&mut self, entries: Vec<(RegId, SyncEntry)>, eff: &mut Effects) {
+    fn queue_mirror(
+        &mut self,
+        entries: Vec<(RegId, SyncEntry)>,
+        trace: TraceId,
+        eff: &mut Effects,
+    ) {
         if !self.cfg.eager_updates || entries.is_empty() {
             return;
         }
         self.mirror_buf.extend(entries);
         if self.mirror_buf.len() >= self.cfg.batch_size.max(1) {
-            self.flush_mirror(eff);
+            self.flush_mirror(trace, eff);
         }
     }
 
-    fn flush_mirror(&mut self, eff: &mut Effects) {
+    /// `trace` attributes the flush: the packet that tipped the batch
+    /// over, or the sync round that drained a lingering batch.
+    fn flush_mirror(&mut self, trace: TraceId, eff: &mut Effects) {
         if self.mirror_buf.is_empty() {
             return;
         }
@@ -299,6 +326,7 @@ impl SwishProgram {
                 PacketBody::Swish(SwishMsg::Sync(SyncUpdate {
                     reg,
                     origin: self.me,
+                    trace,
                     entries: entries.into(),
                 })),
             );
@@ -360,6 +388,7 @@ impl SwishProgram {
         dp.reg_write(val, req.key as usize, value);
         dp.reg_write(seq, g, assigned);
         self.metrics.chain_applies += 1;
+        eff.span(req.trace, SpanPhase::ChainHop(pos as u8));
 
         let fwd = WriteRequest {
             seq: assigned,
@@ -371,6 +400,7 @@ impl SwishProgram {
             // everywhere — ack processing entirely in the data plane
             // (§3.3). The tail itself never sets a pending bit, so its
             // reads always reflect committed state (CRAQ).
+            eff.span(req.trace, SpanPhase::Ack);
             eff.forward(
                 req.writer,
                 PacketBody::Swish(SwishMsg::Ack(swishmem_wire::swish::WriteAck {
@@ -379,6 +409,7 @@ impl SwishProgram {
                     reg: req.reg,
                     key: req.key,
                     seq: assigned,
+                    trace: req.trace,
                 })),
             );
             eff.multicast(
@@ -503,11 +534,12 @@ impl SwishProgram {
     // EWO merge + periodic sync (§6.2, §7)
     // ------------------------------------------------------------------
 
-    fn on_sync(&mut self, u: &SyncUpdate, dp: &mut DpView<'_>) {
+    fn on_sync(&mut self, u: &SyncUpdate, dp: &mut DpView<'_>, eff: &mut Effects) {
         let entry = self.handles.entry(u.reg);
         let RegKind::Ewo { slots } = &entry.kind else {
             return;
         };
+        eff.span(u.trace, SpanPhase::SyncMerge);
         let slots = slots.clone();
         for e in &u.entries {
             let changed = match entry.spec.policy {
@@ -541,7 +573,7 @@ impl SwishProgram {
     /// (§7: the packet generator "iterates over the register array,
     /// forming write update packets ... forwarding each one to a
     /// randomly-selected switch in the replica group").
-    fn periodic_sync(&mut self, dp: &mut DpView<'_>, eff: &mut Effects) {
+    fn periodic_sync(&mut self, trace: TraceId, dp: &mut DpView<'_>, eff: &mut Effects) {
         let ewo_regs: Vec<usize> = self
             .handles
             .regs
@@ -614,6 +646,7 @@ impl SwishProgram {
                 PacketBody::Swish(SwishMsg::Sync(SyncUpdate {
                     reg,
                     origin: self.me,
+                    trace,
                     entries: entries.into(),
                 })),
             );
@@ -653,14 +686,21 @@ impl SwishProgram {
 impl DataPlaneProgram for SwishProgram {
     fn on_packet(&mut self, pkt: Packet, dp: &mut DpView<'_>, eff: &mut Effects) {
         match pkt.body {
-            PacketBody::Data(d) => self.handle_data(d, pkt.src, true, dp, eff),
+            PacketBody::Data(d) => {
+                // Each data packet entering the NF is one logical
+                // operation: assign its causal trace here (§ tracing).
+                let trace = self.alloc_trace();
+                eff.span(trace, SpanPhase::Ingress);
+                self.handle_data(d, pkt.src, true, trace, dp, eff);
+            }
             PacketBody::Swish(msg) => match msg {
                 SwishMsg::Write(req) => self.on_chain_write(req, dp, eff),
                 SwishMsg::Clear(c) => self.on_clear(c, dp),
-                SwishMsg::Sync(u) => self.on_sync(&u, dp),
+                SwishMsg::Sync(u) => self.on_sync(&u, dp, eff),
                 SwishMsg::ReadForward(rf) => {
                     self.metrics.tail_reads_served += 1;
-                    self.handle_data(rf.inner, rf.origin, false, dp, eff);
+                    eff.span(rf.trace, SpanPhase::TailServe);
+                    self.handle_data(rf.inner, rf.origin, false, rf.trace, dp, eff);
                 }
                 SwishMsg::SnapChunk(ch) => self.on_snap_chunk(&ch, dp, eff),
                 // Control-plane messages move into the punt item whole —
@@ -672,8 +712,16 @@ impl DataPlaneProgram for SwishProgram {
 
     fn on_pktgen(&mut self, token: u64, dp: &mut DpView<'_>, eff: &mut Effects) {
         if token == SYNC_PKTGEN_TOKEN {
-            self.flush_mirror(eff); // batched eager entries must not linger
-            self.periodic_sync(dp, eff);
+            // One EWO sync round is one logical operation — but an idle
+            // tick (nothing to flush or walk) emits nothing, span
+            // included, so quiescent switches stay silent.
+            let trace = self.alloc_trace();
+            let before = eff.len();
+            self.flush_mirror(trace, eff); // batched eager entries must not linger
+            self.periodic_sync(trace, dp, eff);
+            if eff.len() > before {
+                eff.span(trace, SpanPhase::SyncRound);
+            }
         } else if token == PENDING_SWEEP_PKTGEN_TOKEN {
             self.pending_sweep(dp, eff);
         }
@@ -684,6 +732,7 @@ impl DataPlaneProgram for SwishProgram {
         self.sync_cursor = (0, 0);
         self.sweep_cursor = (0, 0);
         self.mirror_buf.clear();
+        self.next_trace = 0;
         self.clock.reset();
         self.app.reset();
     }

@@ -53,6 +53,7 @@ pub mod directory;
 pub mod layer;
 pub mod metrics;
 pub mod oracle;
+pub mod telemetry;
 pub mod typed;
 pub mod version;
 
@@ -62,8 +63,9 @@ pub use controller::{ConfigEvent, ConfigEventKind, Controller};
 pub use deployment::{Deployment, DeploymentBuilder, Fabric, SwishSwitch, HOST_BASE, SPINE_BASE};
 pub use directory::DirectoryService;
 pub use layer::{ChainView, REPLICA_GROUP};
-pub use metrics::{CpMetrics, DpMetrics, Histogram, SwitchMetrics};
+pub use metrics::{CpMetrics, DpMetrics, Histogram, HistogramSummary, SwitchMetrics};
 pub use oracle::{OracleConfig, OracleSuite, Violation, ViolationKind};
+pub use telemetry::{MetricsSample, RingBuffer, TimeSeriesSampler};
 pub use typed::{SharedCounter, SharedValue};
 pub use version::SwitchClock;
 

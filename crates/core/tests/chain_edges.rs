@@ -9,7 +9,7 @@ use swishmem::layer::{write_chain_for_tests, ChainView, Handles};
 use swishmem::{ClockMode, RegisterSpec, SwishConfig, SwitchClock};
 use swishmem_pisa::{DataPlane, DataPlaneProgram, DpView, Effect, Effects};
 use swishmem_simnet::SimTime;
-use swishmem_wire::swish::{PendingClear, WriteOp, WriteRequest};
+use swishmem_wire::swish::{PendingClear, TraceId, WriteOp, WriteRequest};
 use swishmem_wire::{NodeId, Packet, PacketBody, SwishMsg};
 
 struct Rig {
@@ -51,6 +51,7 @@ fn write_req(writer: u16, key: u32, seq: u64, value: u64) -> Packet {
             key,
             seq,
             op: WriteOp::Set(value),
+            trace: TraceId::NONE,
         }),
     )
 }
@@ -226,6 +227,7 @@ fn head_rewrites_add_into_set_before_forwarding() {
             key: 5,
             seq: 0,
             op: WriteOp::Add(7),
+            trace: TraceId::NONE,
         }),
     );
     let fx = deliver(&mut r, add);

@@ -12,7 +12,7 @@ use swishmem::layer::{write_chain_for_tests, ChainView, Handles, SYNC_PKTGEN_TOK
 use swishmem::{ClockMode, RegisterSpec, SwishConfig, SwitchClock};
 use swishmem_pisa::{DataPlane, DataPlaneProgram, DpView, Effect, Effects};
 use swishmem_simnet::SimTime;
-use swishmem_wire::swish::{SyncEntry, SyncUpdate};
+use swishmem_wire::swish::{SyncEntry, SyncUpdate, TraceId};
 use swishmem_wire::{DataPacket, FlowKey, NodeId, Packet, PacketBody, SwishMsg};
 
 /// Adds 1 to counter register 0 at key = dst_port.
@@ -98,6 +98,7 @@ fn sync(origin: u16, entries: Vec<SyncEntry>) -> Packet {
         SwishMsg::Sync(SyncUpdate {
             reg: 0,
             origin: NodeId(origin),
+            trace: TraceId::NONE,
             entries: entries.into(),
         }),
     )

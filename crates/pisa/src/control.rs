@@ -18,8 +18,8 @@
 
 use crate::dataplane::DataPlane;
 use std::any::Any;
-use swishmem_simnet::{Ctx, GroupId, SimDuration, SimTime};
-use swishmem_wire::{NodeId, PacketBody};
+use swishmem_simnet::{Ctx, GroupId, SimDuration, SimTime, SpanPhase};
+use swishmem_wire::{NodeId, PacketBody, TraceId};
 
 /// Cost parameters of the control-plane co-processor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +89,17 @@ impl<'a, 'b> CpCtx<'a, 'b> {
     /// Deterministic randomness.
     pub fn rng(&mut self) -> &mut impl rand::Rng {
         self.net.rng()
+    }
+
+    /// Emit a causal span phase marker at the current time (passive
+    /// telemetry; see [`Ctx::span`]).
+    pub fn span(&mut self, trace: TraceId, phase: SpanPhase) {
+        self.net.span(trace, phase);
+    }
+
+    /// Emit a span marker stamped with an explicit time.
+    pub fn span_at(&mut self, at: SimTime, trace: TraceId, phase: SpanPhase) {
+        self.net.span_at(at, trace, phase);
     }
 }
 

@@ -11,8 +11,8 @@
 
 use crate::dataplane::DpView;
 use std::any::Any;
-use swishmem_simnet::GroupId;
-use swishmem_wire::{NodeId, PacketBody};
+use swishmem_simnet::{GroupId, SpanPhase};
+use swishmem_wire::{NodeId, PacketBody, TraceId};
 
 /// One output action of a packet's processing.
 #[derive(Debug)]
@@ -53,6 +53,18 @@ pub enum Effect {
     Punt {
         /// The work item; the control app downcasts it.
         item: Box<dyn Any>,
+        /// Causal trace of the punted operation; when not
+        /// [`TraceId::NONE`], the switch emits `punt` / `cp_dequeue` span
+        /// markers stamped with the modeled CP queue times.
+        trace: TraceId,
+    },
+    /// Emit a causal span phase marker (pure telemetry: recorded against
+    /// the simulator's span collector, produces no packet or event).
+    Span {
+        /// The operation the marker belongs to.
+        trace: TraceId,
+        /// Which phase happened.
+        phase: SpanPhase,
     },
     /// Explicitly drop (recorded for statistics; producing no effect at
     /// all is equivalent for delivery purposes).
@@ -60,15 +72,37 @@ pub enum Effect {
 }
 
 /// Collector for the effects of one pipeline pass.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Effects {
     items: Vec<Effect>,
+    /// Whether span markers are collected. The switch sets this from the
+    /// engine's collector-attached state so a detached run never pays the
+    /// per-packet push/dispatch of `Effect::Span` entries.
+    tracing: bool,
+}
+
+impl Default for Effects {
+    fn default() -> Effects {
+        Effects {
+            items: Vec::new(),
+            // Direct constructions (tests, tools) keep spans observable.
+            tracing: true,
+        }
+    }
 }
 
 impl Effects {
     /// Empty effect set.
     pub fn new() -> Effects {
         Effects::default()
+    }
+
+    /// Empty effect set with span collection switched on or off.
+    pub fn with_tracing(tracing: bool) -> Effects {
+        Effects {
+            items: Vec::new(),
+            tracing,
+        }
     }
 
     /// Emit a frame toward `dst`.
@@ -102,7 +136,25 @@ impl Effects {
     pub fn punt<T: Any>(&mut self, item: T) {
         self.items.push(Effect::Punt {
             item: Box::new(item),
+            trace: TraceId::NONE,
         });
+    }
+
+    /// Punt a typed item carrying a causal trace: the switch stamps
+    /// `punt` and `cp_dequeue` markers from its CP queue model.
+    pub fn punt_traced<T: Any>(&mut self, item: T, trace: TraceId) {
+        self.items.push(Effect::Punt {
+            item: Box::new(item),
+            trace,
+        });
+    }
+
+    /// Emit a span phase marker. A no-op when tracing is off for this
+    /// pass or `trace` is [`TraceId::NONE`].
+    pub fn span(&mut self, trace: TraceId, phase: SpanPhase) {
+        if self.tracing && trace.is_some() {
+            self.items.push(Effect::Span { trace, phase });
+        }
     }
 
     /// Record an explicit drop.
@@ -176,7 +228,8 @@ mod tests {
         eff.punt(String::from("work"));
         let first = eff.drain().next().unwrap();
         match first {
-            Effect::Punt { item } => {
+            Effect::Punt { item, trace } => {
+                assert_eq!(trace, TraceId::NONE);
                 assert_eq!(item.downcast::<String>().unwrap().as_str(), "work");
             }
             other => panic!("unexpected {other:?}"),

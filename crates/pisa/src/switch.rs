@@ -151,7 +151,7 @@ impl<P: DataPlaneProgram, C: ControlApp> Switch<P, C> {
     where
         F: FnOnce(&mut P, &mut DpView<'_>, &mut Effects),
     {
-        let mut eff = Effects::new();
+        let mut eff = Effects::with_tracing(ctx.tracing());
         {
             let mut view = DpView::new(&mut self.dp, ctx.now());
             f(&mut self.program, &mut view, &mut eff);
@@ -175,17 +175,23 @@ impl<P: DataPlaneProgram, C: ControlApp> Switch<P, C> {
                         encode_token(TAG_RECIRC, self.incarnation, id),
                     );
                 }
-                Effect::Punt { item } => {
+                Effect::Punt { item, trace } => {
                     self.stats.punts += 1;
                     let now = ctx.now();
                     let arrive = now + self.cfg.cp.punt_latency;
                     let start = arrive.max(self.cp_next_free);
                     let done = start + self.cfg.cp.service_time;
                     self.cp_next_free = done;
+                    // The queue model knows when this item reaches the CPU
+                    // and when it clears the serial service queue — stamp
+                    // the phase markers with those modeled times.
+                    ctx.span_at(arrive, trace, swishmem_simnet::SpanPhase::Punt);
+                    ctx.span_at(start, trace, swishmem_simnet::SpanPhase::CpDequeue);
                     let id = self.next_id();
                     self.cp_pending.insert(id, item);
                     ctx.set_timer(done - now, encode_token(TAG_CP_WORK, self.incarnation, id));
                 }
+                Effect::Span { trace, phase } => ctx.span(trace, phase),
                 Effect::Drop => self.stats.program_drops += 1,
             }
         }

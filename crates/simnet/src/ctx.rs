@@ -1,9 +1,10 @@
 //! The per-callback context handed to nodes.
 
+use crate::span::{SpanHandle, SpanPhase};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
-use swishmem_wire::{NodeId, PacketBody};
+use swishmem_wire::{NodeId, PacketBody, TraceId};
 
 /// A multicast group identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,6 +41,7 @@ pub struct Ctx<'a> {
     pub(crate) node: NodeId,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) commands: &'a mut Vec<Command>,
+    pub(crate) spans: Option<&'a SpanHandle>,
 }
 
 impl<'a> Ctx<'a> {
@@ -89,5 +91,36 @@ impl<'a> Ctx<'a> {
     /// Deterministic randomness (seeded at simulator construction).
     pub fn rng(&mut self) -> &mut impl Rng {
         &mut *self.rng
+    }
+
+    /// Emit a span phase marker for `trace` at the current time.
+    ///
+    /// A pure observation: the marker goes to the attached
+    /// [`crate::span::SpanCollector`] (if any) and nowhere else — no
+    /// event is scheduled and no RNG is consumed, so emitting spans never
+    /// perturbs the deterministic event order. No-op when `trace` is
+    /// [`TraceId::NONE`] or no collector is attached.
+    #[inline]
+    pub fn span(&mut self, trace: TraceId, phase: SpanPhase) {
+        self.span_at(self.now, trace, phase);
+    }
+
+    /// Emit a span phase marker stamped with an explicit time (used by
+    /// queue models that know *when* a phase will happen — e.g. the PISA
+    /// CP punt path stamps `punt`/`cp_dequeue` with their modeled times).
+    #[inline]
+    pub fn span_at(&mut self, at: SimTime, trace: TraceId, phase: SpanPhase) {
+        if trace.is_some() {
+            if let Some(s) = self.spans {
+                s.borrow_mut().record(at, trace, self.node, phase);
+            }
+        }
+    }
+
+    /// Whether a span collector is attached (lets callers skip building
+    /// expensive span payloads when nobody is listening).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.spans.is_some()
     }
 }

@@ -42,6 +42,7 @@ pub mod node;
 pub mod observe;
 pub mod recorder;
 pub mod sim;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -54,6 +55,7 @@ pub use node::{Node, NodeId, RelayNode};
 pub use observe::{NetEvent, NetObserver, ObserverHandle};
 pub use recorder::{RecorderNode, Recording};
 pub use sim::{AsAny, NodeObj, Simulator};
+pub use span::{SpanCollector, SpanEvent, SpanHandle, SpanPhase};
 pub use stats::{Counter, DropReason, NetStats, TrafficClass};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;

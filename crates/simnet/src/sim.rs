@@ -18,6 +18,7 @@ use crate::ctx::{Command, Ctx, GroupId};
 use crate::fault::{FaultAction, FaultSchedule, LinkOverlay};
 use crate::node::Node;
 use crate::observe::{NetEvent, ObserverHandle};
+use crate::span::SpanHandle;
 use crate::stats::{DropReason, NetStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
@@ -217,6 +218,7 @@ pub struct Simulator {
     events_processed: u64,
     peak_queue_depth: usize,
     trace: Option<TraceHandle>,
+    spans: Option<SpanHandle>,
     observers: Vec<ObserverHandle>,
     wire_check: bool,
     /// Pooled command buffer reused across dispatches.
@@ -241,6 +243,7 @@ impl Simulator {
             events_processed: 0,
             peak_queue_depth: 0,
             trace: None,
+            spans: None,
             observers: Vec::new(),
             wire_check: false,
             cmd_scratch: Vec::new(),
@@ -260,6 +263,24 @@ impl Simulator {
     /// Attach a packet trace: every delivered frame is recorded into it.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Attach a span collector: [`Ctx::span`] markers emitted by nodes
+    /// are recorded into it. Like the packet trace and observers this is
+    /// strictly passive — attaching it never changes the event order or
+    /// the RNG stream (`tests/determinism.rs` pins this).
+    pub fn set_spans(&mut self, spans: SpanHandle) {
+        self.spans = Some(spans);
+    }
+
+    /// Detach the span collector (span emission becomes a no-op again).
+    pub fn clear_spans(&mut self) {
+        self.spans = None;
+    }
+
+    /// The attached span collector, if any.
+    pub fn spans(&self) -> Option<&SpanHandle> {
+        self.spans.as_ref()
     }
 
     /// Attach a passive observer notified of deliveries and fault-plane
@@ -577,6 +598,7 @@ impl Simulator {
                 node: id,
                 rng: &mut self.rng,
                 commands: &mut commands,
+                spans: self.spans.as_ref(),
             };
             f(self.nodes[slot].node.as_mut(), &mut ctx);
         }

@@ -248,6 +248,7 @@ mod tests {
                 key: 0,
                 seq: 0,
                 op: WriteOp::Set(1),
+                trace: swishmem_wire::TraceId::NONE,
             }),
         );
         let a = Packet::swish(
@@ -259,6 +260,7 @@ mod tests {
                 reg: 0,
                 key: 0,
                 seq: 1,
+                trace: swishmem_wire::TraceId::NONE,
             }),
         );
         let s = Packet::swish(
@@ -267,6 +269,7 @@ mod tests {
             SwishMsg::Sync(SyncUpdate {
                 reg: 0,
                 origin: NodeId(0),
+                trace: swishmem_wire::TraceId::NONE,
                 entries: vec![].into(),
             }),
         );

@@ -188,6 +188,47 @@ mod tests {
         assert_eq!(t.overflowed(), 0);
     }
 
+    /// End-to-end drop accounting: when a live engine delivers more
+    /// frames than the trace capacity, every delivery is either recorded
+    /// or counted as overflow — none vanish.
+    #[test]
+    fn engine_overflow_accounts_for_every_delivery() {
+        use crate::ctx::Ctx;
+        use crate::link::LinkParams;
+        use crate::node::Node;
+        use crate::sim::Simulator;
+        use swishmem_wire::PacketBody;
+
+        struct Echo;
+        impl Node for Echo {
+            fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+                if let PacketBody::Data(d) = pkt.body {
+                    if d.flow_seq < 10 {
+                        let mut d2 = d;
+                        d2.flow_seq += 1;
+                        ctx.send(pkt.src, PacketBody::Data(d2));
+                    }
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(7);
+        let trace = Trace::new(4);
+        sim.set_trace(trace.clone());
+        sim.add_node(NodeId(0), Box::new(Echo));
+        sim.add_node(NodeId(1), Box::new(Echo));
+        sim.topology_mut()
+            .connect(NodeId(0), NodeId(1), LinkParams::datacenter());
+        sim.inject(SimTime(0), data(0, 1));
+        sim.run_until_quiescent(SimTime(1_000_000_000));
+
+        let delivered = sim.stats().delivered_total().packets;
+        let t = trace.borrow();
+        assert!(delivered > 4, "scenario must exceed trace capacity");
+        assert_eq!(t.entries().len(), 4);
+        assert_eq!(t.entries().len() as u64 + t.overflowed(), delivered);
+    }
+
     #[test]
     fn render_is_line_per_frame() {
         let h = Trace::new(10);

@@ -18,9 +18,9 @@
 use std::net::Ipv4Addr;
 use swishmem_simnet::{
     Ctx, DropReason, FaultGen, FaultSchedule, GroupId, LinkParams, Node, SimDuration, SimTime,
-    Simulator, Trace,
+    Simulator, SpanCollector, SpanHandle, SpanPhase, Trace,
 };
-use swishmem_wire::{DataPacket, FlowKey, NodeId, Packet, PacketBody};
+use swishmem_wire::{DataPacket, FlowKey, NodeId, Packet, PacketBody, TraceId};
 
 /// A node that exercises every command the engine offers: echoes data
 /// packets, multicasts on a timer, anycasts to a random group member,
@@ -45,6 +45,12 @@ impl Node for Churn {
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         if let PacketBody::Data(d) = pkt.body {
+            // Unconditional span emission: a no-op unless a collector is
+            // attached, which the spanned-fingerprint test exploits.
+            ctx.span(
+                TraceId::new(ctx.self_id(), u64::from(d.flow_seq) + 1),
+                SpanPhase::Ingress,
+            );
             if d.flow_seq < self.ttl {
                 ctx.send(pkt.src, body(d.flow_seq + 1, d.payload_len));
             }
@@ -54,6 +60,10 @@ impl Node for Churn {
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         assert_eq!(token, 1);
         self.timer_rounds += 1;
+        ctx.span(
+            TraceId::new(ctx.self_id(), 1_000 + self.timer_rounds),
+            SpanPhase::SyncRound,
+        );
         ctx.multicast(GroupId(1), body(0, 100));
         ctx.send_random(GroupId(1), body(0, 40));
         if self.timer_rounds < 20 {
@@ -87,13 +97,24 @@ fn fnv(h: &mut u64, v: u64) {
 }
 
 fn run_scenario(seed: u64) -> Fingerprint {
-    run_scenario_with(seed, None)
+    run_scenario_full(seed, None, None)
 }
 
 fn run_scenario_with(seed: u64, faults: Option<&FaultSchedule>) -> Fingerprint {
+    run_scenario_full(seed, faults, None)
+}
+
+fn run_scenario_full(
+    seed: u64,
+    faults: Option<&FaultSchedule>,
+    spans: Option<SpanHandle>,
+) -> Fingerprint {
     let mut sim = Simulator::new(seed);
     let trace = Trace::new(200_000);
     sim.set_trace(trace.clone());
+    if let Some(s) = spans {
+        sim.set_spans(s);
+    }
 
     for i in 0..5u16 {
         sim.add_node(
@@ -245,4 +266,45 @@ fn empty_fault_schedule_is_a_no_op() {
     let a = run_scenario_with(1234, Some(&empty));
     let clean = run_scenario(1234);
     assert_eq!(a, clean, "an empty schedule must not perturb the run");
+}
+
+/// Attaching a span collector must be invisible to the run: the nodes
+/// emit `ctx.span(..)` markers on every packet and timer either way, and
+/// the fingerprint — including the golden one — must not move by a bit.
+#[test]
+fn span_collector_attach_is_invisible() {
+    let spans = SpanCollector::new(1_000_000);
+    let attached = run_scenario_full(1234, None, Some(spans.clone()));
+    let detached = run_scenario(1234);
+    assert_eq!(
+        attached, detached,
+        "attaching the span collector perturbed the event order"
+    );
+
+    let c = spans.borrow();
+    assert!(
+        !c.events().is_empty(),
+        "the scenario should have recorded spans while attached"
+    );
+    assert_eq!(c.overflowed(), 0);
+    // Every delivered data packet records exactly one ingress marker.
+    let ingress = c
+        .events()
+        .iter()
+        .filter(|e| e.phase == SpanPhase::Ingress)
+        .count() as u64;
+    assert_eq!(ingress, attached.delivered_pkts);
+    assert!(c.trace_count() > 5, "expected many distinct trace ids");
+}
+
+/// A tiny span collector must bound memory and count the overflow, while
+/// still not perturbing the run.
+#[test]
+fn span_collector_overflow_is_counted_and_passive() {
+    let spans = SpanCollector::new(16);
+    let attached = run_scenario_full(1234, None, Some(spans.clone()));
+    assert_eq!(attached, run_scenario(1234));
+    let c = spans.borrow();
+    assert_eq!(c.events().len(), 16);
+    assert!(c.overflowed() > 0);
 }

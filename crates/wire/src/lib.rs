@@ -33,7 +33,7 @@ pub use error::WireError;
 pub use flow::FlowKey;
 pub use packet::{DataPacket, Packet, PacketBody};
 pub use shared::Shared;
-pub use swish::SwishMsg;
+pub use swish::{SwishMsg, TraceId};
 
 /// Identifier of a node (switch, host, or controller) in the simulated
 /// network. Node ids appear on the wire inside SwiShmem protocol messages

@@ -301,6 +301,7 @@ mod tests {
             SwishMsg::Sync(SyncUpdate {
                 reg: 2,
                 origin: NodeId(0),
+                trace: crate::TraceId::NONE,
                 entries: vec![SyncEntry {
                     key: 1,
                     slot: 0,

@@ -25,7 +25,49 @@ use crate::shared::Shared;
 use crate::{NodeId, WireError};
 
 /// Protocol version spoken by this library.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version 2 added the in-band [`TraceId`] carried by [`WriteRequest`],
+/// [`WriteAck`], [`ReadForward`] and [`SyncUpdate`].
+pub const WIRE_VERSION: u8 = 2;
+
+/// Causal trace identifier for one logical operation (an SRO/ERO write, a
+/// forwarded read, an EWO sync round).
+///
+/// Assigned once at NF ingress by the switch that originates the operation
+/// and carried in-band through every protocol message that operation
+/// spawns, so an observer can stitch the cross-switch phases (punt, CP
+/// queueing, retries, chain hops, ack, release) back into one span tree.
+/// `0` is reserved for "untraced" ([`TraceId::NONE`]); codecs still round-
+/// trip it like any other value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The untraced sentinel. Span emission is a no-op for this id.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Build an id unique across the deployment: originating node in the
+    /// top 16 bits (offset by one so node 0 still yields nonzero ids even
+    /// for counter 0 — though counters start at 1), counter below.
+    pub fn new(origin: NodeId, counter: u64) -> TraceId {
+        TraceId(((u64::from(origin.0) + 1) << 48) | (counter & ((1 << 48) - 1)))
+    }
+
+    /// True unless this is [`TraceId::NONE`].
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_some() {
+            write!(f, "t{:x}", self.0)
+        } else {
+            f.write_str("t-none")
+        }
+    }
+}
 
 /// Register (array) identifier, unique within a deployment.
 pub type RegId = u16;
@@ -85,6 +127,9 @@ pub struct WriteRequest {
     pub seq: u64,
     /// The operation.
     pub op: WriteOp,
+    /// Causal trace of the logical write this request belongs to
+    /// ([`TraceId::NONE`] when tracing is off).
+    pub trace: TraceId,
 }
 
 /// Acknowledgment from the tail of the chain to the writer (§6.1).
@@ -100,6 +145,8 @@ pub struct WriteAck {
     pub key: Key,
     /// Sequence number the head assigned.
     pub seq: u64,
+    /// Echo of [`WriteRequest::trace`].
+    pub trace: TraceId,
 }
 
 /// Tail → chain multicast clearing the pending bit for a completed write
@@ -142,6 +189,9 @@ pub struct SyncUpdate {
     pub reg: RegId,
     /// Switch that sent this batch.
     pub origin: NodeId,
+    /// Causal trace of the sync round (or mirror burst) that produced this
+    /// batch ([`TraceId::NONE`] when tracing is off).
+    pub trace: TraceId,
     /// The entries. Shared so multicast fan-out / mirroring clone by
     /// reference-count bump; receivers must not mutate them in place.
     pub entries: Shared<SyncEntry>,
@@ -254,6 +304,9 @@ pub struct DirReply {
 pub struct ReadForward {
     /// Switch that forwarded the packet.
     pub origin: NodeId,
+    /// Causal trace of this redirected read ([`TraceId::NONE`] when
+    /// tracing is off).
+    pub trace: TraceId,
     /// The original data packet.
     pub inner: DataPacket,
 }
@@ -341,6 +394,7 @@ impl SwishMsg {
                 w.u32(m.key);
                 w.u64(m.seq);
                 m.op.encode(w);
+                w.u64(m.trace.0);
             }
             SwishMsg::Ack(m) => {
                 w.u8(TAG_ACK);
@@ -349,6 +403,7 @@ impl SwishMsg {
                 w.u16(m.reg);
                 w.u32(m.key);
                 w.u64(m.seq);
+                w.u64(m.trace.0);
             }
             SwishMsg::Clear(m) => {
                 w.u8(TAG_CLEAR);
@@ -361,6 +416,7 @@ impl SwishMsg {
                 w.u8(TAG_SYNC);
                 w.u16(m.reg);
                 encode_node(w, m.origin);
+                w.u64(m.trace.0);
                 w.u16(m.entries.len() as u16);
                 for e in &m.entries {
                     w.u32(e.key);
@@ -422,6 +478,7 @@ impl SwishMsg {
             SwishMsg::ReadForward(m) => {
                 w.u8(TAG_READ_FWD);
                 encode_node(w, m.origin);
+                w.u64(m.trace.0);
                 m.inner.encode(w);
             }
         }
@@ -446,6 +503,7 @@ impl SwishMsg {
                 key: r.u32()?,
                 seq: r.u64()?,
                 op: WriteOp::decode(r)?,
+                trace: TraceId(r.u64()?),
             }),
             TAG_ACK => SwishMsg::Ack(WriteAck {
                 write_id: r.u64()?,
@@ -453,6 +511,7 @@ impl SwishMsg {
                 reg: r.u16()?,
                 key: r.u32()?,
                 seq: r.u64()?,
+                trace: TraceId(r.u64()?),
             }),
             TAG_CLEAR => SwishMsg::Clear(PendingClear {
                 epoch: r.u32()?,
@@ -463,6 +522,7 @@ impl SwishMsg {
             TAG_SYNC => {
                 let reg = r.u16()?;
                 let origin = decode_node(r)?;
+                let trace = TraceId(r.u64()?);
                 let n = r.u16()? as usize;
                 let mut entries = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
@@ -476,6 +536,7 @@ impl SwishMsg {
                 SwishMsg::Sync(SyncUpdate {
                     reg,
                     origin,
+                    trace,
                     entries: entries.into(),
                 })
             }
@@ -532,6 +593,7 @@ impl SwishMsg {
             }),
             TAG_READ_FWD => SwishMsg::ReadForward(ReadForward {
                 origin: decode_node(r)?,
+                trace: TraceId(r.u64()?),
                 inner: DataPacket::decode(r)?,
             }),
             t => return Err(WireError::UnknownTag(t)),
@@ -543,10 +605,10 @@ impl SwishMsg {
     pub fn wire_len(&self) -> usize {
         // version + tag
         2 + match self {
-            SwishMsg::Write(_) => 8 + 2 + 4 + 2 + 4 + 8 + 9,
-            SwishMsg::Ack(_) => 8 + 2 + 2 + 4 + 8,
+            SwishMsg::Write(_) => 8 + 2 + 4 + 2 + 4 + 8 + 9 + 8,
+            SwishMsg::Ack(_) => 8 + 2 + 2 + 4 + 8 + 8,
             SwishMsg::Clear(_) => 4 + 2 + 4 + 8,
-            SwishMsg::Sync(m) => 2 + 2 + 2 + m.entries.len() * (4 + 1 + 8 + 8),
+            SwishMsg::Sync(m) => 2 + 2 + 8 + 2 + m.entries.len() * (4 + 1 + 8 + 8),
             SwishMsg::SnapReq(_) => 2 + 4,
             SwishMsg::SnapChunk(m) => 2 + 2 + 1 + 2 + m.entries.len() * (4 + 8 + 8),
             SwishMsg::CatchupDone(_) => 2 + 4,
@@ -555,7 +617,7 @@ impl SwishMsg {
             SwishMsg::Heartbeat(_) => 2 + 4,
             SwishMsg::DirLookup(_) => 2 + 2 + 4,
             SwishMsg::DirReply(m) => 2 + 4 + 2 + m.owners.len() * 2,
-            SwishMsg::ReadForward(m) => 2 + m.inner.wire_len(),
+            SwishMsg::ReadForward(m) => 2 + 8 + m.inner.wire_len(),
         }
     }
 }
@@ -576,6 +638,7 @@ mod tests {
                 key: 1000,
                 seq: 0,
                 op: WriteOp::Set(0xdead),
+                trace: TraceId::new(NodeId(1), 9),
             }),
             SwishMsg::Write(WriteRequest {
                 write_id: 43,
@@ -585,6 +648,7 @@ mod tests {
                 key: 1001,
                 seq: 12,
                 op: WriteOp::Add(-5),
+                trace: TraceId::NONE,
             }),
             SwishMsg::Ack(WriteAck {
                 write_id: 42,
@@ -592,6 +656,7 @@ mod tests {
                 reg: 3,
                 key: 1000,
                 seq: 5,
+                trace: TraceId::new(NodeId(1), 9),
             }),
             SwishMsg::Clear(PendingClear {
                 epoch: 7,
@@ -602,6 +667,7 @@ mod tests {
             SwishMsg::Sync(SyncUpdate {
                 reg: 9,
                 origin: NodeId(4),
+                trace: TraceId::new(NodeId(4), 1),
                 entries: vec![
                     SyncEntry {
                         key: 0,
@@ -662,6 +728,7 @@ mod tests {
             }),
             SwishMsg::ReadForward(ReadForward {
                 origin: NodeId(5),
+                trace: TraceId::new(NodeId(5), 2),
                 inner: DataPacket::tcp(
                     crate::FlowKey::tcp(
                         Ipv4Addr::new(10, 0, 0, 1),
@@ -731,6 +798,7 @@ mod tests {
         let msg = SwishMsg::Sync(SyncUpdate {
             reg: 1,
             origin: NodeId(0),
+            trace: TraceId::NONE,
             entries: vec![SyncEntry {
                 key: 1,
                 slot: 0,

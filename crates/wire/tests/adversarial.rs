@@ -4,7 +4,7 @@
 //! of these shapes.)
 
 use swishmem_wire::cursor::{Reader, Writer};
-use swishmem_wire::swish::{SyncEntry, SyncUpdate, WIRE_VERSION};
+use swishmem_wire::swish::{SyncEntry, SyncUpdate, TraceId, WIRE_VERSION};
 use swishmem_wire::{NodeId, Packet, SwishMsg};
 
 /// A SyncUpdate frame whose entry-count field claims far more entries
@@ -17,6 +17,7 @@ fn sync_update_with_hostile_entry_count() {
     w.u8(0x04); // TAG_SYNC
     w.u16(3); // reg
     w.u16(0); // origin
+    w.u64(0); // trace
     w.u16(u16::MAX); // claims 65535 entries...
     w.u64(0); // ...but carries 8 junk bytes
     let buf = w.finish();
@@ -45,6 +46,7 @@ fn single_byte_mutations_never_panic() {
     let msg = SwishMsg::Sync(SyncUpdate {
         reg: 2,
         origin: NodeId(1),
+        trace: TraceId::new(NodeId(1), 3),
         entries: vec![
             SyncEntry {
                 key: 1,
@@ -81,6 +83,7 @@ fn every_truncation_point_errors() {
         SwishMsg::Sync(SyncUpdate {
             reg: 1,
             origin: NodeId(3),
+            trace: TraceId::NONE,
             entries: vec![SyncEntry {
                 key: 9,
                 slot: 2,

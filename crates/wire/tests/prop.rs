@@ -78,7 +78,8 @@ fn arb_msg() -> impl Strategy<Value = SwishMsg> {
                     reg,
                     key,
                     seq,
-                    op
+                    op,
+                    trace: TraceId(write_id ^ seq)
                 })
             ),
         (
@@ -93,7 +94,8 @@ fn arb_msg() -> impl Strategy<Value = SwishMsg> {
                 writer,
                 reg,
                 key,
-                seq
+                seq,
+                trace: TraceId(write_id.rotate_left(17))
             })),
         (any::<u32>(), any::<u16>(), any::<u32>(), any::<u64>()).prop_map(
             |(epoch, reg, key, seq)| SwishMsg::Clear(PendingClear {
@@ -111,6 +113,7 @@ fn arb_msg() -> impl Strategy<Value = SwishMsg> {
             .prop_map(|(reg, origin, entries)| SwishMsg::Sync(SyncUpdate {
                 reg,
                 origin,
+                trace: TraceId::new(origin, u64::from(reg)),
                 entries: entries.into()
             })),
         (
@@ -156,8 +159,13 @@ fn arb_msg() -> impl Strategy<Value = SwishMsg> {
                 key,
                 owners
             })),
-        (arb_node(), arb_data_packet())
-            .prop_map(|(origin, inner)| SwishMsg::ReadForward(ReadForward { origin, inner })),
+        (arb_node(), arb_data_packet()).prop_map(|(origin, inner)| SwishMsg::ReadForward(
+            ReadForward {
+                origin,
+                trace: TraceId::new(origin, 1),
+                inner
+            }
+        )),
     ]
 }
 

@@ -16,6 +16,14 @@ cargo test -q --workspace
 echo "==> cargo test --test fault_sweep (seeded fault schedules vs oracles)"
 cargo test -q --test fault_sweep
 
+# Observability gates (DESIGN.md §9), also by name: span tracing must be
+# a passive observer (golden fingerprint bit-identical with a collector
+# attached), and compiled-in-but-disabled tracing must stay cheap.
+echo "==> cargo test --test determinism (span attach invisible to fingerprint)"
+cargo test -q -p swishmem-simnet --test determinism
+echo "==> cargo test --release --test trace_overhead (detached tracing overhead)"
+cargo test -q --release -p swishmem-bench --test trace_overhead
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
