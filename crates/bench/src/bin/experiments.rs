@@ -1,5 +1,9 @@
 //! CLI driver: runs the paper-reproduction experiments and prints the
 //! regenerated tables (optionally exporting JSON).
+//!
+//! Usage: `experiments [--quick] [--json PATH] [--list] [--only ID]...
+//! [ID]...` — `--list` prints the known ids and exits; `--only e19`
+//! (repeatable) and bare positional ids both select a subset.
 
 use swishmem_bench::experiments;
 
@@ -11,14 +15,32 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| Some(a.as_str()) != json_path.as_deref())
-        .map(|a| a.to_lowercase())
-        .collect();
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "--list" => {}
+            "--json" => i += 1,
+            "--only" => {
+                if let Some(v) = args.get(i + 1) {
+                    selected.push(v.to_lowercase());
+                }
+                i += 1;
+            }
+            a if !a.starts_with("--") => selected.push(a.to_lowercase()),
+            _ => {}
+        }
+        i += 1;
+    }
 
     let all = experiments::all();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &all {
+            println!("{id}");
+        }
+        return;
+    }
+    let known: Vec<&str> = all.iter().map(|(id, _)| *id).collect();
     let to_run: Vec<_> = if selected.is_empty() {
         all
     } else {
@@ -27,7 +49,7 @@ fn main() {
             .collect()
     };
     if to_run.is_empty() {
-        eprintln!("no matching experiments; known ids: e1..e18");
+        eprintln!("no matching experiments; known ids: {}", known.join(" "));
         std::process::exit(2);
     }
 

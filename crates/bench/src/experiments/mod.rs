@@ -20,6 +20,7 @@ pub mod e15_clock_skew;
 pub mod e16_setup_latency;
 pub mod e17_fault_sweep;
 pub mod e18_trace_overhead;
+pub mod e19_reconfig;
 
 use crate::table::ExperimentResult;
 
@@ -47,5 +48,6 @@ pub fn all() -> Vec<(&'static str, RunFn)> {
         ("e16", e16_setup_latency::run),
         ("e17", e17_fault_sweep::run),
         ("e18", e18_trace_overhead::run),
+        ("e19", e19_reconfig::run),
     ]
 }

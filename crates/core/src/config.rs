@@ -36,6 +36,20 @@ pub enum MergePolicy {
     },
 }
 
+/// Where a register's authoritative state lives (§4: the controller
+/// "determines the register placement").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Every replica-group member holds the whole array; SRO/ERO writes
+    /// traverse the single group-wide chain. The classic SwiShmem layout.
+    Replicated,
+    /// The key space is partitioned into directory ranges, each owned by
+    /// a (sub)set of switches; the owner set of a range forms a per-range
+    /// mini-chain (`owners[0]` sequences) and the reconfiguration engine
+    /// may migrate ranges between owners at run time.
+    Partitioned,
+}
+
 /// A shared register declaration.
 #[derive(Debug, Clone)]
 pub struct RegisterSpec {
@@ -49,6 +63,8 @@ pub struct RegisterSpec {
     pub keys: u32,
     /// Merge policy (EWO only; ignored for SRO/ERO).
     pub policy: MergePolicy,
+    /// State placement (replicated everywhere vs. range-partitioned).
+    pub placement: Placement,
 }
 
 impl RegisterSpec {
@@ -60,6 +76,7 @@ impl RegisterSpec {
             class: RegisterClass::Sro,
             keys,
             policy: MergePolicy::Lww,
+            placement: Placement::Replicated,
         }
     }
 
@@ -71,6 +88,7 @@ impl RegisterSpec {
             class: RegisterClass::Ero,
             keys,
             policy: MergePolicy::Lww,
+            placement: Placement::Replicated,
         }
     }
 
@@ -82,6 +100,7 @@ impl RegisterSpec {
             class: RegisterClass::Ewo,
             keys,
             policy: MergePolicy::Lww,
+            placement: Placement::Replicated,
         }
     }
 
@@ -93,6 +112,7 @@ impl RegisterSpec {
             class: RegisterClass::Ewo,
             keys,
             policy: MergePolicy::GCounter,
+            placement: Placement::Replicated,
         }
     }
 
@@ -104,7 +124,28 @@ impl RegisterSpec {
             class: RegisterClass::Ewo,
             keys,
             policy: MergePolicy::Windowed { window },
+            placement: Placement::Replicated,
         }
+    }
+
+    /// A range-partitioned register array: ERO consistency per key, with
+    /// ownership split across directory ranges that the reconfiguration
+    /// engine can migrate live. Partitioned registers always sequence per
+    /// key (grouping would alias slots across range boundaries).
+    pub fn partitioned(id: RegId, name: &str, keys: u32) -> RegisterSpec {
+        RegisterSpec {
+            id,
+            name: name.to_string(),
+            class: RegisterClass::Ero,
+            keys,
+            policy: MergePolicy::Lww,
+            placement: Placement::Partitioned,
+        }
+    }
+
+    /// True for range-partitioned registers.
+    pub fn is_partitioned(&self) -> bool {
+        self.placement == Placement::Partitioned
     }
 }
 
@@ -122,6 +163,57 @@ pub enum ClockMode {
     /// Lamport logical clocks, advanced on every local write and on every
     /// received version.
     Lamport,
+}
+
+/// Knobs of the live reconfiguration engine (planner + migration driver).
+///
+/// All timing knobs matter only when [`ReconfigPolicy::enabled`] is true
+/// *and* the deployment declares at least one partitioned register; the
+/// disabled engine arms no timers and sends no messages, which is what
+/// keeps the golden determinism fingerprint bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconfigPolicy {
+    /// Master switch for the telemetry-driven planner. Migrations can
+    /// still be triggered explicitly (tests, fault schedules) when false.
+    pub enabled: bool,
+    /// How often the planner examines per-range load counters.
+    pub plan_interval: SimDuration,
+    /// A range is migration-worthy only when some remote switch ingressed
+    /// at least this many writes for it within one planning window.
+    pub min_writes: u64,
+    /// Remote load must exceed the current primary's own ingress load by
+    /// this multiple before a move pays for its disruption (cost budget).
+    pub min_advantage: u64,
+    /// Maximum migrations in flight at once.
+    pub max_concurrent: usize,
+    /// Planner cooldown per range after a commit (no flapping).
+    pub cooldown: SimDuration,
+    /// Controller re-broadcast period for the authoritative range table
+    /// (idempotent per-range-epoch reconciliation after lost commits).
+    pub resync_interval: SimDuration,
+    /// Keys per migration chunk.
+    pub chunk_keys: usize,
+    /// Source pacing between chunk transmissions within a pass.
+    pub chunk_interval: SimDuration,
+    /// Source delay between full re-stream passes while uncommitted.
+    pub repass_interval: SimDuration,
+}
+
+impl Default for ReconfigPolicy {
+    fn default() -> Self {
+        ReconfigPolicy {
+            enabled: false,
+            plan_interval: SimDuration::millis(10),
+            min_writes: 32,
+            min_advantage: 2,
+            max_concurrent: 1,
+            cooldown: SimDuration::millis(50),
+            resync_interval: SimDuration::millis(10),
+            chunk_keys: 16,
+            chunk_interval: SimDuration::micros(10),
+            repass_interval: SimDuration::millis(2),
+        }
+    }
 }
 
 /// Protocol tuning knobs.
@@ -168,6 +260,8 @@ pub struct SwishConfig {
     pub snapshot_interval: SimDuration,
     /// Clock model for LWW versions.
     pub clock: ClockMode,
+    /// Live reconfiguration engine policy (partitioned registers only).
+    pub reconfig: ReconfigPolicy,
 }
 
 impl Default for SwishConfig {
@@ -188,6 +282,7 @@ impl Default for SwishConfig {
             snapshot_chunk: 64,
             snapshot_interval: SimDuration::micros(10),
             clock: ClockMode::Synced { max_skew_ns: 50 },
+            reconfig: ReconfigPolicy::default(),
         }
     }
 }

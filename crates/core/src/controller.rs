@@ -9,11 +9,17 @@
 //! *learner*: it receives new writes and a snapshot stream, and is
 //! promoted to tail once it reports catch-up completion.
 
-use crate::config::SwishConfig;
+use crate::config::{RegisterSpec, SwishConfig};
 use crate::directory::DirectoryService;
 use crate::layer::{ChainView, REPLICA_GROUP};
+use crate::reconfig::{
+    decode_trigger, MigrationPhase, RangeView, ReconfigEvent, ReconfigLogEntry, TriggerOp,
+    MAX_RANGE_OWNERS,
+};
 use swishmem_simnet::{Ctx, Node, SimTime};
-use swishmem_wire::swish::{ChainConfig, GroupConfig, SnapshotRequest};
+use swishmem_wire::swish::{
+    ChainConfig, GroupConfig, Key, MigrateBegin, OwnershipCommit, RegId, SnapshotRequest,
+};
 use swishmem_wire::{NodeId, Packet, PacketBody, SwishMsg};
 
 /// A logged reconfiguration event (consumed by the failover experiments).
@@ -40,10 +46,46 @@ pub enum ConfigEventKind {
     Promoted(NodeId),
 }
 
+/// An in-flight range migration, controller side.
+#[derive(Debug, Clone)]
+struct Mig {
+    from: NodeId,
+    to: NodeId,
+    /// The per-range epoch the transfer opened under.
+    epoch: u32,
+    phase: MigrationPhase,
+    /// The owner set to install once the destination holds the range.
+    commit_owners: Vec<NodeId>,
+}
+
+/// Controller-side per-range reconfiguration state. The key-range bounds
+/// themselves live in the directory; this carries what the directory
+/// does not: the per-range epoch counter and the migration state
+/// machine. A `Vec` (not a map) so every iteration order that reaches
+/// the wire is deterministic.
+#[derive(Debug, Clone)]
+struct RangeMeta {
+    reg: RegId,
+    start: Key,
+    end: Key,
+    /// Epoch of the last `OwnershipCommit` broadcast for this range.
+    committed_epoch: u32,
+    /// Highest per-range epoch ever issued (strictly increases across
+    /// `MigrateBegin` and `OwnershipCommit`).
+    issued_epoch: u32,
+    mig: Option<Mig>,
+    /// Planner holdoff after a commit, so one hot range does not
+    /// ping-pong between talkers every planning window.
+    cooldown_until: Option<SimTime>,
+}
+
 /// The controller node.
 pub struct Controller {
     cfg: SwishConfig,
     switches: Vec<NodeId>,
+    /// Register declarations (the reconfiguration engine needs to know
+    /// which registers are partitioned and how many keys they span).
+    specs: Vec<RegisterSpec>,
     /// Per switch: (last heartbeat time, epoch the switch reported).
     last_hb: Vec<(NodeId, SimTime, u32)>,
     view: ChainView,
@@ -51,17 +93,22 @@ pub struct Controller {
     /// The partitioned-state directory (§7/§9 extension). Empty unless
     /// registers were partitioned via [`Controller::directory_mut`].
     directory: DirectoryService,
+    rmeta: Vec<RangeMeta>,
+    reconfig_log: Vec<ReconfigLogEntry>,
 }
 
 const CHECK_TIMER: u64 = 1;
+const PLAN_TIMER: u64 = 2;
+const RESYNC_TIMER: u64 = 3;
 
 impl Controller {
     /// A controller managing `switches` (initial chain = declaration
-    /// order).
-    pub fn new(cfg: SwishConfig, switches: Vec<NodeId>) -> Controller {
+    /// order) running the given register declarations.
+    pub fn new(cfg: SwishConfig, switches: Vec<NodeId>, specs: Vec<RegisterSpec>) -> Controller {
         Controller {
             cfg,
             switches: switches.clone(),
+            specs,
             last_hb: Vec::new(),
             view: ChainView {
                 epoch: 0,
@@ -70,6 +117,8 @@ impl Controller {
             },
             events: Vec::new(),
             directory: DirectoryService::new(),
+            rmeta: Vec::new(),
+            reconfig_log: Vec::new(),
         }
     }
 
@@ -92,6 +141,75 @@ impl Controller {
     /// The current configuration.
     pub fn view(&self) -> &ChainView {
         &self.view
+    }
+
+    /// The reconfiguration-engine event log (planner decisions, transfer
+    /// begin/done, commits, aborts).
+    pub fn reconfig_log(&self) -> &[ReconfigLogEntry] {
+        &self.reconfig_log
+    }
+
+    /// The controller's master range table for `reg`: directory owners
+    /// plus per-range epochs and any open migration.
+    pub fn range_table(&self, reg: RegId) -> Vec<RangeView> {
+        self.directory
+            .ranges(reg)
+            .iter()
+            .map(|r| {
+                let meta = self
+                    .rmeta
+                    .iter()
+                    .find(|m| m.reg == reg && m.start == r.start);
+                RangeView {
+                    start: r.start,
+                    end: r.end,
+                    epoch: meta
+                        .map(|m| m.mig.as_ref().map(|g| g.epoch).unwrap_or(m.committed_epoch))
+                        .unwrap_or(0),
+                    mig_to: meta.and_then(|m| m.mig.as_ref().map(|g| g.to)),
+                    owners: r.owners.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// The migration phase of the range containing `key` of `reg`.
+    pub fn migration_phase(&self, reg: RegId, key: Key) -> MigrationPhase {
+        let Some(meta) = self
+            .rmeta
+            .iter()
+            .find(|m| m.reg == reg && m.start <= key && key < m.end)
+        else {
+            return MigrationPhase::Idle;
+        };
+        if let Some(mig) = &meta.mig {
+            return mig.phase;
+        }
+        // No open migration: the last logged outcome for the range.
+        for e in self.reconfig_log.iter().rev() {
+            if e.event.range_key() != (reg, meta.start) {
+                continue;
+            }
+            return match e.event {
+                ReconfigEvent::Commit { .. } => MigrationPhase::Committed,
+                ReconfigEvent::Abort { .. } => MigrationPhase::Aborted,
+                _ => MigrationPhase::Idle,
+            };
+        }
+        MigrationPhase::Idle
+    }
+
+    /// Migrations currently in flight.
+    pub fn open_migrations(&self) -> usize {
+        self.rmeta.iter().filter(|m| m.mig.is_some()).count()
+    }
+
+    fn has_partitioned(&self) -> bool {
+        self.specs.iter().any(|s| s.is_partitioned())
+    }
+
+    fn is_live(&self, n: NodeId) -> bool {
+        self.view.chain.contains(&n) || self.view.learners.contains(&n)
     }
 
     fn group_members(&self) -> Vec<NodeId> {
@@ -153,6 +271,7 @@ impl Controller {
             self.view.chain.retain(|&n| n != from);
             self.view.learners.retain(|&n| n != from);
             self.broadcast(ctx, ConfigEventKind::Failed(from));
+            self.handle_partitioned_failure(from, ctx);
         }
         let known = self.view.chain.contains(&from) || self.view.learners.contains(&from);
         if !known && self.switches.contains(&from) {
@@ -181,6 +300,422 @@ impl Controller {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Reconfiguration engine: planner + per-range migration driver
+    // ------------------------------------------------------------------
+
+    fn log_reconfig(&mut self, now: SimTime, event: ReconfigEvent) {
+        self.reconfig_log
+            .push(ReconfigLogEntry { time: now, event });
+    }
+
+    /// Bootstrap the partitioned-register directory and per-range state:
+    /// any partitioned register not explicitly partitioned by the
+    /// deployment is spread evenly across all switches, and the initial
+    /// table is installed everywhere via epoch-1 `OwnershipCommit`s.
+    fn bootstrap_ranges(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        for spec in self.specs.clone() {
+            if !spec.is_partitioned() {
+                continue;
+            }
+            if self.directory.ranges(spec.id).is_empty() {
+                self.directory
+                    .partition_even(spec.id, spec.keys, &self.switches.clone());
+            }
+            for r in self.directory.ranges(spec.id).to_vec() {
+                self.rmeta.push(RangeMeta {
+                    reg: spec.id,
+                    start: r.start,
+                    end: r.end,
+                    committed_epoch: 1,
+                    issued_epoch: 1,
+                    mig: None,
+                    cooldown_until: None,
+                });
+                self.log_reconfig(
+                    now,
+                    ReconfigEvent::Commit {
+                        reg: spec.id,
+                        start: r.start,
+                        owners: r.owners.clone(),
+                        epoch: 1,
+                    },
+                );
+                self.broadcast_commit(ctx, spec.id, r.start, r.end, 1, &r.owners);
+            }
+        }
+    }
+
+    fn broadcast_commit(
+        &self,
+        ctx: &mut Ctx<'_>,
+        reg: RegId,
+        start: Key,
+        end: Key,
+        epoch: u32,
+        owners: &[NodeId],
+    ) {
+        for &sw in &self.switches {
+            ctx.send(
+                sw,
+                PacketBody::Swish(SwishMsg::OwnershipCommit(OwnershipCommit {
+                    reg,
+                    start,
+                    end,
+                    epoch,
+                    owners: owners.to_vec(),
+                })),
+            );
+        }
+    }
+
+    fn broadcast_begin(&self, ctx: &mut Ctx<'_>, m: &MigrateBegin) {
+        for &sw in &self.switches {
+            ctx.send(sw, PacketBody::Swish(SwishMsg::MigrateBegin(*m)));
+        }
+    }
+
+    fn meta_idx(&self, reg: RegId, start: Key) -> Option<usize> {
+        self.rmeta
+            .iter()
+            .position(|m| m.reg == reg && m.start == start)
+    }
+
+    /// Commit `owners` as the range's owner set at a fresh per-range
+    /// epoch: update the directory, retire any open migration, start the
+    /// planner cooldown, and broadcast the `OwnershipCommit`.
+    fn commit_range(&mut self, reg: RegId, start: Key, owners: Vec<NodeId>, ctx: &mut Ctx<'_>) {
+        let Some(i) = self.meta_idx(reg, start) else {
+            return;
+        };
+        let now = ctx.now();
+        self.rmeta[i].issued_epoch += 1;
+        let epoch = self.rmeta[i].issued_epoch;
+        let end = self.rmeta[i].end;
+        self.rmeta[i].committed_epoch = epoch;
+        self.rmeta[i].mig = None;
+        self.rmeta[i].cooldown_until = Some(now + self.cfg.reconfig.cooldown);
+        self.directory.set_owners(reg, start, &owners);
+        self.log_reconfig(
+            now,
+            ReconfigEvent::Commit {
+                reg,
+                start,
+                owners: owners.clone(),
+                epoch,
+            },
+        );
+        self.broadcast_commit(ctx, reg, start, end, epoch, &owners);
+    }
+
+    /// Open a migration for the range containing `key`: `to` becomes the
+    /// range's acking tail while the source streams state, and
+    /// `commit_owners` is installed once a full pass lands. Shared by
+    /// planner moves, trigger moves, and replica-group grows.
+    fn begin_migration(
+        &mut self,
+        reg: RegId,
+        key: Key,
+        to: NodeId,
+        commit_owners: Vec<NodeId>,
+        planned: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let pol = self.cfg.reconfig;
+        let Some(range) = self
+            .directory
+            .ranges(reg)
+            .iter()
+            .find(|r| r.start <= key && key < r.end)
+            .cloned()
+        else {
+            return;
+        };
+        let Some(i) = self.meta_idx(reg, range.start) else {
+            return;
+        };
+        let now = ctx.now();
+        let Some(&from) = range.owners.first() else {
+            return;
+        };
+        if self.rmeta[i].mig.is_some()
+            || range.owners.contains(&to)
+            || !self.switches.contains(&to)
+            || !self.is_live(to)
+            || !self.is_live(from)
+            || commit_owners.is_empty()
+            || commit_owners.len() > MAX_RANGE_OWNERS
+            || self.open_migrations() >= pol.max_concurrent.max(1)
+        {
+            return;
+        }
+        if let Some(t) = self.rmeta[i].cooldown_until {
+            if now < t {
+                return;
+            }
+        }
+        if planned {
+            self.log_reconfig(
+                now,
+                ReconfigEvent::Planned {
+                    reg,
+                    start: range.start,
+                    from,
+                    to,
+                },
+            );
+        }
+        self.rmeta[i].issued_epoch += 1;
+        let epoch = self.rmeta[i].issued_epoch;
+        self.rmeta[i].mig = Some(Mig {
+            from,
+            to,
+            epoch,
+            phase: MigrationPhase::Transferring,
+            commit_owners,
+        });
+        self.log_reconfig(
+            now,
+            ReconfigEvent::Begin {
+                reg,
+                start: range.start,
+                from,
+                to,
+                epoch,
+            },
+        );
+        self.broadcast_begin(
+            ctx,
+            &MigrateBegin {
+                reg,
+                start: range.start,
+                end: range.end,
+                from,
+                to,
+                epoch,
+            },
+        );
+    }
+
+    /// Move the range containing `key` so `to` becomes its primary.
+    fn start_move(&mut self, reg: RegId, key: Key, to: NodeId, planned: bool, ctx: &mut Ctx<'_>) {
+        let Some(range) = self
+            .directory
+            .ranges(reg)
+            .iter()
+            .find(|r| r.start <= key && key < r.end)
+            .cloned()
+        else {
+            return;
+        };
+        let Some(&from) = range.owners.first() else {
+            return;
+        };
+        let commit_owners: Vec<NodeId> = range
+            .owners
+            .iter()
+            .map(|&o| if o == from { to } else { o })
+            .collect();
+        self.begin_migration(reg, key, to, commit_owners, planned, ctx);
+    }
+
+    /// Grow the replica group of the range containing `key`: `node`
+    /// joins as an additional owner after a state transfer.
+    fn start_grow(&mut self, reg: RegId, key: Key, node: NodeId, ctx: &mut Ctx<'_>) {
+        let Some(range) = self
+            .directory
+            .ranges(reg)
+            .iter()
+            .find(|r| r.start <= key && key < r.end)
+            .cloned()
+        else {
+            return;
+        };
+        let mut commit_owners = range.owners.clone();
+        commit_owners.push(node);
+        self.begin_migration(reg, key, node, commit_owners, false, ctx);
+    }
+
+    /// Shrink the replica group of the range containing `key`: `node`
+    /// leaves the owner set. No transfer needed — every acked write is
+    /// already applied at all owners (chain prefix property) — so this
+    /// is a direct commit.
+    fn start_shrink(&mut self, reg: RegId, key: Key, node: NodeId, ctx: &mut Ctx<'_>) {
+        let Some(range) = self
+            .directory
+            .ranges(reg)
+            .iter()
+            .find(|r| r.start <= key && key < r.end)
+            .cloned()
+        else {
+            return;
+        };
+        if !range.owners.contains(&node) || range.owners.len() < 2 {
+            return;
+        }
+        if let Some(i) = self.meta_idx(reg, range.start) {
+            if self.rmeta[i].mig.is_some() {
+                return; // resolve the open transfer first
+            }
+        }
+        let owners: Vec<NodeId> = range
+            .owners
+            .iter()
+            .copied()
+            .filter(|&o| o != node)
+            .collect();
+        self.commit_range(reg, range.start, owners, ctx);
+    }
+
+    /// One planning pass: for every partitioned range, if some switch
+    /// ingressed decisively more writes than the current primary this
+    /// window, migrate the range onto that talker. Counters are drained
+    /// per window (per-interval semantics).
+    fn run_planner(&mut self, ctx: &mut Ctx<'_>) {
+        let pol = self.cfg.reconfig;
+        let mut moves: Vec<(RegId, Key, NodeId)> = Vec::new();
+        for spec in &self.specs {
+            if !spec.is_partitioned() {
+                continue;
+            }
+            let reg = spec.id;
+            for r in self.directory.ranges(reg) {
+                let Some(&primary) = r.owners.first() else {
+                    continue;
+                };
+                let Some(hot) = self.directory.hottest_requester(reg, r.start) else {
+                    continue;
+                };
+                if r.owners.contains(&hot) {
+                    continue;
+                }
+                let hot_n = self.directory.access_count(reg, r.start, hot);
+                let primary_n = self.directory.access_count(reg, r.start, primary);
+                if hot_n < pol.min_writes
+                    || hot_n < pol.min_advantage.saturating_mul(primary_n.max(1))
+                {
+                    continue;
+                }
+                moves.push((reg, r.start, hot));
+            }
+        }
+        for (reg, start, to) in moves {
+            // Per-migration guards (cooldown, concurrency, liveness)
+            // re-checked inside.
+            self.start_move(reg, start, to, true, ctx);
+        }
+        for spec in self.specs.clone() {
+            if spec.is_partitioned() {
+                self.directory.clear_accesses(spec.id);
+            }
+        }
+    }
+
+    /// A switch failed (or was demoted amnesiac): repair every
+    /// partitioned range it participated in. Destination gone → abort
+    /// (re-assert owners at a fresh epoch). Owner gone with survivors →
+    /// shrink commit (survivors hold every acked write). Sole owner gone
+    /// with a live transfer destination → promote the destination (it
+    /// holds every write acked during the window; older state it never
+    /// received is lost with the sole owner either way).
+    fn handle_partitioned_failure(&mut self, d: NodeId, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        for i in 0..self.rmeta.len() {
+            let (reg, start) = (self.rmeta[i].reg, self.rmeta[i].start);
+            let Some(range) = self
+                .directory
+                .ranges(reg)
+                .iter()
+                .find(|r| r.start == start)
+                .cloned()
+            else {
+                continue;
+            };
+            let mig = self.rmeta[i].mig.clone();
+            let survivors: Vec<NodeId> = range.owners.iter().copied().filter(|&o| o != d).collect();
+            if let Some(mig) = mig {
+                if mig.to == d {
+                    self.log_reconfig(
+                        now,
+                        ReconfigEvent::Abort {
+                            reg,
+                            start,
+                            reason: "destination failed",
+                        },
+                    );
+                    // Re-assert the current owners at a fresh epoch:
+                    // clears `mig_to` at every switch and stops the
+                    // source's streamer.
+                    self.commit_range(reg, start, range.owners.clone(), ctx);
+                } else if range.owners.contains(&d) {
+                    if survivors.is_empty() {
+                        self.log_reconfig(
+                            now,
+                            ReconfigEvent::Abort {
+                                reg,
+                                start,
+                                reason: "sole owner failed; promoting destination",
+                            },
+                        );
+                        self.commit_range(reg, start, vec![mig.to], ctx);
+                    } else {
+                        self.log_reconfig(
+                            now,
+                            ReconfigEvent::Abort {
+                                reg,
+                                start,
+                                reason: "owner failed during transfer",
+                            },
+                        );
+                        self.commit_range(reg, start, survivors, ctx);
+                    }
+                }
+            } else if range.owners.contains(&d) && !survivors.is_empty() {
+                // Plain owner failure: shrink the replica group.
+                self.commit_range(reg, start, survivors, ctx);
+            }
+            // Sole owner failed with no transfer in flight: the range's
+            // state dies with it; the table is left pointing at the
+            // owner so writes resume if it returns (the oracle taints
+            // such ranges).
+        }
+    }
+
+    /// Periodic anti-entropy for the range tables: re-broadcast every
+    /// range's committed ownership (and any open transfer) to every
+    /// switch. Idempotent at the receivers — per-range epochs guard the
+    /// installs — and self-healing for crash-wiped tables and lost
+    /// control messages.
+    fn resync_ranges(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.rmeta.len() {
+            let m = self.rmeta[i].clone();
+            let Some(range) = self
+                .directory
+                .ranges(m.reg)
+                .iter()
+                .find(|r| r.start == m.start)
+                .cloned()
+            else {
+                continue;
+            };
+            self.broadcast_commit(ctx, m.reg, m.start, m.end, m.committed_epoch, &range.owners);
+            if let Some(mig) = &m.mig {
+                self.broadcast_begin(
+                    ctx,
+                    &MigrateBegin {
+                        reg: m.reg,
+                        start: m.start,
+                        end: m.end,
+                        from: mig.from,
+                        to: mig.to,
+                        epoch: mig.epoch,
+                    },
+                );
+            }
+        }
+    }
+
     fn check_liveness(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         let timeout = self.cfg.failure_timeout;
@@ -197,6 +732,7 @@ impl Controller {
             self.view.chain.retain(|&n| n != d);
             self.view.learners.retain(|&n| n != d);
             self.broadcast(ctx, ConfigEventKind::Failed(d));
+            self.handle_partitioned_failure(d, ctx);
         }
         // Reconciliation: configuration messages ride the same lossy
         // fabric as everything else; re-send to any live switch whose
@@ -219,6 +755,13 @@ impl Node for Controller {
         self.last_hb = self.switches.iter().map(|&s| (s, now, 0)).collect();
         self.broadcast(ctx, ConfigEventKind::Bootstrap);
         ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
+        if self.has_partitioned() {
+            self.bootstrap_ranges(ctx);
+            ctx.set_timer(self.cfg.reconfig.resync_interval, RESYNC_TIMER);
+            if self.cfg.reconfig.enabled {
+                ctx.set_timer(self.cfg.reconfig.plan_interval, PLAN_TIMER);
+            }
+        }
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
@@ -246,14 +789,68 @@ impl Node for Controller {
                 self.view.chain.push(c.node);
                 self.broadcast(ctx, ConfigEventKind::Promoted(c.node));
             }
+            SwishMsg::LoadReport(lr) => {
+                for e in &lr.entries {
+                    self.directory
+                        .record_access(e.reg, e.start, lr.from, e.writes);
+                }
+            }
+            SwishMsg::MigrateDone(d) => {
+                let now = ctx.now();
+                let Some(i) = self.meta_idx(d.reg, d.start) else {
+                    return;
+                };
+                let commit = match &mut self.rmeta[i].mig {
+                    Some(mig)
+                        if mig.epoch == d.epoch
+                            && mig.to == d.node
+                            && mig.phase == MigrationPhase::Transferring =>
+                    {
+                        mig.phase = MigrationPhase::DualOwner;
+                        Some((mig.to, mig.commit_owners.clone()))
+                    }
+                    _ => None, // stale/duplicate report
+                };
+                if let Some((to, owners)) = commit {
+                    self.log_reconfig(
+                        now,
+                        ReconfigEvent::Done {
+                            reg: d.reg,
+                            start: d.start,
+                            to,
+                            pass: d.pass,
+                        },
+                    );
+                    self.commit_range(d.reg, d.start, owners, ctx);
+                }
+            }
             _ => {}
         }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
-        if token == CHECK_TIMER {
-            self.check_liveness(ctx);
-            ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
+        if let Some((op, reg, key, to)) = decode_trigger(token) {
+            match op {
+                TriggerOp::Move => self.start_move(reg, key, to, false, ctx),
+                TriggerOp::Grow => self.start_grow(reg, key, to, ctx),
+                TriggerOp::Shrink => self.start_shrink(reg, key, to, ctx),
+            }
+            return;
+        }
+        match token {
+            CHECK_TIMER => {
+                self.check_liveness(ctx);
+                ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
+            }
+            PLAN_TIMER => {
+                self.run_planner(ctx);
+                ctx.set_timer(self.cfg.reconfig.plan_interval, PLAN_TIMER);
+            }
+            RESYNC_TIMER => {
+                self.resync_ranges(ctx);
+                ctx.set_timer(self.cfg.reconfig.resync_interval, RESYNC_TIMER);
+            }
+            _ => {}
         }
     }
 }
@@ -267,6 +864,7 @@ mod tests {
         let c = Controller::new(
             SwishConfig::default(),
             vec![NodeId(2), NodeId(0), NodeId(1)],
+            vec![],
         );
         assert_eq!(c.view().chain, vec![NodeId(2), NodeId(0), NodeId(1)]);
         assert_eq!(c.view().epoch, 0);

@@ -169,7 +169,11 @@ impl DeploymentBuilder {
 
         sim.add_node(
             NodeId::CONTROLLER,
-            Box::new(Controller::new(self.swish_cfg, switch_ids.clone())),
+            Box::new(Controller::new(
+                self.swish_cfg,
+                switch_ids.clone(),
+                self.registers.clone(),
+            )),
         );
 
         let mut hosts = Vec::with_capacity(self.n_hosts);
@@ -356,6 +360,59 @@ impl Deployment {
             .unwrap_or_default()
     }
 
+    /// The range table switch `i` has installed for a partitioned
+    /// register (empty for replicated registers or before the
+    /// controller's initial broadcast lands).
+    pub fn installed_ranges(&self, i: usize, reg: RegId) -> Vec<crate::reconfig::RangeView> {
+        let sw = self.switch(i);
+        let Some(h) = sw.program().handles().rangeblk(reg) else {
+            return Vec::new();
+        };
+        crate::layer::read_ranges_dp(sw.dp(), h)
+    }
+
+    /// The controller's master range table for a partitioned register.
+    pub fn controller_ranges(&self, reg: RegId) -> Vec<crate::reconfig::RangeView> {
+        self.sim
+            .node::<Controller>(NodeId::CONTROLLER)
+            .map(|c| c.range_table(reg))
+            .unwrap_or_default()
+    }
+
+    /// The controller's reconfiguration-engine event log.
+    pub fn reconfig_events(&self) -> Vec<crate::reconfig::ReconfigLogEntry> {
+        self.sim
+            .node::<Controller>(NodeId::CONTROLLER)
+            .map(|c| c.reconfig_log().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The migration phase of the range containing `reg[key]`.
+    pub fn migration_phase(&self, reg: RegId, key: Key) -> crate::reconfig::MigrationPhase {
+        self.sim
+            .node::<Controller>(NodeId::CONTROLLER)
+            .map(|c| c.migration_phase(reg, key))
+            .unwrap_or(crate::reconfig::MigrationPhase::Idle)
+    }
+
+    /// Schedule an explicit reconfiguration trigger at absolute time `t`:
+    /// fires a controller timer through the engine's ordinary event
+    /// order, exactly as a fault schedule would inject it.
+    pub fn schedule_trigger(
+        &mut self,
+        t: SimTime,
+        op: crate::reconfig::TriggerOp,
+        reg: RegId,
+        key: Key,
+        to: NodeId,
+    ) {
+        let token = crate::reconfig::trigger_token_op(op, reg, key, to);
+        let now = self.sim.now();
+        let sched =
+            swishmem_simnet::FaultSchedule::new().trigger(t.since(now), NodeId::CONTROLLER, token);
+        self.sim.schedule_faults(now, &sched);
+    }
+
     /// Per-group applied sequence numbers of a chain register at switch
     /// `i` (empty for EWO registers).
     pub fn chain_seqs(&self, i: usize, reg: RegId) -> Vec<u64> {
@@ -364,7 +421,8 @@ impl Deployment {
         let RegKind::Chain { seq, .. } = &entry.kind else {
             return Vec::new();
         };
-        let slots = self.cfg.group_slots(entry.spec.keys);
+        // Partitioned registers sequence per key, not per group.
+        let slots = crate::layer::Handles::seq_slots(&entry.spec, &self.cfg);
         (0..slots)
             .map(|g| sw.dp().reg(*seq).read(g as usize))
             .collect()

@@ -78,6 +78,60 @@ impl DirectoryService {
         );
     }
 
+    /// All ranges of `reg`, in key order (empty when unknown). The
+    /// reconfiguration engine reads this as the authoritative table.
+    pub fn ranges(&self, reg: RegId) -> &[RangeEntry] {
+        self.regs
+            .get(&reg)
+            .map(|d| d.ranges.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Record `n` accesses from `from` to the range containing `key`
+    /// without resolving owners — the bulk entry point for per-range
+    /// load reports feeding the migration planner.
+    pub fn record_access(&mut self, reg: RegId, key: Key, from: NodeId, n: u64) {
+        let Some(idx) = self.range_index(reg, key) else {
+            return;
+        };
+        let dir = self.regs.get_mut(&reg).expect("register known");
+        *dir.accesses.entry((idx, from)).or_insert(0) += n;
+    }
+
+    /// The access count recorded for the range containing `key` from
+    /// `from` (0 when unknown).
+    pub fn access_count(&self, reg: RegId, key: Key, from: NodeId) -> u64 {
+        let Some(idx) = self.range_index(reg, key) else {
+            return 0;
+        };
+        self.regs[&reg]
+            .accesses
+            .get(&(idx, from))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Replace the owner set of the range containing `key` (the directory
+    /// side of an `OwnershipCommit`), resetting its access counts.
+    /// Returns the updated range, or `None` if unknown or `owners` empty.
+    pub fn set_owners(&mut self, reg: RegId, key: Key, owners: &[NodeId]) -> Option<RangeEntry> {
+        if owners.is_empty() {
+            return None;
+        }
+        let idx = self.range_index(reg, key)?;
+        let dir = self.regs.get_mut(&reg)?;
+        dir.ranges[idx].owners = owners.to_vec();
+        dir.accesses.retain(|(i, _), _| *i != idx);
+        Some(dir.ranges[idx].clone())
+    }
+
+    /// Drop all access counts for `reg` (end of a planning window).
+    pub fn clear_accesses(&mut self, reg: RegId) {
+        if let Some(dir) = self.regs.get_mut(&reg) {
+            dir.accesses.clear();
+        }
+    }
+
     fn range_index(&self, reg: RegId, key: Key) -> Option<usize> {
         self.regs
             .get(&reg)?

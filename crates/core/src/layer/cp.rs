@@ -16,22 +16,25 @@
 //! * **Recovery target** — when the pipeline reports the final snapshot
 //!   chunk applied, announce `CatchupComplete` to the controller.
 
-use super::{write_chain, ChainView, CpItem, Handles, RegKind};
+use super::{read_ranges_dp, write_chain, ChainView, CpItem, Handles, RegKind};
 use crate::config::SwishConfig;
 use crate::metrics::CpMetrics;
+use crate::reconfig::RangeView;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use swishmem_pisa::{ControlApp, CpCtx, RegHandle};
 use swishmem_simnet::{SimDuration, SimTime, SpanPhase};
 use swishmem_wire::swish::{
-    CatchupComplete, Heartbeat, Key, RegId, SnapEntry, SnapshotChunk, WriteOp, WriteRequest,
+    CatchupComplete, Heartbeat, Key, LoadEntry, LoadReport, MigrateBegin, MigrateChunk,
+    MigrateDone, OwnershipCommit, RegId, SnapEntry, SnapshotChunk, WriteOp, WriteRequest,
 };
 use swishmem_wire::{DataPacket, NodeId, PacketBody, SwishMsg, TraceId};
 
 const TT_RETRY: u64 = 1 << 44;
 const TT_HEARTBEAT: u64 = 2 << 44;
 const TT_SNAP: u64 = 3 << 44;
+const TT_MIGRATE: u64 = 4 << 44;
 const TT_MASK: u64 = 0xf << 44;
 const ID_MASK: u64 = (1 << 44) - 1;
 
@@ -66,6 +69,61 @@ struct WriteState {
     trace: TraceId,
 }
 
+/// Source-side state of one in-flight range migration: the CP streams
+/// the range's `(key, seq, value)` entries to the destination in paced
+/// chunks, and — because chunks ride the lossy fabric unacknowledged —
+/// re-snapshots and re-streams the whole range in numbered *passes*
+/// until an `OwnershipCommit` (or abort, which is also a commit) retires
+/// the stream. Writes that race a pass are safe regardless: during the
+/// transfer the destination is the range's acking tail, so every
+/// acknowledged write is already applied there.
+#[derive(Debug)]
+struct MigOut {
+    reg: RegId,
+    start: Key,
+    end: Key,
+    to: NodeId,
+    epoch: u32,
+    pass: u32,
+    /// Range snapshot taken at pass start (`None` = snapshot on next
+    /// pump), so chunks within one pass are mutually consistent.
+    pass_entries: Option<Vec<SnapEntry>>,
+    next_chunk: usize,
+    next_due: SimTime,
+}
+
+/// Destination-side tracker: which chunk indices of the current pass
+/// have arrived. A pass is complete when indices `0..=last` are all
+/// present; the destination then reports `MigrateDone` and the
+/// controller commits ownership.
+#[derive(Debug)]
+struct MigIn {
+    reg: RegId,
+    start: Key,
+    end: Key,
+    epoch: u32,
+    pass: u32,
+    /// Bitmap of received chunk indices (passes are capped at 64 chunks
+    /// by the sender).
+    got: u64,
+    last_idx: Option<u16>,
+    done_sent: bool,
+}
+
+impl MigIn {
+    fn complete(&self) -> bool {
+        let Some(last) = self.last_idx else {
+            return false;
+        };
+        let need = if last >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (u64::from(last) + 1)) - 1
+        };
+        self.got & need == need
+    }
+}
+
 /// The control-plane application of one SwiShmem switch.
 pub struct SwishCp {
     me: NodeId,
@@ -80,6 +138,15 @@ pub struct SwishCp {
     snap_out: VecDeque<(NodeId, SnapshotChunk)>,
     /// Cached directory answers: (reg, key) → owner set (§7 extension).
     dir_cache: HashMap<(RegId, Key), Vec<NodeId>>,
+    /// Outbound migration streams (this switch is the source).
+    mig_out: Vec<MigOut>,
+    /// Inbound migration pass trackers (this switch is the destination).
+    mig_in: Vec<MigIn>,
+    mig_timer_armed: bool,
+    /// Partitioned-write ingress counts per `(reg, range start)`, drained
+    /// into a `LoadReport` on the heartbeat tick. A `Vec`, not a map:
+    /// the drain order goes on the wire and must be deterministic.
+    load: Vec<((RegId, Key), u64)>,
     metrics: CpMetrics,
 }
 
@@ -98,6 +165,10 @@ impl SwishCp {
             writes: HashMap::new(),
             snap_out: VecDeque::new(),
             dir_cache: HashMap::new(),
+            mig_out: Vec::new(),
+            mig_in: Vec::new(),
+            mig_timer_armed: false,
+            load: Vec::new(),
             metrics: CpMetrics::default(),
         }
     }
@@ -135,6 +206,16 @@ impl SwishCp {
         &self.view
     }
 
+    /// Migration streams this switch is currently sourcing.
+    pub fn migration_streams_out(&self) -> usize {
+        self.mig_out.len()
+    }
+
+    /// Migration transfers this switch is currently receiving.
+    pub fn migration_streams_in(&self) -> usize {
+        self.mig_in.len()
+    }
+
     /// Capped exponential backoff with deterministic jitter: base
     /// `retry_timeout` doubled per attempt up to `retry_backoff_max`,
     /// plus a hashed jitter in `[0, delay/4]`. Hashed — not drawn from
@@ -149,12 +230,35 @@ impl SwishCp {
         SimDuration::nanos(backed + h % (backed / 4 + 1))
     }
 
+    /// The range of a partitioned register containing `key`, read from
+    /// this switch's own installed table (empty until the controller's
+    /// initial broadcast lands; callers fall back to the retry timer).
+    fn part_range(&self, reg: RegId, key: Key, cp: &mut CpCtx<'_, '_>) -> Option<RangeView> {
+        let h = self.handles.rangeblk(reg)?;
+        read_ranges_dp(cp.dataplane(), h)
+            .into_iter()
+            .find(|r| r.contains(key))
+    }
+
     fn send_write(&mut self, write_id: u64, cp: &mut CpCtx<'_, '_>) {
         let Some(ws) = self.writes.get(&write_id) else {
             return;
         };
-        let Some(head) = self.view.head() else {
-            return; // no chain yet; the retry timer will try again
+        let head = if self.handles.entry(ws.reg).spec.is_partitioned() {
+            // Partitioned registers route per key: seq==0 goes to the
+            // primary of the key's range, not the global chain head. A
+            // retry after an `OwnershipCommit` re-reads the table and
+            // re-routes automatically.
+            let (reg, key) = (ws.reg, ws.key);
+            let Some(primary) = self.part_range(reg, key, cp).and_then(|r| r.primary()) else {
+                return; // no installed range yet; the retry timer will try again
+            };
+            primary
+        } else {
+            let Some(head) = self.view.head() else {
+                return; // no chain yet; the retry timer will try again
+            };
+            head
         };
         self.metrics.write_sends += 1;
         cp.packet_out(
@@ -205,6 +309,9 @@ impl SwishCp {
             },
         );
         for w in writes {
+            if self.handles.entry(w.reg).spec.is_partitioned() {
+                self.note_part_load(w.reg, w.key, cp);
+            }
             let write_id = self.next_write & ID_MASK;
             self.next_write += 1;
             self.writes.insert(
@@ -220,6 +327,254 @@ impl SwishCp {
             );
             self.send_write(write_id, cp);
             cp.set_timer(self.retry_delay(write_id, 0), TT_RETRY | write_id);
+        }
+    }
+
+    /// Count one partitioned-write ingress against the key's range, for
+    /// the heartbeat-piggybacked load report feeding the planner.
+    fn note_part_load(&mut self, reg: RegId, key: Key, cp: &mut CpCtx<'_, '_>) {
+        let Some(start) = self.part_range(reg, key, cp).map(|r| r.start) else {
+            return;
+        };
+        match self.load.iter_mut().find(|(k, _)| *k == (reg, start)) {
+            Some((_, n)) => *n += 1,
+            None => self.load.push(((reg, start), 1)),
+        }
+    }
+
+    /// Drain the ingress counts into a `LoadReport`. Sent only when
+    /// nonzero, so deployments without partitioned registers emit no new
+    /// traffic (the golden determinism fingerprint stays bit-identical).
+    fn flush_load_report(&mut self, cp: &mut CpCtx<'_, '_>) {
+        if self.load.is_empty() {
+            return;
+        }
+        let entries = self
+            .load
+            .drain(..)
+            .map(|((reg, start), writes)| LoadEntry { reg, start, writes })
+            .collect();
+        self.metrics.load_reports_sent += 1;
+        cp.packet_out(
+            self.controller,
+            PacketBody::Swish(SwishMsg::LoadReport(LoadReport {
+                from: self.me,
+                entries,
+            })),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Live migration: source streamer and destination pass tracker
+    // ------------------------------------------------------------------
+
+    fn on_migrate_begin(&mut self, m: MigrateBegin, cp: &mut CpCtx<'_, '_>) {
+        if m.to == self.me {
+            match self
+                .mig_in
+                .iter_mut()
+                .find(|t| t.reg == m.reg && t.start == m.start)
+            {
+                Some(t) if t.epoch >= m.epoch => {}
+                Some(t) => {
+                    *t = MigIn {
+                        reg: m.reg,
+                        start: m.start,
+                        end: m.end,
+                        epoch: m.epoch,
+                        pass: 0,
+                        got: 0,
+                        last_idx: None,
+                        done_sent: false,
+                    };
+                }
+                None => self.mig_in.push(MigIn {
+                    reg: m.reg,
+                    start: m.start,
+                    end: m.end,
+                    epoch: m.epoch,
+                    pass: 0,
+                    got: 0,
+                    last_idx: None,
+                    done_sent: false,
+                }),
+            }
+        }
+        if m.from == self.me {
+            let exists = self
+                .mig_out
+                .iter()
+                .any(|o| o.reg == m.reg && o.start == m.start && o.epoch >= m.epoch);
+            if !exists {
+                self.mig_out
+                    .retain(|o| !(o.reg == m.reg && o.start == m.start));
+                self.mig_out.push(MigOut {
+                    reg: m.reg,
+                    start: m.start,
+                    end: m.end,
+                    to: m.to,
+                    epoch: m.epoch,
+                    pass: 0,
+                    pass_entries: None,
+                    next_chunk: 0,
+                    next_due: cp.now(),
+                });
+                if !self.mig_timer_armed {
+                    self.mig_timer_armed = true;
+                    cp.set_timer(self.cfg.reconfig.chunk_interval, TT_MIGRATE);
+                }
+            }
+        }
+    }
+
+    /// Destination bookkeeping for one received chunk (the data plane has
+    /// already applied its entries, seq-guarded). When a full pass has
+    /// arrived, report `MigrateDone` so the controller can commit.
+    fn on_migrate_chunk(&mut self, ch: &MigrateChunk, cp: &mut CpCtx<'_, '_>) {
+        let me = self.me;
+        let Some(t) = self
+            .mig_in
+            .iter_mut()
+            .find(|t| t.reg == ch.reg && t.start == ch.start)
+        else {
+            return; // Begin not seen yet (lost); resync will re-send it
+        };
+        if ch.pass < t.pass {
+            return; // chunk from a superseded pass
+        }
+        if ch.pass > t.pass {
+            t.pass = ch.pass;
+            t.got = 0;
+            t.last_idx = None;
+            t.done_sent = false;
+        }
+        if ch.idx >= 64 {
+            return; // sender caps passes at 64 chunks; defensive
+        }
+        t.got |= 1 << ch.idx;
+        if ch.last {
+            t.last_idx = Some(ch.idx);
+        }
+        if t.complete() && !t.done_sent {
+            t.done_sent = true;
+            let done = MigrateDone {
+                reg: t.reg,
+                start: t.start,
+                end: t.end,
+                node: me,
+                epoch: t.epoch,
+                pass: t.pass,
+            };
+            self.metrics.migrate_done_sent += 1;
+            cp.packet_out(
+                self.controller,
+                PacketBody::Swish(SwishMsg::MigrateDone(done)),
+            );
+        }
+    }
+
+    /// An `OwnershipCommit` at a newer epoch retires any migration stream
+    /// or tracker for that range — a controller abort is also delivered
+    /// as a commit (re-asserting the old owners at a fresh epoch), so
+    /// this is the single stop signal for both outcomes.
+    fn on_ownership_commit(&mut self, c: &OwnershipCommit) {
+        self.mig_out
+            .retain(|o| !(o.reg == c.reg && o.start == c.start && o.epoch < c.epoch));
+        self.mig_in
+            .retain(|t| !(t.reg == c.reg && t.start == c.start && t.epoch < c.epoch));
+    }
+
+    /// Snapshot a key range of a partitioned register for one transfer
+    /// pass: `(key, per-key seq, value)` for every written key.
+    fn snapshot_range(
+        &self,
+        reg: RegId,
+        start: Key,
+        end: Key,
+        cp: &mut CpCtx<'_, '_>,
+    ) -> Vec<SnapEntry> {
+        let entry = self.handles.entry(reg);
+        let RegKind::Chain { val, seq, .. } = &entry.kind else {
+            return vec![];
+        };
+        let dp = cp.dataplane();
+        let mut out = Vec::new();
+        for key in start..end {
+            let g = Handles::group_slot(&entry.spec, &self.cfg, key);
+            let s = dp.reg(*seq).read(g);
+            let v = dp.reg(*val).read(key as usize);
+            if s == 0 && v == 0 {
+                continue; // never written
+            }
+            out.push(SnapEntry {
+                key,
+                seq: s,
+                value: v,
+            });
+        }
+        out
+    }
+
+    /// One tick of the migration streamer: for every due outbound stream,
+    /// send the next chunk of the current pass (snapshotting the range at
+    /// pass start so a pass is internally consistent). After the last
+    /// chunk of a pass the stream idles for `repass_interval`, then
+    /// re-snapshots and streams again — chunk loss is repaired by
+    /// repetition, not acknowledgment, and the seq guard at the
+    /// destination makes re-application idempotent.
+    fn pump_migration(&mut self, cp: &mut CpCtx<'_, '_>) {
+        let now = cp.now();
+        let pol = self.cfg.reconfig;
+        for i in 0..self.mig_out.len() {
+            if self.mig_out[i].next_due > now {
+                continue;
+            }
+            if self.mig_out[i].pass_entries.is_none() {
+                let (reg, start, end) = {
+                    let m = &self.mig_out[i];
+                    (m.reg, m.start, m.end)
+                };
+                let entries = self.snapshot_range(reg, start, end, cp);
+                self.mig_out[i].pass_entries = Some(entries);
+            }
+            let me = self.me;
+            let m = &mut self.mig_out[i];
+            let entries = m.pass_entries.as_ref().expect("snapshotted at pass start");
+            // ≤64 chunks per pass: the destination tracks receipt in a
+            // u64 bitmap, so widen chunks instead of overflowing it.
+            let per = pol.chunk_keys.max(1).max(entries.len().div_ceil(64));
+            let n_chunks = entries.len().div_ceil(per).max(1);
+            let idx = m.next_chunk;
+            let last = idx + 1 >= n_chunks;
+            let lo = (idx * per).min(entries.len());
+            let hi = (lo + per).min(entries.len());
+            let chunk = MigrateChunk {
+                reg: m.reg,
+                start: m.start,
+                end: m.end,
+                origin: me,
+                pass: m.pass,
+                idx: idx as u16,
+                last,
+                entries: entries[lo..hi].into(),
+            };
+            let to = m.to;
+            if last {
+                m.pass += 1;
+                m.next_chunk = 0;
+                m.pass_entries = None;
+                m.next_due = now + pol.repass_interval;
+            } else {
+                m.next_chunk += 1;
+                m.next_due = now + pol.chunk_interval;
+            }
+            self.metrics.migrate_chunks_sent += 1;
+            cp.packet_out(to, PacketBody::Swish(SwishMsg::MigrateChunk(chunk)));
+        }
+        if self.mig_out.is_empty() {
+            self.mig_timer_armed = false;
+        } else {
+            cp.set_timer(pol.chunk_interval, TT_MIGRATE);
         }
     }
 
@@ -452,6 +807,9 @@ impl ControlApp for SwishCp {
                 SwishMsg::DirReply(r) => {
                     self.dir_cache.insert((r.reg, r.key), r.owners);
                 }
+                SwishMsg::MigrateBegin(m) => self.on_migrate_begin(m, cp),
+                SwishMsg::MigrateChunk(ch) => self.on_migrate_chunk(&ch, cp),
+                SwishMsg::OwnershipCommit(c) => self.on_ownership_commit(&c),
                 _ => {}
             },
         }
@@ -486,8 +844,10 @@ impl ControlApp for SwishCp {
                     })),
                 );
                 cp.set_timer(self.cfg.heartbeat_interval, TT_HEARTBEAT);
+                self.flush_load_report(cp);
             }
             TT_SNAP => self.pump_snapshot(cp),
+            TT_MIGRATE => self.pump_migration(cp),
             _ => {}
         }
     }
@@ -498,6 +858,10 @@ impl ControlApp for SwishCp {
         self.writes.clear();
         self.snap_out.clear();
         self.dir_cache.clear();
+        self.mig_out.clear();
+        self.mig_in.clear();
+        self.mig_timer_armed = false;
+        self.load.clear();
         self.metrics = CpMetrics::default();
     }
 }

@@ -15,6 +15,7 @@ pub mod nfctx;
 pub mod program;
 
 use crate::config::{RegisterClass, RegisterSpec, SwishConfig};
+use crate::reconfig::{self, RangeView, RANGEBLK_LEN};
 use swishmem_pisa::{DataPlane, DpView, OutOfMemory, PairRegHandle, RegHandle};
 use swishmem_simnet::GroupId;
 use swishmem_wire::swish::{Key, RegId, WriteOp};
@@ -74,6 +75,12 @@ pub struct Handles {
     /// The configuration block register (chain/learners/epoch), installed
     /// by the control plane, read by the pipeline.
     pub(crate) cfgblk: RegHandle,
+    /// Per-partitioned-register range tables (`rangeblk`), same idiom as
+    /// the config block: installed by control messages, consulted by the
+    /// pipeline on every partitioned write. `(reg id, handle)` pairs;
+    /// empty when no register is partitioned, so replicated deployments
+    /// pay nothing.
+    pub(crate) rangeblks: Vec<(RegId, RegHandle)>,
 }
 
 /// Length of the configuration block register array.
@@ -104,7 +111,7 @@ impl Handles {
                 RegisterClass::Sro | RegisterClass::Ero => {
                     let val =
                         dp.alloc_register(&format!("swish.{}.val", spec.name), spec.keys as usize)?;
-                    let slots = cfg.group_slots(spec.keys) as usize;
+                    let slots = Handles::seq_slots(spec, cfg) as usize;
                     let seq = dp.alloc_register(&format!("swish.{}.seq", spec.name), slots)?;
                     let pending = if spec.class == RegisterClass::Sro {
                         Some(dp.alloc_register(&format!("swish.{}.pending", spec.name), slots)?)
@@ -134,7 +141,18 @@ impl Handles {
             });
         }
         let cfgblk = dp.alloc_register("swish.cfg", CFGBLK_LEN)?;
-        Ok(Handles { regs, cfgblk })
+        let mut rangeblks = Vec::new();
+        for spec in specs.iter().filter(|s| s.is_partitioned()) {
+            rangeblks.push((
+                spec.id,
+                dp.alloc_register(&format!("swish.{}.ranges", spec.name), RANGEBLK_LEN)?,
+            ));
+        }
+        Ok(Handles {
+            regs,
+            cfgblk,
+            rangeblks,
+        })
     }
 
     /// Look up a register entry; panics on unknown id (programming error).
@@ -142,10 +160,29 @@ impl Handles {
         &self.regs[reg as usize]
     }
 
+    /// The range-table handle for a partitioned register.
+    pub(crate) fn rangeblk(&self, reg: RegId) -> Option<RegHandle> {
+        self.rangeblks
+            .iter()
+            .find(|(r, _)| *r == reg)
+            .map(|(_, h)| *h)
+    }
+
+    /// Sequence/pending slots for a register: partitioned registers
+    /// sequence per key (grouping would alias slots across directory
+    /// range boundaries), replicated ones per key group.
+    pub(crate) fn seq_slots(spec: &RegisterSpec, cfg: &SwishConfig) -> u32 {
+        if spec.is_partitioned() {
+            spec.keys.max(1)
+        } else {
+            cfg.group_slots(spec.keys)
+        }
+    }
+
     /// The group slot (shared sequence/pending index) for `key` under
-    /// grouping factor `key_group`.
+    /// grouping factor `key_group` (identity for partitioned registers).
     pub(crate) fn group_slot(spec: &RegisterSpec, cfg: &SwishConfig, key: Key) -> usize {
-        let slots = cfg.group_slots(spec.keys);
+        let slots = Handles::seq_slots(spec, cfg);
         (key % slots) as usize
     }
 }
@@ -222,6 +259,26 @@ pub(crate) fn write_chain(dp: &mut DataPlane, h: RegHandle, view: &ChainView) {
     }
 }
 
+/// Read a partitioned register's range table from the pipeline.
+pub(crate) fn read_ranges(dp: &DpView<'_>, h: RegHandle) -> Vec<RangeView> {
+    let mut cells = vec![0u64; RANGEBLK_LEN];
+    for (i, c) in cells.iter_mut().enumerate() {
+        *c = dp.reg_read(h, i);
+    }
+    reconfig::decode_ranges(&cells)
+}
+
+/// Read a partitioned register's range table directly from the data
+/// plane (the control-plane-side variant of [`read_ranges`]).
+pub(crate) fn read_ranges_dp(dp: &DataPlane, h: RegHandle) -> Vec<RangeView> {
+    let r = dp.reg(h);
+    let mut cells = vec![0u64; RANGEBLK_LEN];
+    for (i, c) in cells.iter_mut().enumerate() {
+        *c = r.read(i);
+    }
+    reconfig::decode_ranges(&cells)
+}
+
 /// Plan the pipeline-stage placement of a register-spec set (the second
 /// resource dimension beside the byte budget, §2: "memory is split
 /// between pipeline stages"). Returns the planner with all SwiShmem
@@ -240,7 +297,7 @@ pub fn plan_stages(
                     &format!("swish.{}.val", spec.name),
                     spec.keys as usize * RegisterArray::CELL_BYTES,
                 )?;
-                let slots = cfg.group_slots(spec.keys) as usize;
+                let slots = Handles::seq_slots(spec, cfg) as usize;
                 planner.place(
                     &format!("swish.{}.seq", spec.name),
                     slots * RegisterArray::CELL_BYTES,
@@ -249,6 +306,12 @@ pub fn plan_stages(
                     planner.place(
                         &format!("swish.{}.pending", spec.name),
                         slots * RegisterArray::CELL_BYTES,
+                    )?;
+                }
+                if spec.is_partitioned() {
+                    planner.place(
+                        &format!("swish.{}.ranges", spec.name),
+                        RANGEBLK_LEN * RegisterArray::CELL_BYTES,
                     )?;
                 }
             }

@@ -3,18 +3,20 @@
 
 use super::nfctx::NfCtx;
 use super::{
-    read_chain, ChainView, CpItem, Handles, RegKind, StagedWrite, PENDING_SWEEP_PKTGEN_TOKEN,
-    REPLICA_GROUP, SYNC_PKTGEN_TOKEN,
+    read_chain, read_ranges, ChainView, CpItem, Handles, RegKind, StagedWrite,
+    PENDING_SWEEP_PKTGEN_TOKEN, REPLICA_GROUP, SYNC_PKTGEN_TOKEN,
 };
 use crate::api::{NfApp, NfDecision};
 use crate::config::{MergePolicy, RegisterClass, SwishConfig};
 use crate::metrics::DpMetrics;
+use crate::reconfig::{encode_ranges, RangeView};
 use crate::version::SwitchClock;
 use std::rc::Rc;
-use swishmem_pisa::{DataPlane, DataPlaneProgram, DpView, Effects};
+use swishmem_pisa::{DataPlane, DataPlaneProgram, DpView, Effects, RegHandle};
 use swishmem_simnet::{SimTime, SpanPhase};
 use swishmem_wire::swish::{
-    PendingClear, ReadForward, RegId, SnapshotChunk, SyncEntry, SyncUpdate, WriteOp, WriteRequest,
+    MigrateBegin, MigrateChunk, OwnershipCommit, PendingClear, ReadForward, RegId, SnapshotChunk,
+    SyncEntry, SyncUpdate, WriteOp, WriteRequest,
 };
 use swishmem_wire::{DataPacket, NodeId, Packet, PacketBody, SwishMsg, TraceId};
 
@@ -654,6 +656,192 @@ impl SwishProgram {
     }
 
     // ------------------------------------------------------------------
+    // Partitioned registers: per-range mini-chains + live migration
+    // ------------------------------------------------------------------
+
+    /// Install `ranges` into a partitioned register's range table through
+    /// the pipeline view (the control path owns [`super::write_ranges`];
+    /// this is the in-dispatch variant used by migration control
+    /// messages, which are applied where they land: in the data plane).
+    fn install_ranges(dp: &mut DpView<'_>, h: RegHandle, ranges: &[RangeView]) {
+        for (i, c) in encode_ranges(ranges).iter().enumerate() {
+            dp.reg_write(h, i, *c);
+        }
+    }
+
+    /// The chain-write handler for partitioned registers: the effective
+    /// chain is the *range's* owner set — extended by the migration
+    /// destination as acking tail while a transfer is open — and
+    /// sequencing is per key. A write landing at a switch that is not in
+    /// the key's chain was routed off a stale table; dropping it makes
+    /// the writer's retry re-route through the updated table.
+    fn on_part_write(&mut self, req: WriteRequest, dp: &mut DpView<'_>, eff: &mut Effects) {
+        let entry = self.handles.entry(req.reg);
+        let RegKind::Chain { val, seq, .. } = &entry.kind else {
+            self.metrics.part_stale += 1;
+            return;
+        };
+        let (val, seq) = (*val, *seq);
+        let Some(h) = self.handles.rangeblk(req.reg) else {
+            self.metrics.part_stale += 1;
+            return;
+        };
+        let ranges = read_ranges(dp, h);
+        let Some(r) = ranges.iter().find(|r| r.contains(req.key)) else {
+            self.metrics.part_stale += 1;
+            return;
+        };
+        let chain = r.write_chain();
+        let Some(pos) = chain.iter().position(|&n| n == self.me) else {
+            self.metrics.part_stale += 1;
+            return;
+        };
+        let g = Handles::group_slot(&entry.spec, &self.cfg, req.key);
+        let cur = dp.reg_read(seq, g);
+
+        let is_head = pos == 0;
+        let is_tail = pos + 1 == chain.len();
+
+        let (assigned, op) = if is_head && req.seq == 0 {
+            let value = match req.op {
+                WriteOp::Set(v) => v,
+                WriteOp::Add(d) => dp.reg_read(val, req.key as usize).wrapping_add(d as u64),
+            };
+            (cur + 1, WriteOp::Set(value))
+        } else if req.seq == 0 {
+            // Sequencing request at a non-primary: stale routing.
+            self.metrics.part_stale += 1;
+            return;
+        } else {
+            (req.seq, req.op)
+        };
+
+        if assigned <= cur {
+            self.metrics.chain_stale += 1;
+            return;
+        }
+        let WriteOp::Set(value) = op else {
+            self.metrics.chain_stale += 1;
+            return;
+        };
+        dp.reg_write(val, req.key as usize, value);
+        dp.reg_write(seq, g, assigned);
+        self.metrics.chain_applies += 1;
+        eff.span(req.trace, SpanPhase::ChainHop(pos as u8));
+
+        if is_tail {
+            // Per-range tail acks the writer. No pending bits to clear:
+            // partitioned registers are ERO-class.
+            eff.span(req.trace, SpanPhase::Ack);
+            eff.forward(
+                req.writer,
+                PacketBody::Swish(SwishMsg::Ack(swishmem_wire::swish::WriteAck {
+                    write_id: req.write_id,
+                    writer: req.writer,
+                    reg: req.reg,
+                    key: req.key,
+                    seq: assigned,
+                    trace: req.trace,
+                })),
+            );
+        } else {
+            eff.forward(
+                chain[pos + 1],
+                PacketBody::Swish(SwishMsg::Write(WriteRequest {
+                    seq: assigned,
+                    op,
+                    ..req
+                })),
+            );
+        }
+    }
+
+    /// `MigrateBegin`: record the destination as the range's `mig_to` in
+    /// the data-plane table (epoch-guarded, so re-broadcasts and stale
+    /// duplicates are idempotent), then punt to the control plane, which
+    /// starts streaming (source) or pass tracking (destination).
+    fn on_migrate_begin(&mut self, m: MigrateBegin, dp: &mut DpView<'_>, eff: &mut Effects) {
+        if let Some(h) = self.handles.rangeblk(m.reg) {
+            let mut ranges = read_ranges(dp, h);
+            if let Some(r) = ranges
+                .iter_mut()
+                .find(|r| r.start == m.start && r.end == m.end)
+            {
+                if m.epoch > r.epoch {
+                    r.epoch = m.epoch;
+                    r.mig_to = Some(m.to);
+                    SwishProgram::install_ranges(dp, h, &ranges);
+                }
+            }
+        }
+        eff.punt(CpItem::Proto(SwishMsg::MigrateBegin(m)));
+    }
+
+    /// `OwnershipCommit`: flip the range's owner set atomically at this
+    /// switch (per-range epoch bump; stale epochs ignored). A range the
+    /// switch has never heard of — fresh boot, crash-wiped table — is
+    /// inserted, which is also how the controller's initial table and
+    /// periodic resync install themselves.
+    fn on_ownership_commit(&mut self, c: OwnershipCommit, dp: &mut DpView<'_>, eff: &mut Effects) {
+        if let Some(h) = self.handles.rangeblk(c.reg) {
+            let mut ranges = read_ranges(dp, h);
+            let changed = match ranges
+                .iter_mut()
+                .find(|r| r.start == c.start && r.end == c.end)
+            {
+                Some(r) => {
+                    if c.epoch > r.epoch {
+                        r.epoch = c.epoch;
+                        r.owners = c.owners.clone();
+                        r.mig_to = None;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => {
+                    ranges.push(RangeView {
+                        start: c.start,
+                        end: c.end,
+                        epoch: c.epoch,
+                        mig_to: None,
+                        owners: c.owners.clone(),
+                    });
+                    ranges.sort_by_key(|r| r.start);
+                    true
+                }
+            };
+            if changed {
+                SwishProgram::install_ranges(dp, h, &ranges);
+            }
+        }
+        eff.punt(CpItem::Proto(SwishMsg::OwnershipCommit(c)));
+    }
+
+    /// Apply one migration chunk at the destination: the same seq-guarded
+    /// idempotent apply as snapshot catch-up, but per key (partitioned
+    /// registers sequence per key). The control plane tracks pass
+    /// completeness, so the chunk is punted whole after the apply.
+    fn on_migrate_chunk(&mut self, ch: MigrateChunk, dp: &mut DpView<'_>, eff: &mut Effects) {
+        let entry = self.handles.entry(ch.reg);
+        if let RegKind::Chain { val, seq, .. } = &entry.kind {
+            let (val, seq) = (*val, *seq);
+            for e in &ch.entries {
+                let g = Handles::group_slot(&entry.spec, &self.cfg, e.key);
+                let cur = dp.reg_read(seq, g);
+                if e.seq >= cur {
+                    dp.reg_write(val, e.key as usize, e.value);
+                    dp.reg_write(seq, g, e.seq.max(cur));
+                    self.metrics.migrate_applied += 1;
+                } else {
+                    self.metrics.migrate_stale += 1;
+                }
+            }
+        }
+        eff.punt(CpItem::Proto(SwishMsg::MigrateChunk(ch)));
+    }
+
+    // ------------------------------------------------------------------
     // Recovery (§6.3): guarded snapshot apply
     // ------------------------------------------------------------------
 
@@ -694,7 +882,13 @@ impl DataPlaneProgram for SwishProgram {
                 self.handle_data(d, pkt.src, true, trace, dp, eff);
             }
             PacketBody::Swish(msg) => match msg {
-                SwishMsg::Write(req) => self.on_chain_write(req, dp, eff),
+                SwishMsg::Write(req) => {
+                    if self.handles.entry(req.reg).spec.is_partitioned() {
+                        self.on_part_write(req, dp, eff)
+                    } else {
+                        self.on_chain_write(req, dp, eff)
+                    }
+                }
                 SwishMsg::Clear(c) => self.on_clear(c, dp),
                 SwishMsg::Sync(u) => self.on_sync(&u, dp, eff),
                 SwishMsg::ReadForward(rf) => {
@@ -703,6 +897,9 @@ impl DataPlaneProgram for SwishProgram {
                     self.handle_data(rf.inner, rf.origin, false, rf.trace, dp, eff);
                 }
                 SwishMsg::SnapChunk(ch) => self.on_snap_chunk(&ch, dp, eff),
+                SwishMsg::MigrateBegin(m) => self.on_migrate_begin(m, dp, eff),
+                SwishMsg::OwnershipCommit(c) => self.on_ownership_commit(c, dp, eff),
+                SwishMsg::MigrateChunk(ch) => self.on_migrate_chunk(ch, dp, eff),
                 // Control-plane messages move into the punt item whole —
                 // the punt path never deep-copies.
                 other => eff.punt(CpItem::Proto(other)),

@@ -53,18 +53,25 @@ pub mod directory;
 pub mod layer;
 pub mod metrics;
 pub mod oracle;
+pub mod reconfig;
 pub mod telemetry;
 pub mod typed;
 pub mod version;
 
 pub use api::{NfApp, NfDecision, SharedState};
-pub use config::{ClockMode, MergePolicy, RegisterClass, RegisterSpec, SwishConfig};
+pub use config::{
+    ClockMode, MergePolicy, Placement, ReconfigPolicy, RegisterClass, RegisterSpec, SwishConfig,
+};
 pub use controller::{ConfigEvent, ConfigEventKind, Controller};
 pub use deployment::{Deployment, DeploymentBuilder, Fabric, SwishSwitch, HOST_BASE, SPINE_BASE};
 pub use directory::DirectoryService;
 pub use layer::{ChainView, REPLICA_GROUP};
 pub use metrics::{CpMetrics, DpMetrics, Histogram, HistogramSummary, SwitchMetrics};
 pub use oracle::{OracleConfig, OracleSuite, Violation, ViolationKind};
+pub use reconfig::{
+    decode_trigger, trigger_token, trigger_token_op, MigrationPhase, RangeView, ReconfigEvent,
+    ReconfigLogEntry, TriggerOp,
+};
 pub use telemetry::{MetricsSample, RingBuffer, TimeSeriesSampler};
 pub use typed::{SharedCounter, SharedValue};
 pub use version::SwitchClock;

@@ -170,6 +170,13 @@ pub struct DpMetrics {
     pub snapshot_stale: u64,
     /// `Clear` messages re-multicast by the tail's pending sweep.
     pub pending_sweep_clears: u64,
+    /// Partitioned writes dropped at a non-owner (stale routing table at
+    /// the writer; its CP retry re-routes via the updated table).
+    pub part_stale: u64,
+    /// Migration chunk entries applied (destination side).
+    pub migrate_applied: u64,
+    /// Migration chunk entries rejected by the per-key sequence guard.
+    pub migrate_stale: u64,
 }
 
 /// Control-plane-side metrics (kept by the SwiShmem control app).
@@ -217,6 +224,12 @@ pub struct CpMetrics {
     /// Total abandon events (monotonic; one per write given up, including
     /// repeats on a `(reg, key)` already listed in `abandoned_writes`).
     pub abandoned_total: u64,
+    /// Migration transfer chunks streamed (as migration source).
+    pub migrate_chunks_sent: u64,
+    /// `MigrateDone` reports sent to the controller (as destination).
+    pub migrate_done_sent: u64,
+    /// Per-range load reports sent to the controller planner.
+    pub load_reports_sent: u64,
 }
 
 impl CpMetrics {

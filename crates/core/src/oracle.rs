@@ -40,6 +40,17 @@
 //!   live replicas agree pairwise (EWO). Key groups named in any CP's
 //!   `abandoned_writes` are excluded: an abandoned write may legitimately
 //!   leave a chain prefix ahead of the tail forever.
+//! * **Reconfiguration invariants** (partitioned registers) — the
+//!   controller's master range table covers the key space with no
+//!   overlap at every poll; per-range epochs installed at each switch
+//!   never regress (crash wipes reset the baseline); the per-range
+//!   epochs the controller issues across `MigrateBegin`/`OwnershipCommit`
+//!   strictly increase; and post-quiesce every switch's installed table
+//!   matches full coverage. Convergence for a partitioned range requires
+//!   all live owners to agree and the primary's value to be requested.
+//!   Ranges whose *entire* owner set was simultaneously failed are
+//!   tainted permanently — their state legally died with the owners
+//!   (sole-owner crash, or promote-on-source-death during a transfer).
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -170,6 +181,45 @@ pub enum ViolationKind {
         /// When the suite first saw this exact pending sequence.
         since: SimTime,
     },
+    /// A switch's installed per-range epoch went backwards without an
+    /// intervening crash of that switch.
+    RangeEpochRegressed {
+        /// The switch.
+        switch: NodeId,
+        /// Register.
+        reg: RegId,
+        /// Range start key.
+        start: Key,
+        /// Previously installed per-range epoch.
+        from: u32,
+        /// Newly installed (smaller) epoch.
+        to: u32,
+    },
+    /// A range table no longer covers the key space exactly (gap or
+    /// overlap).
+    RangeCoverageBroken {
+        /// Register.
+        reg: RegId,
+        /// The switch holding the broken table; `None` = the
+        /// controller's master table.
+        switch: Option<NodeId>,
+        /// First key at which coverage breaks.
+        key: Key,
+        /// `"gap"` or `"overlap"`.
+        detail: &'static str,
+    },
+    /// The controller issued a non-increasing per-range epoch in its
+    /// reconfiguration log.
+    ReconfigEpochNotIncreasing {
+        /// Register.
+        reg: RegId,
+        /// Range start key.
+        start: Key,
+        /// Epoch of the earlier Begin/Commit.
+        from: u32,
+        /// Epoch of the later (not larger) Begin/Commit.
+        to: u32,
+    },
     /// Replicas still disagree after the fault horizon plus grace.
     Diverged {
         /// Register.
@@ -236,6 +286,40 @@ impl fmt::Display for ViolationKind {
                 "pending bit stuck: {switch} reg {reg} slot {slot} seq {seq} \
                  pending since {} ns despite tail commit",
                 since.nanos()
+            ),
+            ViolationKind::RangeEpochRegressed {
+                switch,
+                reg,
+                start,
+                from,
+                to,
+            } => write!(
+                f,
+                "range epoch regression: {switch} reg {reg} range@{start}: {from} -> {to}"
+            ),
+            ViolationKind::RangeCoverageBroken {
+                reg,
+                switch,
+                key,
+                detail,
+            } => match switch {
+                Some(sw) => write!(
+                    f,
+                    "range table {detail}: {sw} reg {reg} breaks coverage at key {key}"
+                ),
+                None => write!(
+                    f,
+                    "range table {detail}: controller reg {reg} breaks coverage at key {key}"
+                ),
+            },
+            ViolationKind::ReconfigEpochNotIncreasing {
+                reg,
+                start,
+                from,
+                to,
+            } => write!(
+                f,
+                "reconfig epoch not increasing: reg {reg} range@{start}: {from} -> {to}"
             ),
             ViolationKind::Diverged {
                 reg,
@@ -365,6 +449,17 @@ pub struct OracleSuite {
     ctrl_events_seen: usize,
     /// Last controller-issued epoch.
     ctrl_epoch: u32,
+    /// Per `(switch index, reg, range start)`: last installed per-range
+    /// epoch (reset on crash of that switch).
+    range_epoch_seen: BTreeMap<(usize, RegId, Key), u32>,
+    /// Reconfiguration-log prefix already validated.
+    reconfig_events_seen: usize,
+    /// Per `(reg, range start)`: highest per-range epoch the controller
+    /// issued so far (Begin/Commit entries must strictly increase).
+    reconfig_issued: BTreeMap<(RegId, Key), u32>,
+    /// Ranges whose entire owner set was simultaneously failed at some
+    /// poll: their state legally died; convergence skips them forever.
+    dead_ranges: BTreeSet<(RegId, Key)>,
     first: Option<Violation>,
 }
 
@@ -384,6 +479,10 @@ impl OracleSuite {
             pending_since: BTreeMap::new(),
             ctrl_events_seen: 0,
             ctrl_epoch: 0,
+            range_epoch_seen: BTreeMap::new(),
+            reconfig_events_seen: 0,
+            reconfig_issued: BTreeMap::new(),
+            dead_ranges: BTreeSet::new(),
             first: None,
         }
     }
@@ -434,6 +533,7 @@ impl OracleSuite {
                 self.epoch_seen[i] = 0;
                 self.seq_seen.retain(|&(s, _), _| s != i);
                 self.pending_since.retain(|&(s, _, _), _| s != i);
+                self.range_epoch_seen.retain(|&(s, _, _), _| s != i);
             }
             // A crashed tail restarts wiped; its commit counters only
             // become meaningful again once it is demoted (amnesia
@@ -459,6 +559,30 @@ impl OracleSuite {
             self.ctrl_events_seen += 1;
         }
 
+        // 2b. Controller-issued *per-range* epochs strictly increase
+        //     across Begin/Commit entries of the reconfiguration log.
+        let rlog = dep.reconfig_events();
+        for e in &rlog[self.reconfig_events_seen.min(rlog.len())..] {
+            if let Some(epoch) = e.event.issued_epoch() {
+                let rk = e.event.range_key();
+                match self.reconfig_issued.get(&rk) {
+                    Some(&prev) if epoch <= prev => self.record(
+                        e.time,
+                        ViolationKind::ReconfigEpochNotIncreasing {
+                            reg: rk.0,
+                            start: rk.1,
+                            from: prev,
+                            to: epoch,
+                        },
+                    ),
+                    _ => {
+                        self.reconfig_issued.insert(rk, epoch);
+                    }
+                }
+            }
+        }
+        self.reconfig_events_seen = rlog.len();
+
         let specs = dep.register_specs().to_vec();
         let swish = *dep.config();
         let chain_regs: Vec<(RegId, RegisterClass)> = specs
@@ -466,6 +590,67 @@ impl OracleSuite {
             .filter(|s| matches!(s.class, RegisterClass::Sro | RegisterClass::Ero))
             .map(|s| (s.id, s.class))
             .collect();
+
+        // 2c. Partitioned range tables: the controller's master table
+        //     covers the key space exactly at every poll; switch-installed
+        //     per-range epochs never regress; a range whose entire owner
+        //     set is simultaneously down is tainted permanently (its state
+        //     legally died with the owners).
+        for spec in specs.iter().filter(|s| s.is_partitioned()) {
+            let master = dep.controller_ranges(spec.id);
+            for v in coverage_errors(spec.id, None, &master, spec.keys) {
+                self.record(now, v);
+            }
+            for r in &master {
+                let all_down = !r.owners.is_empty()
+                    && r.owners.iter().all(|&o| {
+                        dep.switch_index(o)
+                            .map(|i| dep.is_switch_failed(i))
+                            .unwrap_or(true)
+                    });
+                if all_down {
+                    self.dead_ranges.insert((spec.id, r.start));
+                }
+            }
+            for i in 0..dep.switch_ids().len() {
+                if dep.is_switch_failed(i) {
+                    continue;
+                }
+                let installed = dep.installed_ranges(i, spec.id);
+                for r in &installed {
+                    let k = (i, spec.id, r.start);
+                    if let Some(&prev) = self.range_epoch_seen.get(&k) {
+                        if r.epoch < prev {
+                            self.record(
+                                now,
+                                ViolationKind::RangeEpochRegressed {
+                                    switch: dep.switch_ids()[i],
+                                    reg: spec.id,
+                                    start: r.start,
+                                    from: prev,
+                                    to: r.epoch,
+                                },
+                            );
+                        }
+                    }
+                    self.range_epoch_seen.insert(k, r.epoch);
+                }
+                // Coverage of installed tables is only enforced once the
+                // run has quiesced: a crash-wiped switch legitimately
+                // rebuilds its table range by range from the resync
+                // stream, so mid-fault polls may catch a partial table.
+                if !installed.is_empty()
+                    && now.nanos()
+                        >= self.cfg.quiesce_at.nanos() + self.cfg.convergence_grace.as_nanos()
+                {
+                    for v in
+                        coverage_errors(spec.id, Some(dep.switch_ids()[i]), &installed, spec.keys)
+                    {
+                        self.record(now, v);
+                    }
+                }
+            }
+        }
 
         // 3. Per-switch adopted-epoch and per-slot sequence monotonicity.
         for i in 0..dep.switch_ids().len() {
@@ -522,6 +707,12 @@ impl OracleSuite {
             .filter(|&i| !dep.is_switch_failed(i));
         if let (Some(t), Some(ti)) = (tail, tail_alive) {
             for &(reg, _) in &chain_regs {
+                // Partitioned registers have per-range tails, not the
+                // global chain tail; their commit authority is checked by
+                // the partitioned convergence block instead.
+                if specs.iter().any(|s| s.id == reg && s.is_partitioned()) {
+                    continue;
+                }
                 let seqs = dep.chain_seqs(ti, reg);
                 if let Some(base) = self.commit_seen.get(&reg).cloned() {
                     for (slot, &s) in seqs.iter().enumerate() {
@@ -622,8 +813,70 @@ impl OracleSuite {
                 abandoned.insert((reg, key % swish.group_slots(spec.keys)));
             }
         }
+        // Partitioned exclusions use exact keys (partitioned registers
+        // sequence per key, so there is no group aliasing to fold).
+        let mut part_excluded: BTreeSet<(RegId, Key)> = BTreeSet::new();
+        for i in 0..dep.switch_ids().len() {
+            if dep.is_switch_failed(i) {
+                continue;
+            }
+            for &(reg, key) in &dep.metrics(i).cp.abandoned_writes {
+                part_excluded.insert((reg, key));
+            }
+        }
+        part_excluded.extend(wire.orphaned.iter().copied());
+
         let mut found: Vec<ViolationKind> = Vec::new();
         for spec in specs {
+            if spec.is_partitioned() {
+                // Per-range convergence: all live owners agree, and the
+                // primary's value must be requested. Skip ranges with an
+                // open transfer (the destination legally lags until its
+                // pass completes) and ranges whose whole owner set died.
+                for r in dep.controller_ranges(spec.id) {
+                    if r.mig_to.is_some() || self.dead_ranges.contains(&(spec.id, r.start)) {
+                        continue;
+                    }
+                    let live: Vec<usize> = r
+                        .owners
+                        .iter()
+                        .filter_map(|&o| dep.switch_index(o))
+                        .filter(|&i| !dep.is_switch_failed(i))
+                        .collect();
+                    let Some(&p) = live.first() else { continue };
+                    for key in r.start..r.end.min(spec.keys) {
+                        if part_excluded.contains(&(spec.id, key)) {
+                            continue;
+                        }
+                        let vp = dep.peek(p, spec.id, key);
+                        if vp != 0
+                            && !wire.is_tainted(spec.id, key)
+                            && !wire.requested_contains(spec.id, key, vp)
+                        {
+                            found.push(ViolationKind::InventedValue {
+                                reg: spec.id,
+                                key,
+                                value: vp,
+                                stage: "state",
+                            });
+                        }
+                        for &j in &live[1..] {
+                            let vj = dep.peek(j, spec.id, key);
+                            if vj != vp {
+                                found.push(ViolationKind::Diverged {
+                                    reg: spec.id,
+                                    key,
+                                    a: dep.switch_ids()[p],
+                                    va: vp,
+                                    b: dep.switch_ids()[j],
+                                    vb: vj,
+                                });
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
             match spec.class {
                 RegisterClass::Sro | RegisterClass::Ero => {
                     // All live chain members agree with the tail; the
@@ -707,9 +960,93 @@ impl OracleSuite {
     }
 }
 
+/// Check that `ranges` (key-ordered) covers `[0, keys)` exactly.
+/// Returns at most one violation per table — the first break found.
+fn coverage_errors(
+    reg: RegId,
+    switch: Option<NodeId>,
+    ranges: &[crate::reconfig::RangeView],
+    keys: Key,
+) -> Vec<ViolationKind> {
+    let mut expect: Key = 0;
+    for r in ranges {
+        if r.start > expect {
+            return vec![ViolationKind::RangeCoverageBroken {
+                reg,
+                switch,
+                key: expect,
+                detail: "gap",
+            }];
+        }
+        if r.start < expect {
+            return vec![ViolationKind::RangeCoverageBroken {
+                reg,
+                switch,
+                key: r.start,
+                detail: "overlap",
+            }];
+        }
+        expect = r.end;
+    }
+    if expect < keys {
+        return vec![ViolationKind::RangeCoverageBroken {
+            reg,
+            switch,
+            key: expect,
+            detail: "gap",
+        }];
+    }
+    vec![]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coverage_errors_find_gaps_and_overlaps() {
+        use crate::reconfig::RangeView;
+        let mk = |start, end| RangeView {
+            start,
+            end,
+            epoch: 1,
+            mig_to: None,
+            owners: vec![NodeId(0)],
+        };
+        assert!(coverage_errors(0, None, &[mk(0, 10), mk(10, 20)], 20).is_empty());
+        // Gap in the middle.
+        let v = coverage_errors(0, None, &[mk(0, 10), mk(12, 20)], 20);
+        assert!(matches!(
+            v[0],
+            ViolationKind::RangeCoverageBroken {
+                key: 10,
+                detail: "gap",
+                ..
+            }
+        ));
+        // Overlap.
+        let v = coverage_errors(0, None, &[mk(0, 12), mk(10, 20)], 20);
+        assert!(matches!(
+            v[0],
+            ViolationKind::RangeCoverageBroken {
+                key: 10,
+                detail: "overlap",
+                ..
+            }
+        ));
+        // Truncated tail.
+        let v = coverage_errors(0, None, &[mk(0, 10)], 20);
+        assert!(matches!(
+            v[0],
+            ViolationKind::RangeCoverageBroken {
+                key: 10,
+                detail: "gap",
+                ..
+            }
+        ));
+        // Empty table of a zero-key register is fine.
+        assert!(coverage_errors(0, None, &[], 0).is_empty());
+    }
 
     #[test]
     fn wire_state_tracks_requests_and_taint() {

@@ -1,0 +1,421 @@
+//! The live reconfiguration engine: shared definitions.
+//!
+//! SwiShmem's controller "determines the register placement" (§4); this
+//! module gives that placement a run-time dimension for *partitioned*
+//! registers ([`crate::config::Placement::Partitioned`]): key ranges move
+//! between owner sets while traffic keeps flowing.
+//!
+//! ## The per-range migration state machine
+//!
+//! ```text
+//!            MigrateBegin                 MigrateDone            OwnershipCommit
+//!   Idle ───────────────▶ Transferring ───────────────▶ DualOwner ─────────▶ Committed
+//!    ▲                        │  crash of src/dst/owner                         │
+//!    │                        ▼                                                 │
+//!    └────────────────── Aborted ◀──────── (controller re-asserts owners) ──────┘
+//! ```
+//!
+//! * **Transferring** — every switch records the destination as the
+//!   range's `mig_to`; the range's effective write chain becomes
+//!   `owners ++ [dst]`, so the *destination* is the acking tail: a write
+//!   acknowledged during the window is at the destination by
+//!   construction, which is what makes "no committed write lost" hold
+//!   under arbitrary chunk/forward loss. Meanwhile the source streams
+//!   the range in numbered passes of [`swishmem_wire::swish::MigrateChunk`]s
+//!   (seq-guarded, idempotent) until a full pass lands.
+//! * **DualOwner** — the destination holds a complete copy (one full
+//!   chunk pass plus every acked dual-window write) but ownership has not
+//!   flipped; the controller immediately issues the commit.
+//! * **Committed** — a per-range epoch bump installs the new owner set
+//!   atomically at each switch (stale epochs are ignored, re-broadcasts
+//!   are idempotent).
+//!
+//! The concrete planner/driver lives in [`crate::controller`]; the switch
+//! side (routing, chunk streaming, dual-owner forwarding) lives in
+//! [`crate::layer`]. This module holds what they share: the range-table
+//! view, its data-plane encoding, the state-machine vocabulary, and the
+//! trigger-token scheme that lets fault schedules inject migrations.
+
+use std::fmt;
+
+use swishmem_simnet::SimTime;
+use swishmem_wire::swish::{Key, RegId};
+use swishmem_wire::NodeId;
+
+/// Maximum directory ranges per partitioned register encodable in the
+/// data-plane range table.
+pub const MAX_RANGES: usize = 16;
+
+/// Maximum owners per range (a per-range mini-chain).
+pub const MAX_RANGE_OWNERS: usize = 4;
+
+/// Cells per range in the data-plane encoding:
+/// `start, end, epoch, mig_to(+1), n_owners, owners[MAX_RANGE_OWNERS](+1)`.
+pub const RANGE_CELLS: usize = 5 + MAX_RANGE_OWNERS;
+
+/// Length of the per-register range-table register array (`rangeblk`):
+/// cell 0 holds the range count, then [`RANGE_CELLS`] cells per range.
+pub const RANGEBLK_LEN: usize = 1 + MAX_RANGES * RANGE_CELLS;
+
+/// One key range's ownership as installed on a switch (the unit the
+/// migration state machine operates on).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RangeView {
+    /// First key (inclusive).
+    pub start: Key,
+    /// One past the last key (exclusive).
+    pub end: Key,
+    /// Per-range ownership epoch (0 = never configured).
+    pub epoch: u32,
+    /// Migration destination while a transfer is in flight.
+    pub mig_to: Option<NodeId>,
+    /// Owner set; `owners[0]` is the primary (sequencer).
+    pub owners: Vec<NodeId>,
+}
+
+impl RangeView {
+    /// Does this range contain `key`?
+    pub fn contains(&self, key: Key) -> bool {
+        self.start <= key && key < self.end
+    }
+
+    /// The sequencing primary, if configured.
+    pub fn primary(&self) -> Option<NodeId> {
+        self.owners.first().copied()
+    }
+
+    /// The effective write chain: the owner mini-chain, extended by the
+    /// migration destination as acking tail while a transfer is open.
+    pub fn write_chain(&self) -> Vec<NodeId> {
+        let mut v = self.owners.clone();
+        if let Some(to) = self.mig_to {
+            if !v.contains(&to) {
+                v.push(to);
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for RangeView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}) e{} owners=[", self.start, self.end, self.epoch)?;
+        for (i, o) in self.owners.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{o}")?;
+        }
+        write!(f, "]")?;
+        if let Some(t) = self.mig_to {
+            write!(f, " ->{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Encode a range table into `RANGEBLK_LEN` u64 cells (the data-plane
+/// representation the pipeline consults on every partitioned write).
+/// Node ids are stored `+1` so cell value 0 reads back as "none".
+pub fn encode_ranges(ranges: &[RangeView]) -> Vec<u64> {
+    assert!(ranges.len() <= MAX_RANGES, "too many ranges");
+    let mut cells = vec![0u64; RANGEBLK_LEN];
+    cells[0] = ranges.len() as u64;
+    for (i, r) in ranges.iter().enumerate() {
+        assert!(r.owners.len() <= MAX_RANGE_OWNERS, "too many owners");
+        let base = 1 + i * RANGE_CELLS;
+        cells[base] = u64::from(r.start);
+        cells[base + 1] = u64::from(r.end);
+        cells[base + 2] = u64::from(r.epoch);
+        cells[base + 3] = r.mig_to.map(|n| u64::from(n.0) + 1).unwrap_or(0);
+        cells[base + 4] = r.owners.len() as u64;
+        for (j, o) in r.owners.iter().enumerate() {
+            cells[base + 5 + j] = u64::from(o.0) + 1;
+        }
+    }
+    cells
+}
+
+/// Decode a range table from its cell representation; the inverse of
+/// [`encode_ranges`]. Returns an empty table for an all-zero block (a
+/// fresh or crash-wiped switch).
+pub fn decode_ranges(cells: &[u64]) -> Vec<RangeView> {
+    let n = (cells.first().copied().unwrap_or(0) as usize).min(MAX_RANGES);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let base = 1 + i * RANGE_CELLS;
+        if base + RANGE_CELLS > cells.len() {
+            break;
+        }
+        let n_owners = (cells[base + 4] as usize).min(MAX_RANGE_OWNERS);
+        let owners = (0..n_owners)
+            .filter(|&j| cells[base + 5 + j] != 0)
+            .map(|j| NodeId((cells[base + 5 + j] - 1) as u16))
+            .collect();
+        let mig = cells[base + 3];
+        out.push(RangeView {
+            start: cells[base] as Key,
+            end: cells[base + 1] as Key,
+            epoch: cells[base + 2] as u32,
+            mig_to: if mig == 0 {
+                None
+            } else {
+                Some(NodeId((mig - 1) as u16))
+            },
+            owners,
+        });
+    }
+    out
+}
+
+/// Phase of one range's migration (see the module-level diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// No transfer in flight.
+    Idle,
+    /// `MigrateBegin` broadcast; source streaming chunk passes.
+    Transferring,
+    /// Destination reported a complete pass; commit pending.
+    DualOwner,
+    /// Ownership flipped; the range is stable under its new owners.
+    Committed,
+    /// A crash interrupted the transfer; owners were re-asserted.
+    Aborted,
+}
+
+/// One entry of the controller's reconfiguration event log — the audit
+/// trail experiments and oracles read (per-range epochs in `Begin`/
+/// `Commit` events must be strictly increasing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigEvent {
+    /// The planner (or a trigger) decided to move a range.
+    Planned {
+        /// Register.
+        reg: RegId,
+        /// Range start.
+        start: Key,
+        /// Current primary.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// `MigrateBegin` broadcast at `epoch`.
+    Begin {
+        /// Register.
+        reg: RegId,
+        /// Range start.
+        start: Key,
+        /// Source (current primary).
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// The per-range epoch the transfer opened.
+        epoch: u32,
+    },
+    /// Destination confirmed a complete chunk pass (dual-owner point).
+    Done {
+        /// Register.
+        reg: RegId,
+        /// Range start.
+        start: Key,
+        /// Destination that completed.
+        to: NodeId,
+        /// The pass that completed.
+        pass: u32,
+    },
+    /// `OwnershipCommit` broadcast: the range now belongs to `owners`.
+    Commit {
+        /// Register.
+        reg: RegId,
+        /// Range start.
+        start: Key,
+        /// New owner set.
+        owners: Vec<NodeId>,
+        /// The committing per-range epoch.
+        epoch: u32,
+    },
+    /// The transfer was abandoned (crash of a participant); the previous
+    /// owner set was re-asserted at a fresh epoch.
+    Abort {
+        /// Register.
+        reg: RegId,
+        /// Range start.
+        start: Key,
+        /// Why.
+        reason: &'static str,
+    },
+}
+
+impl ReconfigEvent {
+    /// The `(reg, range start)` this event concerns.
+    pub fn range_key(&self) -> (RegId, Key) {
+        match self {
+            ReconfigEvent::Planned { reg, start, .. }
+            | ReconfigEvent::Begin { reg, start, .. }
+            | ReconfigEvent::Done { reg, start, .. }
+            | ReconfigEvent::Commit { reg, start, .. }
+            | ReconfigEvent::Abort { reg, start, .. } => (*reg, *start),
+        }
+    }
+
+    /// The per-range epoch this event issued, for events that issue one.
+    pub fn issued_epoch(&self) -> Option<u32> {
+        match self {
+            ReconfigEvent::Begin { epoch, .. } | ReconfigEvent::Commit { epoch, .. } => {
+                Some(*epoch)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A timestamped [`ReconfigEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigLogEntry {
+    /// When the controller logged it.
+    pub time: SimTime,
+    /// What happened.
+    pub event: ReconfigEvent,
+}
+
+/// Controller-timer trigger tokens: bit 63 distinguishes a migration
+/// trigger from the controller's ordinary timers, the rest packs the
+/// move. Fault schedules inject these as plain timer events
+/// (`FaultAction::Trigger`), which keeps migration-under-fault runs on
+/// the engine's deterministic `(time, seq)` order.
+pub const TRIGGER_BIT: u64 = 1 << 63;
+
+/// What a trigger token asks the controller to do with the range — the
+/// elastic-replica-group operations, injectable from fault schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerOp {
+    /// Move the range: the target replaces the current primary.
+    Move,
+    /// Grow the replica group: the target joins as an additional owner
+    /// (after a state transfer, like a move).
+    Grow,
+    /// Shrink the replica group: the target leaves the owner set (no
+    /// transfer needed; surviving owners already hold all acked writes).
+    Shrink,
+}
+
+impl TriggerOp {
+    fn code(self) -> u64 {
+        match self {
+            TriggerOp::Move => 0,
+            TriggerOp::Grow => 1,
+            TriggerOp::Shrink => 2,
+        }
+    }
+
+    fn from_code(c: u64) -> Option<TriggerOp> {
+        match c {
+            0 => Some(TriggerOp::Move),
+            1 => Some(TriggerOp::Grow),
+            2 => Some(TriggerOp::Shrink),
+            _ => None,
+        }
+    }
+}
+
+/// Pack a "migrate the range containing `key` of `reg` to `to`" trigger.
+/// Layout: bit 63 set, op in bits 60..63, reg in bits 44..60, key in
+/// bits 12..44, node in bits 0..12 (switch ids are small; asserted).
+pub fn trigger_token(reg: RegId, key: Key, to: NodeId) -> u64 {
+    trigger_token_op(TriggerOp::Move, reg, key, to)
+}
+
+/// Pack a trigger token for an arbitrary [`TriggerOp`].
+pub fn trigger_token_op(op: TriggerOp, reg: RegId, key: Key, to: NodeId) -> u64 {
+    assert!(to.0 < (1 << 12), "trigger target id too large");
+    TRIGGER_BIT
+        | (op.code() << 60)
+        | (u64::from(reg) << 44)
+        | (u64::from(key) << 12)
+        | u64::from(to.0)
+}
+
+/// Unpack a trigger token; `None` if `token` is not a trigger.
+pub fn decode_trigger(token: u64) -> Option<(TriggerOp, RegId, Key, NodeId)> {
+    if token & TRIGGER_BIT == 0 {
+        return None;
+    }
+    let op = TriggerOp::from_code((token >> 60) & 0x7)?;
+    let reg = ((token >> 44) & 0xffff) as RegId;
+    let key = ((token >> 12) & 0xffff_ffff) as Key;
+    let to = NodeId((token & 0xfff) as u16);
+    Some((op, reg, key, to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<RangeView> {
+        vec![
+            RangeView {
+                start: 0,
+                end: 22,
+                epoch: 3,
+                mig_to: Some(NodeId(2)),
+                owners: vec![NodeId(0)],
+            },
+            RangeView {
+                start: 22,
+                end: 44,
+                epoch: 1,
+                mig_to: None,
+                owners: vec![NodeId(1), NodeId(0)],
+            },
+            RangeView {
+                start: 44,
+                end: 64,
+                epoch: 9,
+                mig_to: None,
+                owners: vec![NodeId(2)],
+            },
+        ]
+    }
+
+    #[test]
+    fn range_table_round_trips_through_cells() {
+        let t = table();
+        let cells = encode_ranges(&t);
+        assert_eq!(cells.len(), RANGEBLK_LEN);
+        assert_eq!(decode_ranges(&cells), t);
+        // Node 0 as owner/mig_to must survive the +1 offset.
+        assert_eq!(decode_ranges(&encode_ranges(&[])), vec![]);
+    }
+
+    #[test]
+    fn empty_block_decodes_empty() {
+        assert!(decode_ranges(&vec![0u64; RANGEBLK_LEN]).is_empty());
+        assert!(decode_ranges(&[]).is_empty());
+    }
+
+    #[test]
+    fn write_chain_appends_destination_once() {
+        let mut r = table().remove(0);
+        assert_eq!(r.write_chain(), vec![NodeId(0), NodeId(2)]);
+        r.owners = vec![NodeId(0), NodeId(2)];
+        // Destination already an owner: no duplicate tail.
+        assert_eq!(r.write_chain(), vec![NodeId(0), NodeId(2)]);
+        r.mig_to = None;
+        assert_eq!(r.write_chain(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn trigger_tokens_round_trip() {
+        let t = trigger_token(7, 1_000_000, NodeId(2));
+        assert!(t & TRIGGER_BIT != 0);
+        assert_eq!(
+            decode_trigger(t),
+            Some((TriggerOp::Move, 7, 1_000_000, NodeId(2)))
+        );
+        for op in [TriggerOp::Move, TriggerOp::Grow, TriggerOp::Shrink] {
+            let t = trigger_token_op(op, 3, 42, NodeId(1));
+            assert_eq!(decode_trigger(t), Some((op, 3, 42, NodeId(1))));
+        }
+        assert_eq!(decode_trigger(5), None);
+    }
+}

@@ -96,6 +96,12 @@ pub struct MetricsSample {
     pub jobs_completed: u64,
     /// Write retransmissions this window.
     pub retries: u64,
+    /// Migration transfer chunks streamed this window (source side).
+    pub migrate_chunks: u64,
+    /// Migration chunk entries applied this window (destination side).
+    pub migrate_applied: u64,
+    /// Per-range load reports sent to the controller this window.
+    pub load_reports: u64,
     /// Gauge: writes awaiting acknowledgment at sample time.
     pub outstanding_writes: usize,
     /// Gauge: jobs buffered in CP DRAM at sample time.
@@ -116,6 +122,9 @@ struct Cumulative {
     jobs_punted: u64,
     jobs_completed: u64,
     retries: u64,
+    migrate_chunks: u64,
+    migrate_applied: u64,
+    load_reports: u64,
 }
 
 /// Periodic per-switch metrics sampler (see module docs).
@@ -170,6 +179,9 @@ impl TimeSeriesSampler {
                 jobs_punted: m.dp.sro_jobs_punted,
                 jobs_completed: m.cp.jobs_completed,
                 retries: m.cp.retries,
+                migrate_chunks: m.cp.migrate_chunks_sent,
+                migrate_applied: m.dp.migrate_applied,
+                load_reports: m.cp.load_reports_sent,
             };
             let prev = self.last[i];
             let d = |a: u64, b: u64| a.saturating_sub(b);
@@ -184,6 +196,9 @@ impl TimeSeriesSampler {
                 jobs_punted: d(cur.jobs_punted, prev.jobs_punted),
                 jobs_completed: d(cur.jobs_completed, prev.jobs_completed),
                 retries: d(cur.retries, prev.retries),
+                migrate_chunks: d(cur.migrate_chunks, prev.migrate_chunks),
+                migrate_applied: d(cur.migrate_applied, prev.migrate_applied),
+                load_reports: d(cur.load_reports, prev.load_reports),
                 outstanding_writes: sw.cp_app().outstanding_writes(),
                 buffered_jobs: sw.cp_app().buffered_jobs(),
                 snapshot_backlog: sw.cp_app().snapshot_backlog(),

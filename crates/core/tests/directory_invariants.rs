@@ -1,0 +1,117 @@
+//! Property tests for the directory service's structural invariants:
+//! any sequence of partition / migrate / replicate / set-owners /
+//! rebalance operations preserves full key-space coverage with no
+//! overlapping ranges and a non-empty owner set per range — the same
+//! invariants the online reconfiguration oracle enforces against the
+//! controller's live table.
+
+use proptest::prelude::*;
+use swishmem::DirectoryService;
+use swishmem_wire::swish::{Key, RegId};
+use swishmem_wire::NodeId;
+
+const REG: RegId = 0;
+
+/// One directory operation. Keys and nodes are drawn from ranges wider
+/// than the valid space so out-of-range no-ops are exercised too.
+#[derive(Debug, Clone)]
+enum Op {
+    Migrate { key: Key, to: u16 },
+    Replicate { key: Key, node: u16 },
+    SetOwners { key: Key, owners: Vec<u16> },
+    Access { key: Key, from: u16, n: u64 },
+    Lookup { key: Key, from: u16 },
+    Rebalance,
+    Repartition { keys: Key, owners: u16 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..80, 0u16..6).prop_map(|(key, to)| Op::Migrate { key, to }),
+        (0u32..80, 0u16..6).prop_map(|(key, node)| Op::Replicate { key, node }),
+        (0u32..80, prop::collection::vec(0u16..6, 0..4))
+            .prop_map(|(key, owners)| Op::SetOwners { key, owners }),
+        (0u32..80, 0u16..6, 1u64..50).prop_map(|(key, from, n)| Op::Access { key, from, n }),
+        (0u32..80, 0u16..6).prop_map(|(key, from)| Op::Lookup { key, from }),
+        Just(Op::Rebalance),
+        (1u32..96, 1u16..5).prop_map(|(keys, owners)| Op::Repartition { keys, owners }),
+    ]
+}
+
+/// Full coverage of `[0, keys)`, no overlap, no gap, non-empty owners.
+fn check_invariants(d: &DirectoryService, keys: Key) {
+    let ranges = d.ranges(REG);
+    prop_assert!(!ranges.is_empty(), "table must not vanish");
+    let mut expect: Key = 0;
+    for r in ranges {
+        prop_assert_eq!(
+            r.start,
+            expect,
+            "range must start where the previous ended (gap/overlap)"
+        );
+        prop_assert!(r.start < r.end, "range must be non-empty");
+        prop_assert!(!r.owners.is_empty(), "range must keep at least one owner");
+        expect = r.end;
+    }
+    prop_assert_eq!(expect, keys, "table must cover the whole key space");
+}
+
+proptest! {
+    /// Any operation sequence preserves coverage/no-overlap after every
+    /// single step, not just at the end.
+    #[test]
+    fn directory_ops_preserve_coverage(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let mut d = DirectoryService::new();
+        let mut keys: Key = 64;
+        d.partition_even(REG, keys, &[NodeId(0), NodeId(1), NodeId(2)]);
+        check_invariants(&d, keys);
+        for op in ops {
+            match op {
+                Op::Migrate { key, to } => {
+                    d.migrate(REG, key, NodeId(to));
+                }
+                Op::Replicate { key, node } => {
+                    d.replicate(REG, key, NodeId(node));
+                }
+                Op::SetOwners { key, owners } => {
+                    let owners: Vec<NodeId> = owners.into_iter().map(NodeId).collect();
+                    d.set_owners(REG, key, &owners);
+                }
+                Op::Access { key, from, n } => {
+                    d.record_access(REG, key, NodeId(from), n);
+                }
+                Op::Lookup { key, from } => {
+                    d.lookup(REG, key, NodeId(from));
+                }
+                Op::Rebalance => {
+                    d.rebalance(REG);
+                }
+                Op::Repartition { keys: k, owners } => {
+                    let set: Vec<NodeId> = (0..owners).map(NodeId).collect();
+                    d.partition_even(REG, k, &set);
+                    keys = k;
+                }
+            }
+            check_invariants(&d, keys);
+        }
+    }
+
+    /// Rebalance moves every range onto its hottest requester and is
+    /// idempotent: a second pass with no new accesses is a no-op.
+    #[test]
+    fn rebalance_is_idempotent(
+        accesses in prop::collection::vec((0u32..64, 0u16..3, 1u64..20), 0..30),
+    ) {
+        let mut d = DirectoryService::new();
+        d.partition_even(REG, 64, &[NodeId(0), NodeId(1), NodeId(2)]);
+        for (key, from, n) in accesses {
+            d.record_access(REG, key, NodeId(from), n);
+        }
+        let moves = d.rebalance(REG);
+        for (range, to) in &moves {
+            prop_assert!(d.is_owner(REG, range.start, *to));
+        }
+        prop_assert!(d.rebalance(REG).is_empty(), "second rebalance must be a no-op");
+        check_invariants(&d, 64);
+    }
+}

@@ -163,6 +163,17 @@ pub enum FaultAction {
         /// The other endpoint.
         b: NodeId,
     },
+    /// Fire a timer token on `node` — the hook the reconfiguration
+    /// engine uses to interleave planner/migration triggers into fault
+    /// schedules. The token is delivered through the node's ordinary
+    /// `on_timer` path, so it shares the `(time, seq)` total order with
+    /// every other event.
+    Trigger {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// The opaque timer token.
+        token: u64,
+    },
 }
 
 impl fmt::Display for FaultAction {
@@ -176,6 +187,9 @@ impl fmt::Display for FaultAction {
                 write!(f, "degrade  {a}<->{b} [{overlay}]")
             }
             FaultAction::Restore { a, b } => write!(f, "restore  {a}<->{b}"),
+            FaultAction::Trigger { node, token } => {
+                write!(f, "trigger  {node} token={token:#x}")
+            }
         }
     }
 }
@@ -289,6 +303,12 @@ impl FaultSchedule {
                 self.push(at + lasting, FaultAction::LinkUp { a, b });
             }
         }
+        self
+    }
+
+    /// Fire timer `token` on `node` at `at` (reconfiguration trigger).
+    pub fn trigger(mut self, at: SimDuration, node: NodeId, token: u64) -> Self {
+        self.push(at, FaultAction::Trigger { node, token });
         self
     }
 
@@ -478,6 +498,33 @@ impl FaultGen {
         sched
     }
 
+    /// Interleave `count` reconfiguration triggers into `sched`: each one
+    /// fires a token sampled from `tokens` on `node` at a random offset in
+    /// the same window episodes start in, so migrations race crashes,
+    /// outages and partitions. The caller supplies the controller node and
+    /// the candidate trigger tokens (see `swishmem::reconfig::trigger_token`);
+    /// the schedule stays a pure function of the generator seed.
+    pub fn interleave_triggers(
+        &mut self,
+        mut sched: FaultSchedule,
+        node: NodeId,
+        tokens: &[u64],
+        horizon: SimDuration,
+        count: usize,
+    ) -> FaultSchedule {
+        if tokens.is_empty() || count == 0 {
+            return sched;
+        }
+        let h = horizon.as_nanos().max(1_000_000);
+        for _ in 0..count {
+            let at = SimDuration::nanos(self.rng.gen_range(h / 20..=h * 3 / 5));
+            let token = tokens[self.rng.gen_range(0..tokens.len())];
+            sched = sched.trigger(at, node, token);
+        }
+        sched.sort();
+        sched
+    }
+
     fn pick_link<'a>(&mut self, links: &'a [(NodeId, NodeId)]) -> Option<&'a (NodeId, NodeId)> {
         if links.is_empty() {
             return None;
@@ -603,6 +650,33 @@ mod tests {
                 "seed {seed}:\n{s}"
             );
         }
+    }
+
+    #[test]
+    fn triggers_interleave_deterministically() {
+        let nodes = [A, B, C];
+        let links = [(A, B), (B, C), (A, C)];
+        let h = SimDuration::millis(40);
+        let mk = |seed| {
+            let mut g = FaultGen::new(seed);
+            let s = g.generate(&nodes, &links, h, 4);
+            g.interleave_triggers(s, NodeId(999), &[0x10, 0x20], h, 3)
+        };
+        let s1 = mk(5);
+        let s2 = mk(5);
+        assert_eq!(s1, s2);
+        let trig = s1
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Trigger { .. }))
+            .count();
+        assert_eq!(trig, 3);
+        assert!(s1.horizon() <= h);
+        // Empty token set is a no-op.
+        let mut g = FaultGen::new(5);
+        let base = g.generate(&nodes, &links, h, 4);
+        let same = g.interleave_triggers(base.clone(), NodeId(999), &[], h, 3);
+        assert_eq!(base, same);
     }
 
     #[test]

@@ -441,6 +441,9 @@ impl Simulator {
                 FaultAction::LinkUp { a, b } => self.schedule_link_set(t, a, b, false),
                 FaultAction::Degrade { a, b, overlay } => self.schedule_degrade(t, a, b, overlay),
                 FaultAction::Restore { a, b } => self.schedule_restore(t, a, b),
+                FaultAction::Trigger { node, token } => {
+                    self.push(t, EventKind::Timer { node, token })
+                }
             }
         }
     }

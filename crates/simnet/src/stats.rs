@@ -69,6 +69,8 @@ pub enum TrafficClass {
     Snapshot,
     /// Reads forwarded to the tail.
     ReadForward,
+    /// Range-migration state transfer (reconfiguration engine).
+    Migration,
     /// Heartbeats, configuration, directory.
     Management,
 }
@@ -86,23 +88,29 @@ impl TrafficClass {
                     TrafficClass::Snapshot
                 }
                 SwishMsg::ReadForward(_) => TrafficClass::ReadForward,
+                SwishMsg::MigrateChunk(_) => TrafficClass::Migration,
                 SwishMsg::Chain(_)
                 | SwishMsg::Group(_)
                 | SwishMsg::Heartbeat(_)
                 | SwishMsg::DirLookup(_)
-                | SwishMsg::DirReply(_) => TrafficClass::Management,
+                | SwishMsg::DirReply(_)
+                | SwishMsg::MigrateBegin(_)
+                | SwishMsg::OwnershipCommit(_)
+                | SwishMsg::MigrateDone(_)
+                | SwishMsg::LoadReport(_) => TrafficClass::Management,
             },
         }
     }
 
     /// All classes, for iteration in reports.
-    pub const ALL: [TrafficClass; 7] = [
+    pub const ALL: [TrafficClass; 8] = [
         TrafficClass::Data,
         TrafficClass::SroWrite,
         TrafficClass::SroControl,
         TrafficClass::EwoSync,
         TrafficClass::Snapshot,
         TrafficClass::ReadForward,
+        TrafficClass::Migration,
         TrafficClass::Management,
     ];
 }

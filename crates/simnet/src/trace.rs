@@ -116,6 +116,7 @@ fn class_tag(c: TrafficClass) -> &'static str {
         TrafficClass::EwoSync => "ewo-sync",
         TrafficClass::Snapshot => "snapshot",
         TrafficClass::ReadForward => "read-fwd",
+        TrafficClass::Migration => "migrate",
         TrafficClass::Management => "mgmt",
     }
 }

@@ -14,6 +14,14 @@
 //! ordering) breaks the golden values, re-record them by running this
 //! test with `--nocapture` and copying the printed fingerprint — and say
 //! so in the PR, because it resets the determinism baseline.
+//!
+//! The golden has survived, unchanged, the fault plane (PR 2), span
+//! telemetry (PR 4), and the live-reconfiguration engine: higher-layer
+//! subsystems must ride on existing engine primitives without adding
+//! draw sites or reordering events. The protocol-level counterpart
+//! (reconfig compiled in but disabled is invisible on chain-only
+//! deployments) lives in the workspace test
+//! `reconfig::reconfig_disabled_is_invisible_without_partitioned_registers`.
 
 use std::net::Ipv4Addr;
 use swishmem_simnet::{

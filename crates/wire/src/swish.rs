@@ -311,6 +311,116 @@ pub struct ReadForward {
     pub inner: DataPacket,
 }
 
+/// Controller → all switches: a key range of a partitioned register is
+/// migrating from `from` to `to` (reconfiguration engine, §4/§7).
+///
+/// On receipt every switch records `to` as the range's migration target;
+/// while the target is set, the range's effective write chain is
+/// `owners ++ [to]`, so the destination is the acking tail and every
+/// write acknowledged during the transfer window is already applied
+/// there. The source additionally starts streaming the range's current
+/// state as [`MigrateChunk`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateBegin {
+    /// Register being re-partitioned.
+    pub reg: RegId,
+    /// First key of the migrating range (inclusive).
+    pub start: Key,
+    /// One past the last key of the range (exclusive).
+    pub end: Key,
+    /// Current primary owner streaming the state.
+    pub from: NodeId,
+    /// Destination switch.
+    pub to: NodeId,
+    /// Per-range ownership epoch this migration starts; stale (≤
+    /// installed) epochs are ignored, making re-broadcasts idempotent.
+    pub epoch: u32,
+}
+
+/// One range-scoped chunk of migrating state (reuses the
+/// [`SnapshotChunk`] framing: seq-guarded entries, zero-copy batch).
+///
+/// Chunks stream in numbered passes: the source re-sends the whole range
+/// as a fresh `pass` until the commit arrives, and the destination
+/// declares a pass complete only when every `idx` up to the one marked
+/// `last` arrived — so chunk loss delays, never corrupts, the handoff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrateChunk {
+    /// Register.
+    pub reg: RegId,
+    /// Range start (inclusive).
+    pub start: Key,
+    /// Range end (exclusive).
+    pub end: Key,
+    /// The streaming source.
+    pub origin: NodeId,
+    /// Retransmission pass this chunk belongs to.
+    pub pass: u32,
+    /// Chunk index within the pass.
+    pub idx: u16,
+    /// True on the final chunk of the pass.
+    pub last: bool,
+    /// Entries, seq-guarded exactly like snapshot entries.
+    pub entries: Shared<SnapEntry>,
+}
+
+/// Controller → all switches: atomically flip a range's ownership to
+/// `owners` at `epoch` (the commit step of the migration state machine;
+/// also used alone for membership grow/shrink without a data move).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnershipCommit {
+    /// Register.
+    pub reg: RegId,
+    /// Range start (inclusive).
+    pub start: Key,
+    /// Range end (exclusive).
+    pub end: Key,
+    /// New per-range ownership epoch (must exceed the installed one).
+    pub epoch: u32,
+    /// The range's owner set from this epoch on; `owners[0]` sequences.
+    pub owners: Vec<NodeId>,
+}
+
+/// Migration destination → controller: a full chunk pass for the range
+/// arrived, the destination's copy is complete up to dual-owner writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateDone {
+    /// Register.
+    pub reg: RegId,
+    /// Range start (inclusive).
+    pub start: Key,
+    /// Range end (exclusive).
+    pub end: Key,
+    /// The reporting destination switch.
+    pub node: NodeId,
+    /// Echo of [`MigrateBegin::epoch`].
+    pub epoch: u32,
+    /// The pass that completed.
+    pub pass: u32,
+}
+
+/// One per-range write-load observation inside a [`LoadReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadEntry {
+    /// Register.
+    pub reg: RegId,
+    /// Range start key (identifies the range in the directory).
+    pub start: Key,
+    /// Writes this switch ingressed for the range since the last report.
+    pub writes: u64,
+}
+
+/// Switch control plane → controller: per-range write-load telemetry the
+/// planner feeds into the directory's access counters. Sent alongside
+/// heartbeats, but only when there is something to report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Reporting switch.
+    pub from: NodeId,
+    /// Nonzero load observations.
+    pub entries: Vec<LoadEntry>,
+}
+
 /// Every SwiShmem protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SwishMsg {
@@ -340,6 +450,16 @@ pub enum SwishMsg {
     DirReply(DirReply),
     /// Tunneled read.
     ReadForward(ReadForward),
+    /// Range migration start.
+    MigrateBegin(MigrateBegin),
+    /// Range migration data chunk.
+    MigrateChunk(MigrateChunk),
+    /// Range ownership flip.
+    OwnershipCommit(OwnershipCommit),
+    /// Range transfer completion notice.
+    MigrateDone(MigrateDone),
+    /// Per-range write-load telemetry.
+    LoadReport(LoadReport),
 }
 
 const TAG_WRITE: u8 = 0x01;
@@ -355,6 +475,14 @@ const TAG_HEARTBEAT: u8 = 0x0a;
 const TAG_DIR_LOOKUP: u8 = 0x0b;
 const TAG_DIR_REPLY: u8 = 0x0c;
 const TAG_READ_FWD: u8 = 0x0d;
+// Reconfiguration-engine messages are *additive* tags: WIRE_VERSION stays
+// at 2 because no existing layout changed and deployments without
+// partitioned registers never emit them.
+const TAG_MIG_BEGIN: u8 = 0x0e;
+const TAG_MIG_CHUNK: u8 = 0x0f;
+const TAG_OWN_COMMIT: u8 = 0x10;
+const TAG_MIG_DONE: u8 = 0x11;
+const TAG_LOAD_REPORT: u8 = 0x12;
 
 fn encode_node(w: &mut Writer, n: NodeId) {
     w.u16(n.0);
@@ -481,6 +609,58 @@ impl SwishMsg {
                 w.u64(m.trace.0);
                 m.inner.encode(w);
             }
+            SwishMsg::MigrateBegin(m) => {
+                w.u8(TAG_MIG_BEGIN);
+                w.u16(m.reg);
+                w.u32(m.start);
+                w.u32(m.end);
+                encode_node(w, m.from);
+                encode_node(w, m.to);
+                w.u32(m.epoch);
+            }
+            SwishMsg::MigrateChunk(m) => {
+                w.u8(TAG_MIG_CHUNK);
+                w.u16(m.reg);
+                w.u32(m.start);
+                w.u32(m.end);
+                encode_node(w, m.origin);
+                w.u32(m.pass);
+                w.u16(m.idx);
+                w.u8(m.last as u8);
+                w.u16(m.entries.len() as u16);
+                for e in &m.entries {
+                    w.u32(e.key);
+                    w.u64(e.seq);
+                    w.u64(e.value);
+                }
+            }
+            SwishMsg::OwnershipCommit(m) => {
+                w.u8(TAG_OWN_COMMIT);
+                w.u16(m.reg);
+                w.u32(m.start);
+                w.u32(m.end);
+                w.u32(m.epoch);
+                encode_nodes(w, &m.owners);
+            }
+            SwishMsg::MigrateDone(m) => {
+                w.u8(TAG_MIG_DONE);
+                w.u16(m.reg);
+                w.u32(m.start);
+                w.u32(m.end);
+                encode_node(w, m.node);
+                w.u32(m.epoch);
+                w.u32(m.pass);
+            }
+            SwishMsg::LoadReport(m) => {
+                w.u8(TAG_LOAD_REPORT);
+                encode_node(w, m.from);
+                w.u16(m.entries.len() as u16);
+                for e in &m.entries {
+                    w.u16(e.reg);
+                    w.u32(e.start);
+                    w.u64(e.writes);
+                }
+            }
         }
     }
 
@@ -596,6 +776,70 @@ impl SwishMsg {
                 trace: TraceId(r.u64()?),
                 inner: DataPacket::decode(r)?,
             }),
+            TAG_MIG_BEGIN => SwishMsg::MigrateBegin(MigrateBegin {
+                reg: r.u16()?,
+                start: r.u32()?,
+                end: r.u32()?,
+                from: decode_node(r)?,
+                to: decode_node(r)?,
+                epoch: r.u32()?,
+            }),
+            TAG_MIG_CHUNK => {
+                let reg = r.u16()?;
+                let start = r.u32()?;
+                let end = r.u32()?;
+                let origin = decode_node(r)?;
+                let pass = r.u32()?;
+                let idx = r.u16()?;
+                let last = r.u8()? != 0;
+                let n = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(SnapEntry {
+                        key: r.u32()?,
+                        seq: r.u64()?,
+                        value: r.u64()?,
+                    });
+                }
+                SwishMsg::MigrateChunk(MigrateChunk {
+                    reg,
+                    start,
+                    end,
+                    origin,
+                    pass,
+                    idx,
+                    last,
+                    entries: entries.into(),
+                })
+            }
+            TAG_OWN_COMMIT => SwishMsg::OwnershipCommit(OwnershipCommit {
+                reg: r.u16()?,
+                start: r.u32()?,
+                end: r.u32()?,
+                epoch: r.u32()?,
+                owners: decode_nodes(r)?,
+            }),
+            TAG_MIG_DONE => SwishMsg::MigrateDone(MigrateDone {
+                reg: r.u16()?,
+                start: r.u32()?,
+                end: r.u32()?,
+                node: decode_node(r)?,
+                epoch: r.u32()?,
+                pass: r.u32()?,
+            }),
+            TAG_LOAD_REPORT => {
+                let from = decode_node(r)?;
+                let n = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(LoadEntry {
+                        reg: r.u16()?,
+                        start: r.u32()?,
+                        writes: r.u64()?,
+                    });
+                }
+                SwishMsg::LoadReport(LoadReport { from, entries })
+            }
             t => return Err(WireError::UnknownTag(t)),
         };
         Ok(msg)
@@ -618,6 +862,13 @@ impl SwishMsg {
             SwishMsg::DirLookup(_) => 2 + 2 + 4,
             SwishMsg::DirReply(m) => 2 + 4 + 2 + m.owners.len() * 2,
             SwishMsg::ReadForward(m) => 2 + 8 + m.inner.wire_len(),
+            SwishMsg::MigrateBegin(_) => 2 + 4 + 4 + 2 + 2 + 4,
+            SwishMsg::MigrateChunk(m) => {
+                2 + 4 + 4 + 2 + 4 + 2 + 1 + 2 + m.entries.len() * (4 + 8 + 8)
+            }
+            SwishMsg::OwnershipCommit(m) => 2 + 4 + 4 + 4 + 2 + m.owners.len() * 2,
+            SwishMsg::MigrateDone(_) => 2 + 4 + 4 + 2 + 4 + 4,
+            SwishMsg::LoadReport(m) => 2 + 2 + m.entries.len() * (2 + 4 + 8),
         }
     }
 }
@@ -740,6 +991,66 @@ mod tests {
                     0,
                     100,
                 ),
+            }),
+            SwishMsg::MigrateBegin(MigrateBegin {
+                reg: 2,
+                start: 16,
+                end: 32,
+                from: NodeId(0),
+                to: NodeId(2),
+                epoch: 3,
+            }),
+            SwishMsg::MigrateChunk(MigrateChunk {
+                reg: 2,
+                start: 16,
+                end: 32,
+                origin: NodeId(0),
+                pass: 1,
+                idx: 4,
+                last: true,
+                entries: vec![
+                    SnapEntry {
+                        key: 16,
+                        seq: 8,
+                        value: 77,
+                    },
+                    SnapEntry {
+                        key: 17,
+                        seq: 0,
+                        value: 0,
+                    },
+                ]
+                .into(),
+            }),
+            SwishMsg::OwnershipCommit(OwnershipCommit {
+                reg: 2,
+                start: 16,
+                end: 32,
+                epoch: 4,
+                owners: vec![NodeId(2), NodeId(1)],
+            }),
+            SwishMsg::MigrateDone(MigrateDone {
+                reg: 2,
+                start: 16,
+                end: 32,
+                node: NodeId(2),
+                epoch: 3,
+                pass: 1,
+            }),
+            SwishMsg::LoadReport(LoadReport {
+                from: NodeId(1),
+                entries: vec![
+                    LoadEntry {
+                        reg: 2,
+                        start: 16,
+                        writes: 120,
+                    },
+                    LoadEntry {
+                        reg: 2,
+                        start: 0,
+                        writes: 3,
+                    },
+                ],
             }),
         ]
     }

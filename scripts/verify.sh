@@ -16,6 +16,15 @@ cargo test -q --workspace
 echo "==> cargo test --test fault_sweep (seeded fault schedules vs oracles)"
 cargo test -q --test fault_sweep
 
+# Reconfiguration gates (DESIGN.md §10), by name: migrations interleaved
+# into random fault schedules must stay oracle-clean, and the directory's
+# structural invariants (coverage, no overlap) must hold under any
+# operation sequence.
+echo "==> cargo test --test reconfig_sweep (migration-under-fault sweep)"
+cargo test -q --test reconfig_sweep
+echo "==> cargo test --test directory_invariants (range-table property tests)"
+cargo test -q -p swishmem --test directory_invariants
+
 # Observability gates (DESIGN.md §9), also by name: span tracing must be
 # a passive observer (golden fingerprint bit-identical with a collector
 # attached), and compiled-in-but-disabled tracing must stay cheap.
