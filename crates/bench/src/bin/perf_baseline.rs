@@ -7,18 +7,27 @@
 //!
 //! ```text
 //! cargo run -p swishmem-bench --release --bin perf_baseline -- \
-//!     [--label NAME] [--out BENCH_simnet.json] [--reps N]
+//!     [--label NAME] [--out BENCH_simnet.json] [--reps N] \
+//!     [--shards N] [--topology leaf-spine:<leaves>x<spines>]
 //! ```
 //!
 //! The output file holds a JSON array of labeled runs; an existing file
 //! is appended to (never rewritten), so before/after pairs of the same
 //! scenario accumulate in one artifact.
+//!
+//! `--topology` appends a sharded leaf-spine scenario (driven through
+//! [`swishmem_bench::shardnet`]) at the shard count given by `--shards`
+//! (default 1); the scenario label encodes both, e.g.
+//! `leafspine_248x8_shards8`. Sharded scenarios report the critical-path
+//! events/s alongside the wall-clock number, since wall-clock parallel
+//! speedup needs parallel hardware.
 
 use std::net::Ipv4Addr;
 use std::time::Instant;
 use swishmem::prelude::*;
 use swishmem::RegisterSpec;
 use swishmem_bench::json::Json;
+use swishmem_bench::shardnet::{run_leaf_spine, LeafSpineSpec, ShardRunConfig};
 use swishmem_nf::{DdosConfig, DdosDetector, DdosStatsHandle};
 use swishmem_simnet::{Ctx, LinkParams, Node, Simulator};
 use swishmem_wire::{DataPacket, FlowKey, Packet, PacketBody};
@@ -53,10 +62,12 @@ fn ping() -> Packet {
 }
 
 struct Measured {
-    name: &'static str,
+    name: String,
     events: u64,
     wall_ns: u64,
     peak_queue_depth: usize,
+    /// Critical-path compute ns (sharded scenarios only).
+    crit_ns: Option<u64>,
 }
 
 impl Measured {
@@ -67,21 +78,29 @@ impl Measured {
         self.wall_ns as f64 / self.events as f64
     }
     fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("name", Json::str(self.name)),
+        let mut fields = vec![
+            ("name", Json::str(&self.name)),
             ("events", Json::from(self.events)),
             ("wall_ns", Json::from(self.wall_ns)),
             ("events_per_sec", Json::Num(self.events_per_sec())),
             ("ns_per_event", Json::Num(self.ns_per_event())),
             ("peak_queue_depth", Json::from(self.peak_queue_depth)),
-        ])
+        ];
+        if let Some(crit) = self.crit_ns {
+            fields.push(("crit_ns", Json::from(crit)));
+            fields.push((
+                "crit_events_per_sec",
+                Json::Num(self.events as f64 / (crit.max(1) as f64 / 1e9)),
+            ));
+        }
+        Json::obj(fields)
     }
 }
 
 /// Run `setup() -> sim`, drive it to quiescence `reps` times, and keep
 /// the fastest run (least scheduler noise).
 fn measure_sim(
-    name: &'static str,
+    name: &str,
     reps: u32,
     setup: impl Fn() -> Simulator,
     drive: impl Fn(&mut Simulator),
@@ -93,10 +112,11 @@ fn measure_sim(
         drive(&mut sim);
         let wall_ns = t.elapsed().as_nanos() as u64;
         let m = Measured {
-            name,
+            name: name.to_string(),
             events: sim.events_processed(),
             wall_ns,
             peak_queue_depth: sim.peak_queue_depth(),
+            crit_ns: None,
         };
         if best.as_ref().map(|b| m.wall_ns < b.wall_ns).unwrap_or(true) {
             best = Some(m);
@@ -200,10 +220,33 @@ fn nf_ddos(reps: u32) -> Measured {
         dep.run_for(SimDuration::millis(30));
         let wall_ns = t.elapsed().as_nanos() as u64;
         let m = Measured {
-            name: "nf_ddos_500pkts_ewo_sync",
+            name: "nf_ddos_500pkts_ewo_sync".to_string(),
             events: dep.sim.events_processed() - pre_events,
             wall_ns,
             peak_queue_depth: dep.sim.peak_queue_depth(),
+            crit_ns: None,
+        };
+        if best.as_ref().map(|b| m.wall_ns < b.wall_ns).unwrap_or(true) {
+            best = Some(m);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// A sharded leaf-spine scenario at a given shard count: the Zipf NF
+/// sketch workload from `shardnet`, labeled `leafspine_<L>x<S>_shardsN`.
+fn sharded_leaf_spine(spec: LeafSpineSpec, shards: usize, reps: u32) -> Measured {
+    let name = format!("leafspine_{}x{}_shards{}", spec.leaves, spec.spines, shards);
+    let injections = 4_000;
+    let mut best: Option<Measured> = None;
+    for _ in 0..reps {
+        let o = run_leaf_spine(&ShardRunConfig::scaling(spec, shards, injections));
+        let m = Measured {
+            name: name.clone(),
+            events: o.events,
+            wall_ns: o.wall_ns,
+            peak_queue_depth: o.peak_queue_depth,
+            crit_ns: Some(o.crit_ns),
         };
         if best.as_ref().map(|b| m.wall_ns < b.wall_ns).unwrap_or(true) {
             best = Some(m);
@@ -251,9 +294,17 @@ fn main() {
     let label = get("--label").unwrap_or_else(|| "current".to_string());
     let out = get("--out").unwrap_or_else(|| "BENCH_simnet.json".to_string());
     let reps: u32 = get("--reps").and_then(|r| r.parse().ok()).unwrap_or(5);
+    let shards: usize = get("--shards").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let topology = get("--topology").map(|t| {
+        LeafSpineSpec::parse(&t)
+            .unwrap_or_else(|| panic!("unsupported --topology {t:?} (want leaf-spine:<L>x<S>)"))
+    });
 
     eprintln!("measuring engine baseline ({reps} reps per scenario) ...");
-    let scenarios = vec![ping_pong(reps), lossy_jittered(reps), nf_ddos(reps)];
+    let mut scenarios = vec![ping_pong(reps), lossy_jittered(reps), nf_ddos(reps)];
+    if let Some(spec) = topology {
+        scenarios.push(sharded_leaf_spine(spec, shards, reps));
+    }
     for m in &scenarios {
         eprintln!(
             "  {:<28} {:>12.0} events/s  {:>8.1} ns/event  peak queue {}",

@@ -1,0 +1,159 @@
+//! E20 — sharded-engine scaling: conservative PDES with deterministic
+//! time-window barriers on a leaf-spine fabric with a Zipf NF sketch
+//! workload. Quantifies the tentpole claim that partitioning the event
+//! loop buys parallel throughput without touching determinism: the same
+//! run digest at every shard count, zero fault-oracle violations under a
+//! sharded fault sweep, and a ≥4× critical-path speedup at 8 shards.
+//!
+//! Two throughput metrics are reported honestly:
+//!
+//! * **wall events/s** — what this machine actually achieved; on a
+//!   single-core container the barrier overhead makes this *worse* as
+//!   shards are added, which says nothing about the engine.
+//! * **critical-path events/s** — events divided by Σ over windows of
+//!   the slowest shard's compute time: the throughput a one-core-per-
+//!   shard machine converges to. This is the scaling gate.
+
+use crate::shardnet::{run_leaf_spine, LeafSpineSpec, ShardRunConfig};
+use crate::table::{ExperimentResult, Table};
+
+/// Run E20.
+pub fn run(quick: bool) -> ExperimentResult {
+    let (spec, injections, shard_counts): (LeafSpineSpec, u64, &[usize]) = if quick {
+        (
+            LeafSpineSpec {
+                leaves: 56,
+                spines: 4,
+            },
+            2_000,
+            &[1, 2, 4],
+        )
+    } else {
+        (
+            LeafSpineSpec {
+                leaves: 248,
+                spines: 8,
+            },
+            8_000,
+            &[1, 2, 4, 8, 16],
+        )
+    };
+
+    let mut t = Table::new(
+        &format!(
+            "Shard scaling, {}x{} leaf-spine, {} Zipf(1.1) injections (lossless links)",
+            spec.leaves, spec.spines, injections
+        ),
+        &[
+            "shards",
+            "events",
+            "digest",
+            "wall events/s",
+            "crit-path events/s",
+            "crit-path speedup",
+            "peak queue",
+        ],
+    );
+
+    let mut base_digest = None;
+    let mut base_crit_eps = 0.0f64;
+    let mut gate_speedup = 0.0f64;
+    let gate_shards = if quick { 4 } else { 8 };
+    for &shards in shard_counts {
+        let o = run_leaf_spine(&ShardRunConfig::scaling(spec, shards, injections));
+        let digest = o.digest;
+        match base_digest {
+            None => base_digest = Some(digest),
+            Some(d) => assert_eq!(
+                d, digest,
+                "shard count perturbed the run digest — determinism broken"
+            ),
+        }
+        let crit_eps = o.crit_events_per_sec();
+        if shards == 1 {
+            base_crit_eps = crit_eps;
+        }
+        let speedup = if base_crit_eps > 0.0 {
+            crit_eps / base_crit_eps
+        } else {
+            0.0
+        };
+        if shards == gate_shards {
+            gate_speedup = speedup;
+        }
+        t.row(vec![
+            shards.to_string(),
+            o.events.to_string(),
+            format!("{digest:016x}"),
+            format!("{:.0}", o.wall_events_per_sec()),
+            format!("{crit_eps:.0}"),
+            format!("{speedup:.2}x"),
+            o.peak_queue_depth.to_string(),
+        ]);
+    }
+
+    // Sharded fault-sweep rerun: the E17-style randomized schedule on the
+    // same fabric, with the observer-stream oracle armed, at two shard
+    // counts that must agree bit-for-bit.
+    let mut ft = Table::new(
+        "Sharded fault sweep (lossy links, 6 fault episodes, observer oracle armed)",
+        &[
+            "shards",
+            "fault transitions",
+            "oracle violations",
+            "delivered",
+            "dropped",
+            "digest",
+        ],
+    );
+    let sweep_shards: &[usize] = if quick { &[2] } else { &[2, 8] };
+    let mut sweep_digest = None;
+    let mut total_viol = 0u64;
+    for &shards in sweep_shards {
+        let mut cfg = ShardRunConfig::scaling(spec, shards, injections / 2);
+        cfg.fault_episodes = 6;
+        cfg.lossless = false;
+        let o = run_leaf_spine(&cfg);
+        total_viol += o.oracle_violations;
+        match sweep_digest {
+            None => sweep_digest = Some(o.digest),
+            Some(d) => assert_eq!(d, o.digest, "fault sweep diverged across shard counts"),
+        }
+        ft.row(vec![
+            shards.to_string(),
+            o.oracle_transitions.to_string(),
+            o.oracle_violations.to_string(),
+            o.delivered_pkts.to_string(),
+            o.dropped_pkts.to_string(),
+            format!("{:016x}", o.digest),
+        ]);
+    }
+
+    let findings = vec![
+        format!(
+            "identical run digest at every shard count — sharding is a pure performance knob \
+             (same deliveries, same NF state, same end time)"
+        ),
+        format!(
+            "critical-path speedup at {gate_shards} shards: {gate_speedup:.2}x \
+             (gate: >= 4x at 8 shards on the full fabric)"
+        ),
+        format!(
+            "sharded fault-sweep rerun: {total_viol} oracle violations; fault events land on \
+             owner shards at schedule-identical times"
+        ),
+        "wall-clock events/s on a single-core host degrades with shard count (barrier overhead \
+         with no parallel hardware); the critical-path metric is the honest scaling measure"
+            .into(),
+    ];
+    ExperimentResult {
+        id: "E20".into(),
+        title: "Sharded PDES engine: scaling and determinism under time-window barriers".into(),
+        paper_anchor: "§4 scalability discussion (simulation substrate)".into(),
+        expectation:
+            "digest-identical runs at every shard count; >= 4x critical-path speedup at 8 shards"
+                .into(),
+        tables: vec![t, ft],
+        findings,
+    }
+}

@@ -21,6 +21,7 @@ pub mod e16_setup_latency;
 pub mod e17_fault_sweep;
 pub mod e18_trace_overhead;
 pub mod e19_reconfig;
+pub mod e20_shard_scaling;
 
 use crate::table::ExperimentResult;
 
@@ -49,5 +50,6 @@ pub fn all() -> Vec<(&'static str, RunFn)> {
         ("e17", e17_fault_sweep::run),
         ("e18", e18_trace_overhead::run),
         ("e19", e19_reconfig::run),
+        ("e20", e20_shard_scaling::run),
     ]
 }

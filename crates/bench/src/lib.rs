@@ -19,6 +19,7 @@
 pub mod experiments;
 pub mod json;
 pub mod scenarios;
+pub mod shardnet;
 pub mod spans;
 pub mod table;
 

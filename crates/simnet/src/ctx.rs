@@ -1,9 +1,10 @@
 //! The per-callback context handed to nodes.
 
-use crate::span::{SpanHandle, SpanPhase};
+use crate::span::{SpanCollector, SpanPhase};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::cell::RefCell;
 use swishmem_wire::{NodeId, PacketBody, TraceId};
 
 /// A multicast group identifier.
@@ -41,7 +42,11 @@ pub struct Ctx<'a> {
     pub(crate) node: NodeId,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) commands: &'a mut Vec<Command>,
-    pub(crate) spans: Option<&'a SpanHandle>,
+    /// The span sink, when one is attached. A plain `&RefCell` so both
+    /// engines can supply it: the sequential simulator derefs its shared
+    /// `SpanHandle` (an `Rc<RefCell<..>>`), a shard core lends its owned
+    /// collector.
+    pub(crate) spans: Option<&'a RefCell<SpanCollector>>,
 }
 
 impl<'a> Ctx<'a> {

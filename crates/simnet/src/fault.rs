@@ -402,6 +402,41 @@ impl FaultGen {
         horizon: SimDuration,
         episodes: usize,
     ) -> FaultSchedule {
+        self.generate_impl(nodes, links, horizon, episodes, None)
+    }
+
+    /// [`FaultGen::generate`] for a sharded run: `shard_of[i]` is the
+    /// shard owning `nodes[i]` (see `Topology::partition`), and partition
+    /// episodes cut between whole shards instead of arbitrary node
+    /// splits, so a generated cut-set never severs two nodes the sharded
+    /// engine co-locates. Other episode kinds are unchanged. With every
+    /// node on one shard, partition episodes degrade a link instead
+    /// (mirroring the over-budget crash fallback) so the episode count
+    /// stays deterministic.
+    pub fn generate_for_shards(
+        &mut self,
+        nodes: &[NodeId],
+        shard_of: &[u32],
+        links: &[(NodeId, NodeId)],
+        horizon: SimDuration,
+        episodes: usize,
+    ) -> FaultSchedule {
+        assert_eq!(
+            nodes.len(),
+            shard_of.len(),
+            "shard_of must be parallel to nodes"
+        );
+        self.generate_impl(nodes, links, horizon, episodes, Some(shard_of))
+    }
+
+    fn generate_impl(
+        &mut self,
+        nodes: &[NodeId],
+        links: &[(NodeId, NodeId)],
+        horizon: SimDuration,
+        episodes: usize,
+        shard_of: Option<&[u32]>,
+    ) -> FaultSchedule {
         let h = horizon.as_nanos().max(1_000_000); // at least 1 ms
         let heal_by = h * 85 / 100;
         let mut sched = FaultSchedule::new();
@@ -481,17 +516,46 @@ impl FaultGen {
                         sched = sched.degrade_for(a, b, at, lasting, LinkOverlay::slow(lat, bw));
                     }
                 }
-                EpisodeKind::Partition => {
-                    if nodes.len() >= 2 {
-                        let k = self.rng.gen_range(1..nodes.len());
-                        let r = self.rng.gen_range(0..nodes.len());
-                        let rotated: Vec<NodeId> = (0..nodes.len())
-                            .map(|i| nodes[(i + r) % nodes.len()])
-                            .collect();
-                        let (a, b) = rotated.split_at(k);
-                        sched = sched.partition(a, b, at, lasting);
+                EpisodeKind::Partition => match shard_of {
+                    None => {
+                        if nodes.len() >= 2 {
+                            let k = self.rng.gen_range(1..nodes.len());
+                            let r = self.rng.gen_range(0..nodes.len());
+                            let rotated: Vec<NodeId> = (0..nodes.len())
+                                .map(|i| nodes[(i + r) % nodes.len()])
+                                .collect();
+                            let (a, b) = rotated.split_at(k);
+                            sched = sched.partition(a, b, at, lasting);
+                        }
                     }
-                }
+                    Some(map) => {
+                        // Group nodes by shard (first-appearance order, so
+                        // the grouping is a pure function of the inputs)
+                        // and cut between whole shards.
+                        let mut groups: Vec<(u32, Vec<NodeId>)> = Vec::new();
+                        for (i, &n) in nodes.iter().enumerate() {
+                            match groups.iter_mut().find(|(s, _)| *s == map[i]) {
+                                Some((_, v)) => v.push(n),
+                                None => groups.push((map[i], vec![n])),
+                            }
+                        }
+                        if groups.len() >= 2 {
+                            let k = self.rng.gen_range(1..groups.len());
+                            let r = self.rng.gen_range(0..groups.len());
+                            let side = |range: std::ops::Range<usize>| -> Vec<NodeId> {
+                                range
+                                    .map(|i| &groups[(i + r) % groups.len()].1)
+                                    .flat_map(|v| v.iter().copied())
+                                    .collect()
+                            };
+                            let a = side(0..k);
+                            let b = side(k..groups.len());
+                            sched = sched.partition(&a, &b, at, lasting);
+                        } else if let Some(&(a, b)) = self.pick_link(links) {
+                            sched = sched.degrade_for(a, b, at, lasting, LinkOverlay::loss(0.2));
+                        }
+                    }
+                },
             }
         }
         sched.sort();
@@ -677,6 +741,46 @@ mod tests {
         let base = g.generate(&nodes, &links, h, 4);
         let same = g.interleave_triggers(base.clone(), NodeId(999), &[], h, 3);
         assert_eq!(base, same);
+    }
+
+    #[test]
+    fn shard_aware_cuts_never_split_a_shard() {
+        let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+        // Shards of two nodes each: {0,1} {2,3} {4,5} {6,7}.
+        let shard_of: Vec<u32> = (0..8u32).map(|i| i / 2).collect();
+        for seed in 0..30 {
+            let s = FaultGen::new(seed).generate_for_shards(
+                &nodes,
+                &shard_of,
+                &[],
+                SimDuration::millis(40),
+                8,
+            );
+            for e in s.events() {
+                if let FaultAction::LinkDown { a, b } = e.action {
+                    // Every cut severs two *different* shards: with an
+                    // empty link set, LinkDown events only come from
+                    // partition episodes.
+                    assert_ne!(
+                        shard_of[a.0 as usize], shard_of[b.0 as usize],
+                        "seed {seed}: cut {a}<->{b} splits a shard\n{s}"
+                    );
+                }
+            }
+        }
+        // Same seed, same inputs: still deterministic.
+        let mk = || {
+            FaultGen::new(3).generate_for_shards(&nodes, &shard_of, &[], SimDuration::millis(40), 8)
+        };
+        assert_eq!(mk(), mk());
+        // Single shard: no cut is possible, so no LinkDown ever appears
+        // (the node-level generator would still emit partitions here).
+        let one: Vec<u32> = vec![0; 8];
+        let s = FaultGen::new(3).generate_for_shards(&nodes, &one, &[], SimDuration::millis(40), 8);
+        assert!(!s
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, FaultAction::LinkDown { .. })));
     }
 
     #[test]

@@ -36,11 +36,13 @@
 //! ```
 
 pub mod ctx;
+pub(crate) mod events;
 pub mod fault;
 pub mod link;
 pub mod node;
 pub mod observe;
 pub mod recorder;
+pub mod shard;
 pub mod sim;
 pub mod span;
 pub mod stats;
@@ -54,6 +56,7 @@ pub use link::{Link, LinkParams, LinkState};
 pub use node::{Node, NodeId, RelayNode};
 pub use observe::{NetEvent, NetObserver, ObserverHandle};
 pub use recorder::{RecorderNode, Recording};
+pub use shard::ShardedEngine;
 pub use sim::{AsAny, NodeObj, Simulator};
 pub use span::{SpanCollector, SpanEvent, SpanHandle, SpanPhase};
 pub use stats::{Counter, DropReason, NetStats, TrafficClass};

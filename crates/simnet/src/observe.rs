@@ -57,6 +57,38 @@ pub enum NetEvent<'a> {
     },
 }
 
+/// An owned [`NetEvent`], buffered by the sharded engine's worker cores
+/// (which cannot call `Rc`-held observers from other threads) and
+/// replayed through [`NetObserver::on_net_event`] on the control thread
+/// after each run segment.
+#[derive(Debug, Clone)]
+pub(crate) enum OwnedNetEvent {
+    Delivered { to: NodeId, pkt: Packet },
+    NodeFailed { node: NodeId },
+    NodeRecovered { node: NodeId },
+    LinkChanged { a: NodeId, b: NodeId, down: bool },
+    LinkDegraded { a: NodeId, b: NodeId },
+    LinkRestored { a: NodeId, b: NodeId },
+}
+
+impl OwnedNetEvent {
+    /// Borrowed view, for replay through the observer trait.
+    pub(crate) fn as_net_event(&self) -> NetEvent<'_> {
+        match self {
+            OwnedNetEvent::Delivered { to, pkt } => NetEvent::Delivered { to: *to, pkt },
+            OwnedNetEvent::NodeFailed { node } => NetEvent::NodeFailed { node: *node },
+            OwnedNetEvent::NodeRecovered { node } => NetEvent::NodeRecovered { node: *node },
+            OwnedNetEvent::LinkChanged { a, b, down } => NetEvent::LinkChanged {
+                a: *a,
+                b: *b,
+                down: *down,
+            },
+            OwnedNetEvent::LinkDegraded { a, b } => NetEvent::LinkDegraded { a: *a, b: *b },
+            OwnedNetEvent::LinkRestored { a, b } => NetEvent::LinkRestored { a: *a, b: *b },
+        }
+    }
+}
+
 /// Passive observer of engine transitions.
 pub trait NetObserver {
     /// Called synchronously for each observable transition at `now`.

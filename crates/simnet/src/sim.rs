@@ -15,6 +15,7 @@
 //! measurements behind these choices.
 
 use crate::ctx::{Command, Ctx, GroupId};
+use crate::events::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultSchedule, LinkOverlay};
 use crate::node::Node;
 use crate::observe::{NetEvent, ObserverHandle};
@@ -43,150 +44,6 @@ impl<T: 'static> AsAny for T {
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
-    }
-}
-
-#[derive(Debug)]
-enum EventKind {
-    Deliver {
-        to: NodeId,
-        pkt: Packet,
-        corrupt: bool,
-    },
-    Timer {
-        node: NodeId,
-        token: u64,
-    },
-    Fail {
-        node: NodeId,
-    },
-    Recover {
-        node: NodeId,
-    },
-    LinkSet {
-        a: NodeId,
-        b: NodeId,
-        down: bool,
-    },
-    LinkDegrade {
-        a: NodeId,
-        b: NodeId,
-        overlay: LinkOverlay,
-    },
-    LinkRestore {
-        a: NodeId,
-        b: NodeId,
-    },
-    /// Slab slot whose payload was popped (free-listed).
-    Vacant,
-}
-
-/// Flat heap entry: the payload stays in the slab, so sifting moves 24
-/// bytes regardless of how large the packet inside the event is.
-#[derive(Clone, Copy)]
-struct HeapEntry {
-    time: u64,
-    seq: u64,
-    idx: u32,
-}
-
-impl HeapEntry {
-    #[inline]
-    fn key(&self) -> (u64, u64) {
-        (self.time, self.seq)
-    }
-}
-
-/// Binary min-heap over `(time, seq)` with slab-allocated payloads.
-///
-/// Chosen over a timer wheel by measurement: event delays span nanosecond
-/// serialization gaps to millisecond CP timers (six orders of magnitude),
-/// which a wheel only covers hierarchically, and flattening the heap
-/// entries already removes the dominant cost (moving packet-sized events
-/// during sifts).
-#[derive(Default)]
-struct EventQueue {
-    heap: Vec<HeapEntry>,
-    slab: Vec<EventKind>,
-    free: Vec<u32>,
-}
-
-impl EventQueue {
-    #[inline]
-    fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    #[inline]
-    fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|e| SimTime(e.time))
-    }
-
-    fn push(&mut self, time: SimTime, seq: u64, kind: EventKind) {
-        let idx = match self.free.pop() {
-            Some(i) => {
-                self.slab[i as usize] = kind;
-                i
-            }
-            None => {
-                self.slab.push(kind);
-                (self.slab.len() - 1) as u32
-            }
-        };
-        self.heap.push(HeapEntry {
-            time: time.nanos(),
-            seq,
-            idx,
-        });
-        self.sift_up(self.heap.len() - 1);
-    }
-
-    fn pop(&mut self) -> Option<(SimTime, EventKind)> {
-        let n = self.heap.len();
-        if n == 0 {
-            return None;
-        }
-        self.heap.swap(0, n - 1);
-        let top = self.heap.pop().expect("non-empty");
-        if !self.heap.is_empty() {
-            self.sift_down(0);
-        }
-        let kind = std::mem::replace(&mut self.slab[top.idx as usize], EventKind::Vacant);
-        self.free.push(top.idx);
-        Some((SimTime(top.time), kind))
-    }
-
-    fn sift_up(&mut self, mut i: usize) {
-        let e = self.heap[i];
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            if self.heap[parent].key() <= e.key() {
-                break;
-            }
-            self.heap[i] = self.heap[parent];
-            i = parent;
-        }
-        self.heap[i] = e;
-    }
-
-    fn sift_down(&mut self, mut i: usize) {
-        let n = self.heap.len();
-        let e = self.heap[i];
-        loop {
-            let mut child = 2 * i + 1;
-            if child >= n {
-                break;
-            }
-            if child + 1 < n && self.heap[child + 1].key() < self.heap[child].key() {
-                child += 1;
-            }
-            if e.key() <= self.heap[child].key() {
-                break;
-            }
-            self.heap[i] = self.heap[child];
-            i = child;
-        }
-        self.heap[i] = e;
     }
 }
 
@@ -412,19 +269,35 @@ impl Simulator {
 
     /// Schedule the duplex link `a <-> b` going down (or up) at time `t`.
     pub fn schedule_link_set(&mut self, t: SimTime, a: NodeId, b: NodeId, down: bool) {
-        self.push(t, EventKind::LinkSet { a, b, down });
+        self.push(
+            t,
+            EventKind::LinkSet {
+                a,
+                b,
+                down,
+                notify: true,
+            },
+        );
     }
 
     /// Schedule a parameter overlay on the duplex link `a <-> b` at `t`
     /// (loss/jitter/corruption burst or gray-failure slowness).
     pub fn schedule_degrade(&mut self, t: SimTime, a: NodeId, b: NodeId, overlay: LinkOverlay) {
-        self.push(t, EventKind::LinkDegrade { a, b, overlay });
+        self.push(
+            t,
+            EventKind::LinkDegrade {
+                a,
+                b,
+                overlay,
+                notify: true,
+            },
+        );
     }
 
     /// Schedule restoration of the duplex link `a <-> b` to its pristine
     /// parameters at `t`.
     pub fn schedule_restore(&mut self, t: SimTime, a: NodeId, b: NodeId) {
-        self.push(t, EventKind::LinkRestore { a, b });
+        self.push(t, EventKind::LinkRestore { a, b, notify: true });
     }
 
     /// Install a [`FaultSchedule`]: each action becomes an ordinary engine
@@ -474,7 +347,7 @@ impl Simulator {
             if et > t {
                 break;
             }
-            let (time, kind) = self.queue.pop().expect("peeked");
+            let (time, _, kind) = self.queue.pop().expect("peeked");
             self.process(time, kind);
         }
         self.now = self.now.max(t);
@@ -495,7 +368,7 @@ impl Simulator {
                 self.now = limit;
                 return self.now;
             }
-            let (time, kind) = self.queue.pop().expect("peeked");
+            let (time, _, kind) = self.queue.pop().expect("peeked");
             self.process(time, kind);
         }
         self.now
@@ -570,15 +443,15 @@ impl Simulator {
                     }
                 }
             }
-            EventKind::LinkSet { a, b, down } => {
+            EventKind::LinkSet { a, b, down, .. } => {
                 self.topo.set_link_down(a, b, down);
                 self.notify(&NetEvent::LinkChanged { a, b, down });
             }
-            EventKind::LinkDegrade { a, b, overlay } => {
+            EventKind::LinkDegrade { a, b, overlay, .. } => {
                 self.topo.degrade_link(a, b, &overlay);
                 self.notify(&NetEvent::LinkDegraded { a, b });
             }
-            EventKind::LinkRestore { a, b } => {
+            EventKind::LinkRestore { a, b, .. } => {
                 self.topo.restore_link(a, b);
                 self.notify(&NetEvent::LinkRestored { a, b });
             }
@@ -601,7 +474,7 @@ impl Simulator {
                 node: id,
                 rng: &mut self.rng,
                 commands: &mut commands,
-                spans: self.spans.as_ref(),
+                spans: self.spans.as_deref(),
             };
             f(self.nodes[slot].node.as_mut(), &mut ctx);
         }

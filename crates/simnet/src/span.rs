@@ -127,11 +127,25 @@ pub type SpanHandle = Rc<RefCell<SpanCollector>>;
 impl SpanCollector {
     /// A collector keeping at most `capacity` events.
     pub fn new(capacity: usize) -> SpanHandle {
-        Rc::new(RefCell::new(SpanCollector {
+        Rc::new(RefCell::new(SpanCollector::detached(capacity)))
+    }
+
+    /// An owned (non-shared) collector. The sharded engine gives each
+    /// shard core one of these; their contents are merged into the
+    /// attached [`SpanHandle`] after each run.
+    pub fn detached(capacity: usize) -> SpanCollector {
+        SpanCollector {
             events: Vec::new(),
             capacity,
             dropped: 0,
-        }))
+        }
+    }
+
+    /// Take all recorded events out of the collector, leaving it empty
+    /// (the overflow counter is reset too).
+    pub fn take_events(&mut self) -> Vec<SpanEvent> {
+        self.dropped = 0;
+        std::mem::take(&mut self.events)
     }
 
     /// Record one marker. Untraced markers ([`TraceId::NONE`]) are the

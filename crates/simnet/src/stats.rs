@@ -163,7 +163,7 @@ impl DropReason {
 /// Per-class and per-reason counters are flat arrays indexed by the enum
 /// discriminant; only the per-link and per-node breakdowns (unbounded key
 /// spaces) stay in hash maps, behind the cheap hasher above.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct NetStats {
     delivered: [Counter; TrafficClass::ALL.len()],
     dropped: [Counter; DropReason::ALL.len()],
@@ -213,6 +213,30 @@ impl NetStats {
     /// Bytes received by `node`.
     pub fn node_rx(&self, node: NodeId) -> Counter {
         self.per_node_rx.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Fold another stats block into this one (sum every counter). Used
+    /// by the sharded engine to merge per-shard accounting; addition is
+    /// commutative, so merge order never affects the result.
+    pub fn merge_from(&mut self, other: &NetStats) {
+        for (d, s) in self.delivered.iter_mut().zip(other.delivered.iter()) {
+            d.packets += s.packets;
+            d.bytes += s.bytes;
+        }
+        for (d, s) in self.dropped.iter_mut().zip(other.dropped.iter()) {
+            d.packets += s.packets;
+            d.bytes += s.bytes;
+        }
+        for (k, c) in &other.per_link {
+            let e = self.per_link.entry(*k).or_default();
+            e.packets += c.packets;
+            e.bytes += c.bytes;
+        }
+        for (k, c) in &other.per_node_rx {
+            let e = self.per_node_rx.entry(*k).or_default();
+            e.packets += c.packets;
+            e.bytes += c.bytes;
+        }
     }
 
     /// Reset all counters (used to scope measurements to a window).

@@ -30,6 +30,15 @@ cargo test -q -p swishmem --test directory_invariants
 # attached), and compiled-in-but-disabled tracing must stay cheap.
 echo "==> cargo test --test determinism (span attach invisible to fingerprint)"
 cargo test -q -p swishmem-simnet --test determinism
+
+# Parallel-engine gates (DESIGN.md §11), by name: a single-shard
+# ShardedEngine must reproduce the sequential golden fingerprint
+# bit-for-bit, shard/worker count must be pure performance knobs, and a
+# fast 2-shard fault sweep must run oracle-clean.
+echo "==> cargo test --test shard_determinism (sharded PDES determinism)"
+cargo test -q -p swishmem-simnet --test shard_determinism
+echo "==> cargo test shardnet:: (2-shard fault-sweep smoke)"
+cargo test -q -p swishmem-bench --lib shardnet::
 echo "==> cargo test --release --test trace_overhead (detached tracing overhead)"
 cargo test -q --release -p swishmem-bench --test trace_overhead
 
