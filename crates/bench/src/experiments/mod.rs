@@ -22,6 +22,7 @@ pub mod e17_fault_sweep;
 pub mod e18_trace_overhead;
 pub mod e19_reconfig;
 pub mod e20_shard_scaling;
+pub mod e21_failover;
 
 use crate::table::ExperimentResult;
 
@@ -51,5 +52,6 @@ pub fn all() -> Vec<(&'static str, RunFn)> {
         ("e18", e18_trace_overhead::run),
         ("e19", e19_reconfig::run),
         ("e20", e20_shard_scaling::run),
+        ("e21", e21_failover::run),
     ]
 }

@@ -262,6 +262,12 @@ pub struct SwishConfig {
     pub clock: ClockMode,
     /// Live reconfiguration engine policy (partitioned registers only).
     pub reconfig: ReconfigPolicy,
+    /// Controller replicas (DESIGN.md §12). 1 = the paper's singleton
+    /// controller; 3+ runs an in-fabric consensus group with leader
+    /// failover. Even values are rounded up by the deployment builder
+    /// (an even group tolerates no more failures than the next odd size
+    /// down, so they are never worth their cost).
+    pub ctrl_replicas: u8,
 }
 
 impl Default for SwishConfig {
@@ -283,6 +289,7 @@ impl Default for SwishConfig {
             snapshot_interval: SimDuration::micros(10),
             clock: ClockMode::Synced { max_skew_ns: 50 },
             reconfig: ReconfigPolicy::default(),
+            ctrl_replicas: 1,
         }
     }
 }

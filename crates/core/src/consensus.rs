@@ -1,0 +1,723 @@
+//! Controller-replica consensus: single-decree Paxos per log slot,
+//! mapped onto the PISA register model (*Paxos Made Switch-y* style).
+//!
+//! The replicated control plane (DESIGN.md §12) keeps one growing log of
+//! [`CtrlCmd`] decrees. Each slot is decided by an independent
+//! single-decree Paxos instance; replicas apply chosen commands strictly
+//! in slot order, so every replica walks the same state-machine path.
+//!
+//! The acceptor role is deliberately register-shaped: a scalar log-wide
+//! promise register (`floor`) plus two fixed-width register arrays — the
+//! accepted ballot and the accepted command per slot (commands are fixed
+//! 18-byte values, see [`swishmem_wire::swish::CTRL_CMD_LEN`]) — exactly
+//! the state a PISA pipeline can hold in match-action registers. The
+//! log-wide `floor` (instead of a per-slot promise array) doubles as the
+//! leader-stability fence: once a leader's ballot is promised, a rival
+//! proposer is Nacked on every slot until it outbids the floor.
+//!
+//! The proposer drives one slot at a time, full two-phase per slot
+//! (Prepare/Promise, then Accept/Accepted, then Learn). Leadership is
+//! itself a decree: a candidate walks the log from its first unchosen
+//! slot, re-proposing any value it discovers (which completes interrupted
+//! decrees), and wins when its own [`CtrlCmd::Reassert`] is chosen. Role
+//! changes therefore ride the same committed log on every replica —
+//! there is no side channel to disagree over.
+
+use std::collections::VecDeque;
+use swishmem_wire::swish::{
+    CtrlAccept, CtrlAccepted, CtrlCmd, CtrlLearn, CtrlPrepare, CtrlPromise,
+};
+use swishmem_wire::{NodeId, SwishMsg};
+
+/// A proposal ballot: `(round << 8) | replica_idx`. Zero is "no ballot".
+pub type Ballot = u64;
+
+/// A log slot index.
+pub type Slot = u64;
+
+/// Hard cap on the consensus log, mirroring a fixed-size register array.
+/// Control-plane decrees are rare (membership + migration events), so a
+/// real deployment would recycle cells; the simulation enforces the cap.
+pub const SLOT_CAP: usize = 1024;
+
+/// Compose a ballot from an election round and a replica index.
+pub fn ballot(round: u64, idx: u8) -> Ballot {
+    (round << 8) | u64::from(idx)
+}
+
+/// The election round of a ballot.
+pub fn ballot_round(b: Ballot) -> u64 {
+    b >> 8
+}
+
+/// Messages a state-machine step wants sent: `(destination, message)`.
+pub type Outbox = Vec<(NodeId, SwishMsg)>;
+
+/// Replica role within the controller group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Applying chosen commands, watching the leader's heartbeat.
+    Follower,
+    /// Electing itself: walking the log toward a chosen `Reassert`.
+    Candidate,
+    /// Proposing commands for the group.
+    Leader,
+}
+
+/// Acceptor register state: the log-wide promise plus per-slot accepted
+/// (ballot, command) cells.
+#[derive(Debug, Clone, Default)]
+pub struct Acceptor {
+    /// Log-wide promised ballot: Prepares and Accepts below it are
+    /// refused, which is what keeps an established leader stable.
+    pub floor: Ballot,
+    cells: Vec<Option<(Ballot, CtrlCmd)>>,
+}
+
+impl Acceptor {
+    fn cell(&self, slot: Slot) -> Option<(Ballot, CtrlCmd)> {
+        self.cells.get(slot as usize).copied().flatten()
+    }
+
+    fn set_cell(&mut self, slot: Slot, b: Ballot, c: CtrlCmd) {
+        let i = slot as usize;
+        assert!(i < SLOT_CAP, "consensus log exceeded SLOT_CAP");
+        if self.cells.len() <= i {
+            self.cells.resize(i + 1, None);
+        }
+        self.cells[i] = Some((b, c));
+    }
+
+    /// Highest slot with an accepted value, 1-based (0 = none).
+    fn max_slot(&self) -> u64 {
+        self.cells
+            .iter()
+            .rposition(|c| c.is_some())
+            .map(|i| i as u64 + 1)
+            .unwrap_or(0)
+    }
+}
+
+/// The proposal currently in flight (one slot at a time).
+#[derive(Debug, Clone)]
+struct Inflight {
+    slot: Slot,
+    /// False: collecting promises. True: collecting accepts.
+    phase2: bool,
+    /// The value pushed in phase 2.
+    value: Option<CtrlCmd>,
+    /// True when `value` came off our own queue (so losing the slot
+    /// re-queues it instead of dropping it).
+    mine: bool,
+    /// Acceptors that granted the current phase.
+    grants: Vec<NodeId>,
+    /// Highest-ballot accepted value discovered during phase 1.
+    best: Option<(Ballot, CtrlCmd)>,
+}
+
+/// One replica's consensus state: acceptor registers, the chosen log,
+/// and the proposer driver.
+pub struct Consensus {
+    /// This replica's node id.
+    pub me: NodeId,
+    /// This replica's index within the group (ballot tiebreak).
+    pub idx: u8,
+    /// All replicas, index order (`group[idx] == me`).
+    pub group: Vec<NodeId>,
+    /// Current role.
+    pub role: Role,
+    /// Our proposal ballot while candidate/leader.
+    pub bal: Ballot,
+    /// Highest election round observed anywhere (floors, rival ballots).
+    pub seen_round: u64,
+    /// The acceptor registers.
+    pub acceptor: Acceptor,
+    chosen: Vec<Option<CtrlCmd>>,
+    /// Contiguously chosen prefix length: slots `0..commit` are decided.
+    pub commit: Slot,
+    /// The leader named by the latest `Reassert` inside the committed
+    /// prefix (what this replica believes, consistently with the log).
+    pub leader_hint: Option<NodeId>,
+    inflight: Option<Inflight>,
+    queue: VecDeque<CtrlCmd>,
+    /// Leader changes observed in the committed prefix (failover count).
+    pub leader_changes: u64,
+}
+
+impl Consensus {
+    /// A fresh replica: follower, empty log.
+    pub fn new(me: NodeId, idx: u8, group: Vec<NodeId>) -> Consensus {
+        Consensus {
+            me,
+            idx,
+            group,
+            role: Role::Follower,
+            bal: 0,
+            seen_round: 0,
+            acceptor: Acceptor::default(),
+            chosen: Vec::new(),
+            commit: 0,
+            leader_hint: None,
+            inflight: None,
+            queue: VecDeque::new(),
+            leader_changes: 0,
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.group.len() / 2 + 1
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        self.group
+            .iter()
+            .copied()
+            .filter(|&p| p != self.me)
+            .collect()
+    }
+
+    /// The chosen command at `slot`, if decided.
+    pub fn chosen_at(&self, slot: Slot) -> Option<CtrlCmd> {
+        self.chosen.get(slot as usize).copied().flatten()
+    }
+
+    fn first_unchosen(&self) -> Slot {
+        let mut s = self.commit;
+        while self.chosen_at(s).is_some() {
+            s += 1;
+        }
+        s
+    }
+
+    /// True if `cmd` is already queued or being proposed (decision dedup).
+    pub fn has_pending(&self, cmd: &CtrlCmd) -> bool {
+        self.queue.contains(cmd)
+            || self
+                .inflight
+                .as_ref()
+                .is_some_and(|f| f.mine && f.value.as_ref() == Some(cmd))
+    }
+
+    /// Queue a command for proposal (leader only; no-op outbox if a
+    /// proposal is already in flight — `tick`/choose will pump it).
+    pub fn enqueue(&mut self, cmd: CtrlCmd) -> Outbox {
+        self.queue.push_back(cmd);
+        self.pump()
+    }
+
+    /// Begin (or re-begin, at a higher round) an election.
+    pub fn start_candidacy(&mut self) -> Outbox {
+        self.seen_round += 1;
+        self.bal = ballot(self.seen_round, self.idx);
+        self.role = Role::Candidate;
+        self.inflight = None;
+        self.pump()
+    }
+
+    fn step_down(&mut self) {
+        self.role = Role::Follower;
+        self.inflight = None;
+        self.queue.clear();
+    }
+
+    /// Crash-recovery re-entry: drop any proposer role and in-flight
+    /// work (stale after downtime) but keep the acceptor state and the
+    /// chosen log — the promises this node made still bind it.
+    pub fn on_restart(&mut self) {
+        self.step_down();
+    }
+
+    /// Drive the proposer: start phase 1 for the next slot if there is
+    /// work (an election to win, or queued commands) and nothing in
+    /// flight.
+    fn pump(&mut self) -> Outbox {
+        let mut out = Outbox::new();
+        if self.inflight.is_some() {
+            return out;
+        }
+        let need = match self.role {
+            Role::Follower => false,
+            // A candidate keeps walking until its Reassert is chosen.
+            Role::Candidate => true,
+            Role::Leader => !self.queue.is_empty(),
+        };
+        if !need {
+            return out;
+        }
+        let slot = self.first_unchosen();
+        assert!(
+            (slot as usize) < SLOT_CAP,
+            "consensus log exceeded SLOT_CAP"
+        );
+        self.inflight = Some(Inflight {
+            slot,
+            phase2: false,
+            value: None,
+            mine: false,
+            grants: Vec::new(),
+            best: None,
+        });
+        let prep = CtrlPrepare {
+            from: self.me,
+            ballot: self.bal,
+            slot,
+        };
+        for p in self.peers() {
+            out.push((p, SwishMsg::CtrlPrepare(prep)));
+        }
+        // The proposer's own acceptor votes locally, no wire round trip.
+        let local = self.promise_for(prep);
+        self.note_promise(local, &mut out);
+        out
+    }
+
+    /// Re-send the in-flight phase's requests (loss recovery; receivers
+    /// are idempotent). Called from the replica tick.
+    pub fn retransmit(&mut self) -> Outbox {
+        let mut out = Outbox::new();
+        let Some(f) = self.inflight.clone() else {
+            return self.pump();
+        };
+        if f.phase2 {
+            if let Some(v) = f.value {
+                let acc = CtrlAccept {
+                    from: self.me,
+                    ballot: self.bal,
+                    slot: f.slot,
+                    cmd: v,
+                };
+                for p in self.peers() {
+                    out.push((p, SwishMsg::CtrlAccept(acc)));
+                }
+            }
+        } else {
+            let prep = CtrlPrepare {
+                from: self.me,
+                ballot: self.bal,
+                slot: f.slot,
+            };
+            for p in self.peers() {
+                out.push((p, SwishMsg::CtrlPrepare(prep)));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Acceptor side
+    // ------------------------------------------------------------------
+
+    fn promise_for(&mut self, m: CtrlPrepare) -> CtrlPromise {
+        self.seen_round = self.seen_round.max(ballot_round(m.ballot));
+        let granted = m.ballot >= self.acceptor.floor;
+        if granted {
+            self.acceptor.floor = m.ballot;
+        }
+        let acc = self.acceptor.cell(m.slot);
+        CtrlPromise {
+            from: self.me,
+            ballot: m.ballot,
+            slot: m.slot,
+            granted,
+            floor: self.acceptor.floor,
+            max_slot: self.acceptor.max_slot(),
+            acc_ballot: acc.map(|(b, _)| b).unwrap_or(0),
+            acc: acc.map(|(_, c)| c),
+        }
+    }
+
+    /// Handle a phase-1 request from a peer.
+    pub fn on_prepare(&mut self, m: CtrlPrepare) -> Outbox {
+        let reply = self.promise_for(m);
+        // A prepare above our ballot means a rival is electing: if we
+        // were leading or electing on a lower ballot, yield.
+        if m.ballot > self.bal && self.role != Role::Follower {
+            self.step_down();
+        }
+        vec![(m.from, SwishMsg::CtrlPromise(reply))]
+    }
+
+    fn accepted_for(&mut self, m: CtrlAccept) -> CtrlAccepted {
+        self.seen_round = self.seen_round.max(ballot_round(m.ballot));
+        let granted = m.ballot >= self.acceptor.floor;
+        if granted {
+            self.acceptor.floor = m.ballot;
+            self.acceptor.set_cell(m.slot, m.ballot, m.cmd);
+        }
+        CtrlAccepted {
+            from: self.me,
+            ballot: m.ballot,
+            slot: m.slot,
+            granted,
+            floor: self.acceptor.floor,
+        }
+    }
+
+    /// Handle a phase-2 request from a peer.
+    pub fn on_accept(&mut self, m: CtrlAccept) -> Outbox {
+        let reply = self.accepted_for(m);
+        if m.ballot > self.bal && self.role != Role::Follower {
+            self.step_down();
+        }
+        vec![(m.from, SwishMsg::CtrlAccepted(reply))]
+    }
+
+    // ------------------------------------------------------------------
+    // Proposer side
+    // ------------------------------------------------------------------
+
+    fn note_promise(&mut self, m: CtrlPromise, out: &mut Outbox) {
+        if self.role == Role::Follower || m.ballot != self.bal {
+            return;
+        }
+        let quorum = self.quorum();
+        let Some(f) = self.inflight.as_mut() else {
+            return;
+        };
+        if f.phase2 || m.slot != f.slot {
+            return;
+        }
+        if !m.granted {
+            // Outbid: remember the round and retreat; the election timer
+            // decides whether to try again higher.
+            self.seen_round = self.seen_round.max(ballot_round(m.floor));
+            self.step_down();
+            return;
+        }
+        if let (ab, Some(ac)) = (m.acc_ballot, m.acc) {
+            if ab > 0 && f.best.map(|(b, _)| ab > b).unwrap_or(true) {
+                f.best = Some((ab, ac));
+            }
+        }
+        if !f.grants.contains(&m.from) {
+            f.grants.push(m.from);
+        }
+        if f.grants.len() < quorum {
+            return;
+        }
+        // Phase 2: push the discovered value if any (completing an
+        // interrupted decree), else our own command.
+        let (value, mine) = match f.best {
+            Some((_, v)) => (v, false),
+            None => match self.role {
+                Role::Leader => match self.queue.pop_front() {
+                    Some(v) => (v, true),
+                    None => {
+                        self.inflight = None;
+                        return;
+                    }
+                },
+                // Candidates fill free slots with their election decree.
+                _ => (CtrlCmd::Reassert { leader: self.me }, true),
+            },
+        };
+        let f = self.inflight.as_mut().expect("inflight");
+        f.phase2 = true;
+        f.value = Some(value);
+        f.mine = mine;
+        f.grants.clear();
+        let slot = f.slot;
+        let acc = CtrlAccept {
+            from: self.me,
+            ballot: self.bal,
+            slot,
+            cmd: value,
+        };
+        for p in self.peers() {
+            out.push((p, SwishMsg::CtrlAccept(acc)));
+        }
+        let local = self.accepted_for(acc);
+        self.note_accepted(local, out);
+    }
+
+    /// Handle a phase-1 reply.
+    pub fn on_promise(&mut self, m: CtrlPromise) -> Outbox {
+        let mut out = Outbox::new();
+        self.note_promise(m, &mut out);
+        out
+    }
+
+    fn note_accepted(&mut self, m: CtrlAccepted, out: &mut Outbox) {
+        if self.role == Role::Follower || m.ballot != self.bal {
+            return;
+        }
+        let quorum = self.quorum();
+        let Some(f) = self.inflight.as_mut() else {
+            return;
+        };
+        if !f.phase2 || m.slot != f.slot {
+            return;
+        }
+        if !m.granted {
+            self.seen_round = self.seen_round.max(ballot_round(m.floor));
+            let mine = f.mine;
+            let value = f.value;
+            self.step_down();
+            // Our own command lost the slot race: it is not abandoned,
+            // the next leader (possibly us) re-derives or re-queues it.
+            if mine {
+                if let Some(v) = value {
+                    self.queue.push_front(v);
+                }
+            }
+            return;
+        }
+        if !f.grants.contains(&m.from) {
+            f.grants.push(m.from);
+        }
+        if f.grants.len() < quorum {
+            return;
+        }
+        let slot = f.slot;
+        let value = f.value.expect("phase-2 value");
+        self.inflight = None;
+        let learn = CtrlLearn {
+            from: self.me,
+            slot,
+            cmd: value,
+        };
+        for p in self.peers() {
+            out.push((p, SwishMsg::CtrlLearn(learn)));
+        }
+        self.learn(slot, value);
+        out.extend(self.pump());
+    }
+
+    /// Handle a phase-2 reply.
+    pub fn on_accepted(&mut self, m: CtrlAccepted) -> Outbox {
+        let mut out = Outbox::new();
+        self.note_accepted(m, &mut out);
+        out
+    }
+
+    /// Handle a chosen-value notification (or a locally decided value).
+    pub fn on_learn(&mut self, m: CtrlLearn) -> Outbox {
+        // If a rival decided the slot we were driving, our command goes
+        // back on the queue (unless it IS the decided value).
+        if let Some(f) = &self.inflight {
+            if f.slot == m.slot {
+                let lost = f.mine && f.value != Some(m.cmd);
+                let value = f.value;
+                if lost {
+                    if let Some(v) = value {
+                        self.queue.push_front(v);
+                    }
+                }
+                self.inflight = None;
+            }
+        }
+        self.learn(m.slot, m.cmd);
+        self.pump()
+    }
+
+    fn learn(&mut self, slot: Slot, cmd: CtrlCmd) {
+        let i = slot as usize;
+        assert!(i < SLOT_CAP, "consensus log exceeded SLOT_CAP");
+        if self.chosen.len() <= i {
+            self.chosen.resize(i + 1, None);
+        }
+        debug_assert!(
+            self.chosen[i].is_none() || self.chosen[i] == Some(cmd),
+            "two different values chosen at slot {slot}"
+        );
+        self.chosen[i] = Some(cmd);
+        // Advance the committed prefix; leadership follows the log.
+        while let Some(c) = self.chosen_at(self.commit) {
+            if let CtrlCmd::Reassert { leader } = c {
+                if self.leader_hint != Some(leader) {
+                    if self.leader_hint.is_some() {
+                        self.leader_changes += 1;
+                    }
+                    self.leader_hint = Some(leader);
+                }
+                if leader == self.me {
+                    self.role = Role::Leader;
+                } else if self.role != Role::Follower {
+                    self.step_down();
+                }
+            }
+            self.commit += 1;
+        }
+    }
+
+    /// Learn messages re-playing slots `[from, commit)` for a lagging
+    /// follower (lost-`CtrlLearn` recovery, driven off its heartbeat).
+    pub fn learns_since(&self, from: Slot) -> Vec<CtrlLearn> {
+        (from..self.commit)
+            .filter_map(|s| {
+                self.chosen_at(s).map(|cmd| CtrlLearn {
+                    from: self.me,
+                    slot: s,
+                    cmd,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group3() -> Vec<NodeId> {
+        vec![NodeId(u16::MAX), NodeId(u16::MAX - 1), NodeId(u16::MAX - 2)]
+    }
+
+    fn mk(i: usize) -> Consensus {
+        let g = group3();
+        Consensus::new(g[i], i as u8, g)
+    }
+
+    /// Deliver every outstanding message until quiescent. Returns the
+    /// number of messages delivered.
+    fn run_bus(
+        reps: &mut [Consensus],
+        mut bus: Outbox,
+        drop: impl Fn(usize, &SwishMsg) -> bool,
+    ) -> usize {
+        let mut delivered = 0;
+        let mut n = 0;
+        while let Some((to, msg)) = bus.first().cloned() {
+            bus.remove(0);
+            n += 1;
+            assert!(n < 10_000, "bus did not quiesce");
+            let Some(i) = reps.iter().position(|r| r.me == to) else {
+                continue;
+            };
+            if drop(i, &msg) {
+                continue;
+            }
+            let rep = &mut reps[i];
+            delivered += 1;
+            let out = match msg {
+                SwishMsg::CtrlPrepare(m) => rep.on_prepare(m),
+                SwishMsg::CtrlPromise(m) => rep.on_promise(m),
+                SwishMsg::CtrlAccept(m) => rep.on_accept(m),
+                SwishMsg::CtrlAccepted(m) => rep.on_accepted(m),
+                SwishMsg::CtrlLearn(m) => rep.on_learn(m),
+                _ => Vec::new(),
+            };
+            bus.extend(out);
+        }
+        delivered
+    }
+
+    #[test]
+    fn initial_election_elects_replica_zero() {
+        let mut reps = vec![mk(0), mk(1), mk(2)];
+        let out = reps[0].start_candidacy();
+        run_bus(&mut reps, out, |_, _| false);
+        for r in &reps {
+            assert_eq!(r.leader_hint, Some(NodeId(u16::MAX)));
+            assert_eq!(r.commit, 1);
+            assert_eq!(
+                r.chosen_at(0),
+                Some(CtrlCmd::Reassert {
+                    leader: NodeId(u16::MAX)
+                })
+            );
+        }
+        assert_eq!(reps[0].role, Role::Leader);
+        assert_eq!(reps[1].role, Role::Follower);
+    }
+
+    #[test]
+    fn leader_replicates_commands_in_order() {
+        let mut reps = vec![mk(0), mk(1), mk(2)];
+        let out = reps[0].start_candidacy();
+        run_bus(&mut reps, out, |_, _| false);
+        let out = reps[0].enqueue(CtrlCmd::Bootstrap);
+        run_bus(&mut reps, out, |_, _| false);
+        let out = reps[0].enqueue(CtrlCmd::Fail { node: NodeId(2) });
+        run_bus(&mut reps, out, |_, _| false);
+        for r in &reps {
+            assert_eq!(r.commit, 3);
+            assert_eq!(r.chosen_at(1), Some(CtrlCmd::Bootstrap));
+            assert_eq!(r.chosen_at(2), Some(CtrlCmd::Fail { node: NodeId(2) }));
+        }
+    }
+
+    #[test]
+    fn failover_adopts_interrupted_decree() {
+        let mut reps = vec![mk(0), mk(1), mk(2)];
+        let out = reps[0].start_candidacy();
+        run_bus(&mut reps, out, |_, _| false);
+        // Leader proposes, but every Learn and every reply past the
+        // accepts is lost: the value is accepted at a quorum yet chosen
+        // nowhere else.
+        let out = reps[0].enqueue(CtrlCmd::Fail { node: NodeId(7) });
+        run_bus(&mut reps, out, |i, m| {
+            i == 0 && matches!(m, SwishMsg::CtrlAccepted(_) | SwishMsg::CtrlLearn(_))
+        });
+        assert_eq!(
+            reps[1].acceptor.cell(1).map(|(_, c)| c),
+            Some(CtrlCmd::Fail { node: NodeId(7) })
+        );
+        assert_eq!(reps[1].commit, 1, "slot 1 not learned yet");
+        // Replica 1 takes over (replica 0 silent): it must re-discover
+        // and choose the interrupted decree before leading.
+        let out = reps[1].start_candidacy();
+        run_bus(&mut reps, out, |i, _| i == 0);
+        assert_eq!(reps[1].role, Role::Leader);
+        assert_eq!(
+            reps[1].chosen_at(1),
+            Some(CtrlCmd::Fail { node: NodeId(7) })
+        );
+        assert_eq!(
+            reps[1].chosen_at(2),
+            Some(CtrlCmd::Reassert {
+                leader: NodeId(u16::MAX - 1)
+            })
+        );
+        assert_eq!(
+            reps[2].chosen_at(1),
+            Some(CtrlCmd::Fail { node: NodeId(7) })
+        );
+    }
+
+    #[test]
+    fn dueling_candidates_converge_on_one_leader() {
+        let mut reps = vec![mk(0), mk(1), mk(2)];
+        let mut bus = reps[0].start_candidacy();
+        bus.extend(reps[1].start_candidacy());
+        run_bus(&mut reps, bus, |_, _| false);
+        // One candidacy wins outright; the loser steps down. If both
+        // retreated (possible with interleaved nacks), a retry decides.
+        let leaders: Vec<_> = reps.iter().filter(|r| r.role == Role::Leader).collect();
+        if leaders.is_empty() {
+            let out = reps[1].start_candidacy();
+            run_bus(&mut reps, out, |_, _| false);
+        }
+        let hints: Vec<_> = reps.iter().map(|r| r.leader_hint).collect();
+        assert!(hints[0].is_some());
+        assert!(
+            hints.iter().all(|h| *h == hints[0]),
+            "split brain: {hints:?}"
+        );
+        assert_eq!(
+            reps.iter().filter(|r| r.role == Role::Leader).count(),
+            1,
+            "exactly one leader"
+        );
+    }
+
+    #[test]
+    fn lagging_follower_catches_up_via_learns_since() {
+        let mut reps = vec![mk(0), mk(1), mk(2)];
+        let out = reps[0].start_candidacy();
+        run_bus(&mut reps, out, |_, _| false);
+        // Replica 2 misses everything after the election.
+        let out = reps[0].enqueue(CtrlCmd::Bootstrap);
+        run_bus(&mut reps, out, |i, _| i == 2);
+        assert_eq!(reps[2].commit, 1);
+        // Its heartbeat reports commit=1; the leader replays the gap.
+        let learns: Outbox = reps[0]
+            .learns_since(1)
+            .into_iter()
+            .map(|l| (NodeId(u16::MAX - 2), SwishMsg::CtrlLearn(l)))
+            .collect();
+        run_bus(&mut reps, learns, |_, _| false);
+        assert_eq!(reps[2].commit, 2);
+        assert_eq!(reps[2].chosen_at(1), Some(CtrlCmd::Bootstrap));
+    }
+}

@@ -8,8 +8,24 @@
 //! heartbeating again (fresh state after recovery) is reintroduced as a
 //! *learner*: it receives new writes and a snapshot stream, and is
 //! promoted to tail once it reports catch-up completion.
+//!
+//! # Replicated control plane (DESIGN.md §12)
+//!
+//! The controller can run as a singleton (the paper's model) or as one
+//! replica of a consensus group. In replicated mode every state-changing
+//! decision — membership epochs, range-table commits, migration intents —
+//! is first chosen as a [`CtrlCmd`] decree through [`crate::consensus`]
+//! (single-decree Paxos per log slot), then applied by every replica in
+//! slot order. Only the acting leader *emits* the resulting fabric
+//! messages; followers apply silently, so a failover promotes a replica
+//! whose state already equals the leader's applied prefix. The decision
+//! logic (failure detector, planner, migration driver) runs on the
+//! leader against the same replicated state plus replica-local soft
+//! state (heartbeat times, load counters) that every replica maintains
+//! from the switches' broadcasts.
 
 use crate::config::{RegisterSpec, SwishConfig};
+use crate::consensus::{Consensus, Role, Slot};
 use crate::directory::DirectoryService;
 use crate::layer::{ChainView, REPLICA_GROUP};
 use crate::reconfig::{
@@ -18,7 +34,8 @@ use crate::reconfig::{
 };
 use swishmem_simnet::{Ctx, Node, SimTime};
 use swishmem_wire::swish::{
-    ChainConfig, GroupConfig, Key, MigrateBegin, OwnershipCommit, RegId, SnapshotRequest,
+    ChainConfig, CtrlCmd, CtrlHb, CtrlLead, GroupConfig, Key, MigrateBegin, OwnershipCommit, RegId,
+    SnapshotRequest,
 };
 use swishmem_wire::{NodeId, Packet, PacketBody, SwishMsg};
 
@@ -44,6 +61,22 @@ pub enum ConfigEventKind {
     LearnerAdded(NodeId),
     /// A learner finished catch-up and became the tail.
     Promoted(NodeId),
+    /// A controller replica won an election (replicated mode only).
+    LeaderElected(NodeId),
+}
+
+/// Aggregate consensus counters of one controller replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsensusMetrics {
+    /// Consensus protocol messages this replica sent (all phases +
+    /// heartbeats + leader announcements).
+    pub msgs_sent: u64,
+    /// Leader changes observed in the committed log prefix.
+    pub leader_changes: u64,
+    /// Elections this replica started.
+    pub elections: u64,
+    /// Contiguously chosen log prefix (gauge).
+    pub commit: u64,
 }
 
 /// An in-flight range migration, controller side.
@@ -75,11 +108,61 @@ struct RangeMeta {
     issued_epoch: u32,
     mig: Option<Mig>,
     /// Planner holdoff after a commit, so one hot range does not
-    /// ping-pong between talkers every planning window.
+    /// ping-pong between talkers every planning window. Replica-local
+    /// soft state (stamped at apply time): it gates *decisions*, never
+    /// command application, so replicas may disagree on it harmlessly.
     cooldown_until: Option<SimTime>,
 }
 
-/// The controller node.
+/// Replica-mode state: the consensus instance plus the apply cursor and
+/// election timing.
+struct Rep {
+    cons: Consensus,
+    /// Next slot to apply (slots below are applied into controller state).
+    applied: Slot,
+    /// Last time a leader beacon (or election win) was seen.
+    last_leader_hb: SimTime,
+    /// Last time this replica started an election (retry pacing).
+    last_attempt: SimTime,
+    /// Last beacon heard from each group member (index order; own slot
+    /// unused). A leader that cannot hear a quorum within
+    /// `failure_timeout` demotes itself — its decrees cannot commit
+    /// anyway, and self-demotion bounds how long an isolated old leader
+    /// keeps *acting* (emitting resyncs) after the group moved on.
+    peer_hb: Vec<SimTime>,
+    msgs_sent: u64,
+    elections: u64,
+}
+
+/// Effect sink for command application: followers apply state changes
+/// silently (`emit == false`); the leader and the singleton also send
+/// the resulting fabric messages.
+struct Io<'a, 'b> {
+    ctx: &'a mut Ctx<'b>,
+    emit: bool,
+}
+
+impl Io<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn send(&mut self, to: NodeId, body: PacketBody) -> bool {
+        if self.emit {
+            self.ctx.send(to, body);
+        }
+        self.emit
+    }
+
+    fn set_group(&mut self, members: Vec<NodeId>) {
+        if self.emit {
+            self.ctx.set_group(REPLICA_GROUP, members);
+        }
+    }
+}
+
+/// The controller node: a singleton, or one replica of the consensus
+/// group (see [`Controller::replica`]).
 pub struct Controller {
     cfg: SwishConfig,
     switches: Vec<NodeId>,
@@ -87,6 +170,7 @@ pub struct Controller {
     /// which registers are partitioned and how many keys they span).
     specs: Vec<RegisterSpec>,
     /// Per switch: (last heartbeat time, epoch the switch reported).
+    /// Replica-local soft state: switches heartbeat every replica.
     last_hb: Vec<(NodeId, SimTime, u32)>,
     view: ChainView,
     events: Vec<ConfigEvent>,
@@ -95,15 +179,21 @@ pub struct Controller {
     directory: DirectoryService,
     rmeta: Vec<RangeMeta>,
     reconfig_log: Vec<ReconfigLogEntry>,
+    /// Guards `on_start` re-entry: the engine re-dispatches `on_start`
+    /// when a crashed node recovers, which must re-arm timers but not
+    /// re-bootstrap state.
+    started: bool,
+    rep: Option<Rep>,
 }
 
 const CHECK_TIMER: u64 = 1;
 const PLAN_TIMER: u64 = 2;
 const RESYNC_TIMER: u64 = 3;
+const REP_TICK: u64 = 4;
 
 impl Controller {
-    /// A controller managing `switches` (initial chain = declaration
-    /// order) running the given register declarations.
+    /// A singleton controller managing `switches` (initial chain =
+    /// declaration order) running the given register declarations.
     pub fn new(cfg: SwishConfig, switches: Vec<NodeId>, specs: Vec<RegisterSpec>) -> Controller {
         Controller {
             cfg,
@@ -119,7 +209,34 @@ impl Controller {
             directory: DirectoryService::new(),
             rmeta: Vec::new(),
             reconfig_log: Vec::new(),
+            started: false,
+            rep: None,
         }
+    }
+
+    /// Controller replica `idx` of `group` (replica node ids, index
+    /// order). Replica 0 bootstraps the group by electing itself at
+    /// start; the others begin as followers.
+    pub fn replica(
+        cfg: SwishConfig,
+        switches: Vec<NodeId>,
+        specs: Vec<RegisterSpec>,
+        idx: u8,
+        group: Vec<NodeId>,
+    ) -> Controller {
+        let me = group[idx as usize];
+        let n = group.len();
+        let mut c = Controller::new(cfg, switches, specs);
+        c.rep = Some(Rep {
+            cons: Consensus::new(me, idx, group),
+            applied: 0,
+            last_leader_hb: SimTime::ZERO,
+            last_attempt: SimTime::ZERO,
+            peer_hb: vec![SimTime::ZERO; n],
+            msgs_sent: 0,
+            elections: 0,
+        });
+        c
     }
 
     /// Mutable access to the directory service, for declaring partitioned
@@ -147,6 +264,34 @@ impl Controller {
     /// begin/done, commits, aborts).
     pub fn reconfig_log(&self) -> &[ReconfigLogEntry] {
         &self.reconfig_log
+    }
+
+    /// True if this node currently acts for the group: the singleton
+    /// always does; a replica only while it leads.
+    pub fn is_acting_leader(&self) -> bool {
+        self.rep
+            .as_ref()
+            .map(|r| r.cons.role == Role::Leader)
+            .unwrap_or(true)
+    }
+
+    /// The leader named by the committed log prefix (replicas), or
+    /// `None` for a singleton.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.rep.as_ref().and_then(|r| r.cons.leader_hint)
+    }
+
+    /// Consensus counters (zeros for a singleton).
+    pub fn consensus_metrics(&self) -> ConsensusMetrics {
+        match &self.rep {
+            None => ConsensusMetrics::default(),
+            Some(r) => ConsensusMetrics {
+                msgs_sent: r.msgs_sent,
+                leader_changes: r.cons.leader_changes,
+                elections: r.elections,
+                commit: r.cons.commit,
+            },
+        }
     }
 
     /// The controller's master range table for `reg`: directory owners
@@ -216,10 +361,160 @@ impl Controller {
         self.view.write_order()
     }
 
+    // ------------------------------------------------------------------
+    // Command submission and application
+    // ------------------------------------------------------------------
+
+    /// Route a decision: a singleton applies it on the spot; a leading
+    /// replica proposes it as the next consensus decree (followers never
+    /// submit — their decisions are skipped at the call sites).
+    fn submit(&mut self, cmd: CtrlCmd, ctx: &mut Ctx<'_>) {
+        if self.rep.is_none() {
+            let mut io = Io { ctx, emit: true };
+            self.apply_cmd(cmd, &mut io);
+            return;
+        }
+        let rep = self.rep.as_mut().expect("replica");
+        if rep.cons.role != Role::Leader || rep.cons.has_pending(&cmd) {
+            return;
+        }
+        let out = rep.cons.enqueue(cmd);
+        self.send_consensus(out, ctx);
+        self.drain_chosen(ctx);
+    }
+
+    fn send_consensus(&mut self, out: Vec<(NodeId, SwishMsg)>, ctx: &mut Ctx<'_>) {
+        if let Some(rep) = self.rep.as_mut() {
+            rep.msgs_sent += out.len() as u64;
+        }
+        for (to, msg) in out {
+            ctx.send(to, PacketBody::Swish(msg));
+        }
+    }
+
+    /// Apply every newly chosen decree, in slot order. Only the leader
+    /// emits the resulting fabric messages.
+    fn drain_chosen(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let Some(rep) = self.rep.as_mut() else { return };
+            if rep.applied >= rep.cons.commit {
+                return;
+            }
+            let slot = rep.applied;
+            let cmd = rep.cons.chosen_at(slot).expect("slot below commit");
+            rep.applied += 1;
+            let emit = rep.cons.role == Role::Leader;
+            let mut io = Io { ctx, emit };
+            self.apply_cmd(cmd, &mut io);
+        }
+    }
+
+    /// Apply one decree to the replicated state. Must be deterministic
+    /// given (command, state): every guard reads replicated state only —
+    /// time-based heuristics (cooldown) are checked at decision time
+    /// instead.
+    fn apply_cmd(&mut self, cmd: CtrlCmd, io: &mut Io<'_, '_>) {
+        match cmd {
+            CtrlCmd::Bootstrap => {
+                if self.bootstrapped() {
+                    return;
+                }
+                self.broadcast(io, ConfigEventKind::Bootstrap);
+                if self.has_partitioned() {
+                    self.bootstrap_ranges(io);
+                }
+            }
+            CtrlCmd::Reassert { leader } => {
+                self.broadcast(io, ConfigEventKind::LeaderElected(leader));
+                if io.emit {
+                    // The new leader re-announces itself to the switches
+                    // and re-asserts the range tables (anti-entropy for
+                    // anything the old leader's loss left unconfirmed).
+                    self.announce_lead(io);
+                    self.resync_ranges(io);
+                    // Failure-detection grace: heartbeat times observed
+                    // as a follower may predate a partition; re-baseline
+                    // so failover does not mass-expire the fabric.
+                    let now = io.now();
+                    for (_, t, _) in self.last_hb.iter_mut() {
+                        *t = (*t).max(now);
+                    }
+                }
+            }
+            CtrlCmd::Fail { node } => {
+                if !self.is_live(node) {
+                    return;
+                }
+                self.view.chain.retain(|&n| n != node);
+                self.view.learners.retain(|&n| n != node);
+                self.broadcast(io, ConfigEventKind::Failed(node));
+                self.handle_partitioned_failure(node, io);
+            }
+            CtrlCmd::Admit { node } => {
+                if self.is_live(node) || !self.switches.contains(&node) {
+                    return;
+                }
+                // A failed switch came back with fresh state: admit it as
+                // a learner and start a snapshot stream from the head
+                // (§6.3: "the control plane on one of the switches takes
+                // a snapshot").
+                self.view.learners.push(node);
+                let source = self.view.head();
+                self.broadcast(io, ConfigEventKind::LearnerAdded(node));
+                match source {
+                    Some(src) => {
+                        io.send(
+                            src,
+                            PacketBody::Swish(SwishMsg::SnapReq(SnapshotRequest {
+                                target: node,
+                                epoch: self.view.epoch,
+                            })),
+                        );
+                    }
+                    None => {
+                        // Nothing to catch up from: promote immediately.
+                        self.view.learners.retain(|&n| n != node);
+                        self.view.chain.push(node);
+                        self.broadcast(io, ConfigEventKind::Promoted(node));
+                    }
+                }
+            }
+            CtrlCmd::Promote { node } => {
+                if !self.view.learners.contains(&node) {
+                    return;
+                }
+                self.view.learners.retain(|&n| n != node);
+                self.view.chain.push(node);
+                self.broadcast(io, ConfigEventKind::Promoted(node));
+            }
+            CtrlCmd::Move {
+                reg,
+                key,
+                to,
+                planned,
+            } => self.start_move(reg, key, to, planned, io),
+            CtrlCmd::Grow { reg, key, to } => self.start_grow(reg, key, to, io),
+            CtrlCmd::Shrink { reg, key, node } => self.start_shrink(reg, key, node, io),
+            CtrlCmd::MigDone {
+                reg,
+                start,
+                node,
+                epoch,
+                pass,
+            } => self.apply_mig_done(reg, start, node, epoch, pass, io),
+        }
+    }
+
+    fn bootstrapped(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, ConfigEventKind::Bootstrap))
+    }
+
     /// Send the current configuration to one switch (idempotent; used for
     /// both broadcasts and per-switch reconciliation of lost messages).
-    fn send_config_to(&self, ctx: &mut Ctx<'_>, sw: NodeId) {
-        ctx.send(
+    fn send_config_to(&self, io: &mut Io<'_, '_>, sw: NodeId) {
+        io.send(
             sw,
             PacketBody::Swish(SwishMsg::Chain(ChainConfig {
                 epoch: self.view.epoch,
@@ -227,28 +522,60 @@ impl Controller {
                 learners: self.view.learners.clone(),
             })),
         );
-        ctx.send(
+        io.send(
             sw,
             PacketBody::Swish(SwishMsg::Group(GroupConfig {
                 epoch: self.view.epoch,
                 members: self.group_members(),
             })),
         );
+        // Replicated mode: piggyback the leader announcement so a switch
+        // that missed a failover redirects its controller-bound traffic.
+        if let Some(rep) = &self.rep {
+            io.send(
+                sw,
+                PacketBody::Swish(SwishMsg::CtrlLead(CtrlLead {
+                    leader: rep.cons.me,
+                    ballot: rep.cons.bal,
+                })),
+            );
+        }
     }
 
-    fn broadcast(&mut self, ctx: &mut Ctx<'_>, kind: ConfigEventKind) {
+    fn announce_lead(&mut self, io: &mut Io<'_, '_>) {
+        let Some(rep) = &self.rep else { return };
+        let lead = CtrlLead {
+            leader: rep.cons.me,
+            ballot: rep.cons.bal,
+        };
+        let mut sent = 0;
+        for &sw in &self.switches {
+            if io.send(sw, PacketBody::Swish(SwishMsg::CtrlLead(lead))) {
+                sent += 1;
+            }
+        }
+        if let Some(rep) = self.rep.as_mut() {
+            rep.msgs_sent += sent;
+        }
+    }
+
+    fn broadcast(&mut self, io: &mut Io<'_, '_>, kind: ConfigEventKind) {
         self.view.epoch += 1;
         self.events.push(ConfigEvent {
-            time: ctx.now(),
+            time: io.now(),
             epoch: self.view.epoch,
             kind,
         });
         // Reprogram the fabric multicast tree (controller privilege).
-        ctx.set_group(REPLICA_GROUP, self.group_members());
+        io.set_group(self.group_members());
         for &sw in &self.switches.clone() {
-            self.send_config_to(ctx, sw);
+            self.send_config_to(io, sw);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Decisions (leader / singleton only)
+    // ------------------------------------------------------------------
 
     fn note_heartbeat(&mut self, from: NodeId, epoch: u32, now: SimTime, ctx: &mut Ctx<'_>) {
         let mut amnesia = false;
@@ -267,41 +594,125 @@ impl Controller {
             }
             None => self.last_hb.push((from, now, epoch)),
         }
+        if !self.is_acting_leader() {
+            return;
+        }
         if amnesia {
-            self.view.chain.retain(|&n| n != from);
-            self.view.learners.retain(|&n| n != from);
-            self.broadcast(ctx, ConfigEventKind::Failed(from));
-            self.handle_partitioned_failure(from, ctx);
+            self.submit(CtrlCmd::Fail { node: from }, ctx);
         }
         let known = self.view.chain.contains(&from) || self.view.learners.contains(&from);
         if !known && self.switches.contains(&from) {
-            // A failed switch came back with fresh state: admit it as a
-            // learner and start a snapshot stream from the head (§6.3:
-            // "the control plane on one of the switches takes a
-            // snapshot").
-            self.view.learners.push(from);
-            let source = self.view.head();
-            self.broadcast(ctx, ConfigEventKind::LearnerAdded(from));
-            match source {
-                Some(src) => ctx.send(
-                    src,
-                    PacketBody::Swish(SwishMsg::SnapReq(SnapshotRequest {
-                        target: from,
-                        epoch: self.view.epoch,
-                    })),
-                ),
-                None => {
-                    // Nothing to catch up from: promote immediately.
-                    self.view.learners.retain(|&n| n != from);
-                    self.view.chain.push(from);
-                    self.broadcast(ctx, ConfigEventKind::Promoted(from));
+            self.submit(CtrlCmd::Admit { node: from }, ctx);
+        }
+    }
+
+    fn check_liveness(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let timeout = self.cfg.failure_timeout;
+        let dead: Vec<NodeId> = self
+            .last_hb
+            .iter()
+            .filter(|(n, t, _)| {
+                now.since(*t) > timeout
+                    && (self.view.chain.contains(n) || self.view.learners.contains(n))
+            })
+            .map(|(n, _, _)| *n)
+            .collect();
+        for d in dead {
+            self.submit(CtrlCmd::Fail { node: d }, ctx);
+        }
+        // Reconciliation: configuration messages ride the same lossy
+        // fabric as everything else; re-send to any live switch whose
+        // heartbeat reports a stale epoch. Pure messaging, no decree.
+        let stale: Vec<NodeId> = self
+            .last_hb
+            .iter()
+            .filter(|(_, _, e)| *e < self.view.epoch)
+            .map(|(n, _, _)| *n)
+            .collect();
+        let mut io = Io { ctx, emit: true };
+        for sw in stale {
+            self.send_config_to(&mut io, sw);
+        }
+    }
+
+    /// Decision-side planner holdoff check. Time-based, so it must never
+    /// gate `apply_cmd` — replicas apply at (slightly) different times.
+    fn cooldown_ok(&self, reg: RegId, key: Key, now: SimTime) -> bool {
+        let Some(meta) = self
+            .rmeta
+            .iter()
+            .find(|m| m.reg == reg && m.start <= key && key < m.end)
+        else {
+            return true;
+        };
+        meta.cooldown_until.map(|t| now >= t).unwrap_or(true)
+    }
+
+    /// One planning pass: for every partitioned range, if some switch
+    /// ingressed decisively more writes than the current primary this
+    /// window, migrate the range onto that talker. Counters are drained
+    /// per window (per-interval semantics).
+    fn run_planner(&mut self, ctx: &mut Ctx<'_>) {
+        let pol = self.cfg.reconfig;
+        let now = ctx.now();
+        let mut moves: Vec<(RegId, Key, NodeId)> = Vec::new();
+        for spec in &self.specs {
+            if !spec.is_partitioned() {
+                continue;
+            }
+            let reg = spec.id;
+            for r in self.directory.ranges(reg) {
+                let Some(&primary) = r.owners.first() else {
+                    continue;
+                };
+                let Some(hot) = self.directory.hottest_requester(reg, r.start) else {
+                    continue;
+                };
+                if r.owners.contains(&hot) {
+                    continue;
                 }
+                let hot_n = self.directory.access_count(reg, r.start, hot);
+                let primary_n = self.directory.access_count(reg, r.start, primary);
+                if hot_n < pol.min_writes
+                    || hot_n < pol.min_advantage.saturating_mul(primary_n.max(1))
+                {
+                    continue;
+                }
+                moves.push((reg, r.start, hot));
+            }
+        }
+        for (reg, start, to) in moves {
+            // Structural guards (open migration, concurrency, liveness)
+            // are re-checked at apply; the time-based cooldown is
+            // decision-side only.
+            if self.cooldown_ok(reg, start, now) {
+                self.submit(
+                    CtrlCmd::Move {
+                        reg,
+                        key: start,
+                        to,
+                        planned: true,
+                    },
+                    ctx,
+                );
+            }
+        }
+        self.clear_load_window();
+    }
+
+    /// Drain the per-window access counters (all replicas, so follower
+    /// soft state stays bounded).
+    fn clear_load_window(&mut self) {
+        for spec in self.specs.clone() {
+            if spec.is_partitioned() {
+                self.directory.clear_accesses(spec.id);
             }
         }
     }
 
     // ------------------------------------------------------------------
-    // Reconfiguration engine: planner + per-range migration driver
+    // Reconfiguration engine: per-range migration driver (apply side)
     // ------------------------------------------------------------------
 
     fn log_reconfig(&mut self, now: SimTime, event: ReconfigEvent) {
@@ -313,8 +724,8 @@ impl Controller {
     /// any partitioned register not explicitly partitioned by the
     /// deployment is spread evenly across all switches, and the initial
     /// table is installed everywhere via epoch-1 `OwnershipCommit`s.
-    fn bootstrap_ranges(&mut self, ctx: &mut Ctx<'_>) {
-        let now = ctx.now();
+    fn bootstrap_ranges(&mut self, io: &mut Io<'_, '_>) {
+        let now = io.now();
         for spec in self.specs.clone() {
             if !spec.is_partitioned() {
                 continue;
@@ -342,14 +753,14 @@ impl Controller {
                         epoch: 1,
                     },
                 );
-                self.broadcast_commit(ctx, spec.id, r.start, r.end, 1, &r.owners);
+                self.broadcast_commit(io, spec.id, r.start, r.end, 1, &r.owners);
             }
         }
     }
 
     fn broadcast_commit(
         &self,
-        ctx: &mut Ctx<'_>,
+        io: &mut Io<'_, '_>,
         reg: RegId,
         start: Key,
         end: Key,
@@ -357,7 +768,7 @@ impl Controller {
         owners: &[NodeId],
     ) {
         for &sw in &self.switches {
-            ctx.send(
+            io.send(
                 sw,
                 PacketBody::Swish(SwishMsg::OwnershipCommit(OwnershipCommit {
                     reg,
@@ -370,9 +781,9 @@ impl Controller {
         }
     }
 
-    fn broadcast_begin(&self, ctx: &mut Ctx<'_>, m: &MigrateBegin) {
+    fn broadcast_begin(&self, io: &mut Io<'_, '_>, m: &MigrateBegin) {
         for &sw in &self.switches {
-            ctx.send(sw, PacketBody::Swish(SwishMsg::MigrateBegin(*m)));
+            io.send(sw, PacketBody::Swish(SwishMsg::MigrateBegin(*m)));
         }
     }
 
@@ -385,11 +796,11 @@ impl Controller {
     /// Commit `owners` as the range's owner set at a fresh per-range
     /// epoch: update the directory, retire any open migration, start the
     /// planner cooldown, and broadcast the `OwnershipCommit`.
-    fn commit_range(&mut self, reg: RegId, start: Key, owners: Vec<NodeId>, ctx: &mut Ctx<'_>) {
+    fn commit_range(&mut self, reg: RegId, start: Key, owners: Vec<NodeId>, io: &mut Io<'_, '_>) {
         let Some(i) = self.meta_idx(reg, start) else {
             return;
         };
-        let now = ctx.now();
+        let now = io.now();
         self.rmeta[i].issued_epoch += 1;
         let epoch = self.rmeta[i].issued_epoch;
         let end = self.rmeta[i].end;
@@ -406,7 +817,7 @@ impl Controller {
                 epoch,
             },
         );
-        self.broadcast_commit(ctx, reg, start, end, epoch, &owners);
+        self.broadcast_commit(io, reg, start, end, epoch, &owners);
     }
 
     /// Open a migration for the range containing `key`: `to` becomes the
@@ -420,7 +831,7 @@ impl Controller {
         to: NodeId,
         commit_owners: Vec<NodeId>,
         planned: bool,
-        ctx: &mut Ctx<'_>,
+        io: &mut Io<'_, '_>,
     ) {
         let pol = self.cfg.reconfig;
         let Some(range) = self
@@ -435,7 +846,7 @@ impl Controller {
         let Some(i) = self.meta_idx(reg, range.start) else {
             return;
         };
-        let now = ctx.now();
+        let now = io.now();
         let Some(&from) = range.owners.first() else {
             return;
         };
@@ -449,11 +860,6 @@ impl Controller {
             || self.open_migrations() >= pol.max_concurrent.max(1)
         {
             return;
-        }
-        if let Some(t) = self.rmeta[i].cooldown_until {
-            if now < t {
-                return;
-            }
         }
         if planned {
             self.log_reconfig(
@@ -486,7 +892,7 @@ impl Controller {
             },
         );
         self.broadcast_begin(
-            ctx,
+            io,
             &MigrateBegin {
                 reg,
                 start: range.start,
@@ -499,7 +905,7 @@ impl Controller {
     }
 
     /// Move the range containing `key` so `to` becomes its primary.
-    fn start_move(&mut self, reg: RegId, key: Key, to: NodeId, planned: bool, ctx: &mut Ctx<'_>) {
+    fn start_move(&mut self, reg: RegId, key: Key, to: NodeId, planned: bool, io: &mut Io<'_, '_>) {
         let Some(range) = self
             .directory
             .ranges(reg)
@@ -517,12 +923,12 @@ impl Controller {
             .iter()
             .map(|&o| if o == from { to } else { o })
             .collect();
-        self.begin_migration(reg, key, to, commit_owners, planned, ctx);
+        self.begin_migration(reg, key, to, commit_owners, planned, io);
     }
 
     /// Grow the replica group of the range containing `key`: `node`
     /// joins as an additional owner after a state transfer.
-    fn start_grow(&mut self, reg: RegId, key: Key, node: NodeId, ctx: &mut Ctx<'_>) {
+    fn start_grow(&mut self, reg: RegId, key: Key, node: NodeId, io: &mut Io<'_, '_>) {
         let Some(range) = self
             .directory
             .ranges(reg)
@@ -534,14 +940,14 @@ impl Controller {
         };
         let mut commit_owners = range.owners.clone();
         commit_owners.push(node);
-        self.begin_migration(reg, key, node, commit_owners, false, ctx);
+        self.begin_migration(reg, key, node, commit_owners, false, io);
     }
 
     /// Shrink the replica group of the range containing `key`: `node`
     /// leaves the owner set. No transfer needed — every acked write is
     /// already applied at all owners (chain prefix property) — so this
     /// is a direct commit.
-    fn start_shrink(&mut self, reg: RegId, key: Key, node: NodeId, ctx: &mut Ctx<'_>) {
+    fn start_shrink(&mut self, reg: RegId, key: Key, node: NodeId, io: &mut Io<'_, '_>) {
         let Some(range) = self
             .directory
             .ranges(reg)
@@ -565,50 +971,46 @@ impl Controller {
             .copied()
             .filter(|&o| o != node)
             .collect();
-        self.commit_range(reg, range.start, owners, ctx);
+        self.commit_range(reg, range.start, owners, io);
     }
 
-    /// One planning pass: for every partitioned range, if some switch
-    /// ingressed decisively more writes than the current primary this
-    /// window, migrate the range onto that talker. Counters are drained
-    /// per window (per-interval semantics).
-    fn run_planner(&mut self, ctx: &mut Ctx<'_>) {
-        let pol = self.cfg.reconfig;
-        let mut moves: Vec<(RegId, Key, NodeId)> = Vec::new();
-        for spec in &self.specs {
-            if !spec.is_partitioned() {
-                continue;
+    /// Apply a migration-complete decree: flip the range to its commit
+    /// owners if the transfer is still the one the report describes.
+    fn apply_mig_done(
+        &mut self,
+        reg: RegId,
+        start: Key,
+        node: NodeId,
+        epoch: u32,
+        pass: u32,
+        io: &mut Io<'_, '_>,
+    ) {
+        let now = io.now();
+        let Some(i) = self.meta_idx(reg, start) else {
+            return;
+        };
+        let commit = match &mut self.rmeta[i].mig {
+            Some(mig)
+                if mig.epoch == epoch
+                    && mig.to == node
+                    && mig.phase == MigrationPhase::Transferring =>
+            {
+                mig.phase = MigrationPhase::DualOwner;
+                Some((mig.to, mig.commit_owners.clone()))
             }
-            let reg = spec.id;
-            for r in self.directory.ranges(reg) {
-                let Some(&primary) = r.owners.first() else {
-                    continue;
-                };
-                let Some(hot) = self.directory.hottest_requester(reg, r.start) else {
-                    continue;
-                };
-                if r.owners.contains(&hot) {
-                    continue;
-                }
-                let hot_n = self.directory.access_count(reg, r.start, hot);
-                let primary_n = self.directory.access_count(reg, r.start, primary);
-                if hot_n < pol.min_writes
-                    || hot_n < pol.min_advantage.saturating_mul(primary_n.max(1))
-                {
-                    continue;
-                }
-                moves.push((reg, r.start, hot));
-            }
-        }
-        for (reg, start, to) in moves {
-            // Per-migration guards (cooldown, concurrency, liveness)
-            // re-checked inside.
-            self.start_move(reg, start, to, true, ctx);
-        }
-        for spec in self.specs.clone() {
-            if spec.is_partitioned() {
-                self.directory.clear_accesses(spec.id);
-            }
+            _ => None, // stale/duplicate report
+        };
+        if let Some((to, owners)) = commit {
+            self.log_reconfig(
+                now,
+                ReconfigEvent::Done {
+                    reg,
+                    start,
+                    to,
+                    pass,
+                },
+            );
+            self.commit_range(reg, start, owners, io);
         }
     }
 
@@ -619,8 +1021,8 @@ impl Controller {
     /// with a live transfer destination → promote the destination (it
     /// holds every write acked during the window; older state it never
     /// received is lost with the sole owner either way).
-    fn handle_partitioned_failure(&mut self, d: NodeId, ctx: &mut Ctx<'_>) {
-        let now = ctx.now();
+    fn handle_partitioned_failure(&mut self, d: NodeId, io: &mut Io<'_, '_>) {
+        let now = io.now();
         for i in 0..self.rmeta.len() {
             let (reg, start) = (self.rmeta[i].reg, self.rmeta[i].start);
             let Some(range) = self
@@ -647,7 +1049,7 @@ impl Controller {
                     // Re-assert the current owners at a fresh epoch:
                     // clears `mig_to` at every switch and stops the
                     // source's streamer.
-                    self.commit_range(reg, start, range.owners.clone(), ctx);
+                    self.commit_range(reg, start, range.owners.clone(), io);
                 } else if range.owners.contains(&d) {
                     if survivors.is_empty() {
                         self.log_reconfig(
@@ -658,7 +1060,7 @@ impl Controller {
                                 reason: "sole owner failed; promoting destination",
                             },
                         );
-                        self.commit_range(reg, start, vec![mig.to], ctx);
+                        self.commit_range(reg, start, vec![mig.to], io);
                     } else {
                         self.log_reconfig(
                             now,
@@ -668,12 +1070,12 @@ impl Controller {
                                 reason: "owner failed during transfer",
                             },
                         );
-                        self.commit_range(reg, start, survivors, ctx);
+                        self.commit_range(reg, start, survivors, io);
                     }
                 }
             } else if range.owners.contains(&d) && !survivors.is_empty() {
                 // Plain owner failure: shrink the replica group.
-                self.commit_range(reg, start, survivors, ctx);
+                self.commit_range(reg, start, survivors, io);
             }
             // Sole owner failed with no transfer in flight: the range's
             // state dies with it; the table is left pointing at the
@@ -687,7 +1089,7 @@ impl Controller {
     /// switch. Idempotent at the receivers — per-range epochs guard the
     /// installs — and self-healing for crash-wiped tables and lost
     /// control messages.
-    fn resync_ranges(&mut self, ctx: &mut Ctx<'_>) {
+    fn resync_ranges(&mut self, io: &mut Io<'_, '_>) {
         for i in 0..self.rmeta.len() {
             let m = self.rmeta[i].clone();
             let Some(range) = self
@@ -699,10 +1101,10 @@ impl Controller {
             else {
                 continue;
             };
-            self.broadcast_commit(ctx, m.reg, m.start, m.end, m.committed_epoch, &range.owners);
+            self.broadcast_commit(io, m.reg, m.start, m.end, m.committed_epoch, &range.owners);
             if let Some(mig) = &m.mig {
                 self.broadcast_begin(
-                    ctx,
+                    io,
                     &MigrateBegin {
                         reg: m.reg,
                         start: m.start,
@@ -716,35 +1118,113 @@ impl Controller {
         }
     }
 
-    fn check_liveness(&mut self, ctx: &mut Ctx<'_>) {
+    // ------------------------------------------------------------------
+    // Replica plumbing
+    // ------------------------------------------------------------------
+
+    fn rep_tick(&mut self, ctx: &mut Ctx<'_>) {
+        // Election timeout staggered by replica index so the lowest
+        // live index normally wins uncontested.
+        let hb_interval = self.cfg.heartbeat_interval;
+        let retry_pace = self.cfg.failure_timeout;
+        let Some(rep) = self.rep.as_mut() else { return };
+        let election_timeout =
+            swishmem_simnet::SimDuration(retry_pace.0 + hb_interval.0 * u64::from(rep.cons.idx));
         let now = ctx.now();
-        let timeout = self.cfg.failure_timeout;
-        let dead: Vec<NodeId> = self
-            .last_hb
-            .iter()
-            .filter(|(n, t, _)| {
-                now.since(*t) > timeout
-                    && (self.view.chain.contains(n) || self.view.learners.contains(n))
-            })
-            .map(|(n, _, _)| *n)
-            .collect();
-        for d in dead {
-            self.view.chain.retain(|&n| n != d);
-            self.view.learners.retain(|&n| n != d);
-            self.broadcast(ctx, ConfigEventKind::Failed(d));
-            self.handle_partitioned_failure(d, ctx);
+        let me = rep.cons.me;
+        // Leader lease: a leader that cannot hear a quorum of peers
+        // within `failure_timeout` cannot commit anything either — stop
+        // acting so an isolated old leader bounds its own tenure.
+        if rep.cons.role == Role::Leader {
+            let idx = usize::from(rep.cons.idx);
+            let heard = rep
+                .peer_hb
+                .iter()
+                .enumerate()
+                .filter(|&(i, &t)| i != idx && now.since(t) <= retry_pace)
+                .count();
+            let quorum = rep.cons.group.len() / 2 + 1;
+            if heard + 1 < quorum {
+                rep.cons.on_restart();
+                rep.last_leader_hb = now;
+                rep.last_attempt = now;
+            }
         }
-        // Reconciliation: configuration messages ride the same lossy
-        // fabric as everything else; re-send to any live switch whose
-        // heartbeat reports a stale epoch.
-        let stale: Vec<NodeId> = self
-            .last_hb
+        let is_leader = rep.cons.role == Role::Leader;
+        // Liveness beacon both ways: the leader's suppresses elections,
+        // a follower's reports its committed prefix for learn-replay.
+        let hb = CtrlHb {
+            from: me,
+            ballot: rep.cons.bal,
+            commit: rep.cons.commit,
+            leader: is_leader,
+        };
+        let peers: Vec<NodeId> = rep
+            .cons
+            .group
             .iter()
-            .filter(|(_, _, e)| *e < self.view.epoch)
-            .map(|(n, _, _)| *n)
+            .copied()
+            .filter(|&p| p != me)
             .collect();
-        for sw in stale {
-            self.send_config_to(ctx, sw);
+        rep.msgs_sent += peers.len() as u64;
+        for p in peers {
+            ctx.send(p, PacketBody::Swish(SwishMsg::CtrlHb(hb)));
+        }
+        // Loss recovery for in-flight proposals.
+        let out = rep.cons.retransmit();
+        self.send_consensus(out, ctx);
+        self.drain_chosen(ctx);
+        // An established leader decrees the initial configuration if the
+        // group has not bootstrapped yet (the singleton path does this
+        // directly in `on_start`; here it must ride the log).
+        if self
+            .rep
+            .as_ref()
+            .is_some_and(|r| r.cons.role == Role::Leader)
+            && !self.bootstrapped()
+        {
+            self.submit(CtrlCmd::Bootstrap, ctx);
+        }
+        // Election timer.
+        let Some(rep) = self.rep.as_mut() else { return };
+        if rep.cons.role != Role::Leader
+            && now.since(rep.last_leader_hb) > election_timeout
+            && now.since(rep.last_attempt) > retry_pace
+        {
+            rep.last_attempt = now;
+            rep.elections += 1;
+            let out = rep.cons.start_candidacy();
+            self.send_consensus(out, ctx);
+            self.drain_chosen(ctx);
+        }
+        ctx.set_timer(hb_interval, REP_TICK);
+    }
+
+    /// Record liveness contact with a fellow replica (feeds the leader
+    /// lease in `rep_tick`).
+    fn note_peer(&mut self, from: NodeId, now: SimTime) {
+        let Some(rep) = self.rep.as_mut() else { return };
+        if let Some(i) = rep.cons.group.iter().position(|&g| g == from) {
+            rep.peer_hb[i] = now;
+        }
+    }
+
+    fn on_ctrl_hb(&mut self, hb: CtrlHb, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.note_peer(hb.from, now);
+        let Some(rep) = self.rep.as_mut() else { return };
+        if hb.leader {
+            rep.last_leader_hb = now;
+        }
+        // Replay chosen decrees a lagging replica missed.
+        if hb.commit < rep.cons.commit {
+            let learns: Vec<(NodeId, SwishMsg)> = rep
+                .cons
+                .learns_since(hb.commit)
+                .into_iter()
+                .map(|l| (hb.from, SwishMsg::CtrlLearn(l)))
+                .collect();
+            self.send_consensus(learns, ctx);
         }
     }
 }
@@ -752,14 +1232,74 @@ impl Controller {
 impl Node for Controller {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
+        if self.started {
+            // Recovery re-entry: the engine re-dispatches `on_start`
+            // after a crash heals. Controller state survives (modeling
+            // persistent controller storage; see DESIGN.md §12), but
+            // pending timers were suppressed while down — re-arm them —
+            // and heartbeat ages must not count the downtime.
+            for (_, t, _) in self.last_hb.iter_mut() {
+                *t = now;
+            }
+            ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
+            if self.has_partitioned() {
+                ctx.set_timer(self.cfg.reconfig.resync_interval, RESYNC_TIMER);
+                if self.cfg.reconfig.enabled {
+                    ctx.set_timer(self.cfg.reconfig.plan_interval, PLAN_TIMER);
+                }
+            }
+            if let Some(rep) = self.rep.as_mut() {
+                // Whatever we were mid-flight on is stale; rejoin as a
+                // follower and let the election timer sort leadership.
+                rep.cons.on_restart();
+                rep.last_leader_hb = now;
+                rep.last_attempt = now;
+                for t in rep.peer_hb.iter_mut() {
+                    *t = now;
+                }
+                ctx.set_timer(self.cfg.heartbeat_interval, REP_TICK);
+            }
+            return;
+        }
+        self.started = true;
         self.last_hb = self.switches.iter().map(|&s| (s, now, 0)).collect();
-        self.broadcast(ctx, ConfigEventKind::Bootstrap);
-        ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
-        if self.has_partitioned() {
-            self.bootstrap_ranges(ctx);
-            ctx.set_timer(self.cfg.reconfig.resync_interval, RESYNC_TIMER);
-            if self.cfg.reconfig.enabled {
-                ctx.set_timer(self.cfg.reconfig.plan_interval, PLAN_TIMER);
+        let has_partitioned = self.has_partitioned();
+        match self.rep.as_mut() {
+            None => {
+                let mut io = Io { ctx, emit: true };
+                self.broadcast(&mut io, ConfigEventKind::Bootstrap);
+                ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
+                if self.has_partitioned() {
+                    let mut io = Io { ctx, emit: true };
+                    self.bootstrap_ranges(&mut io);
+                    ctx.set_timer(self.cfg.reconfig.resync_interval, RESYNC_TIMER);
+                    if self.cfg.reconfig.enabled {
+                        ctx.set_timer(self.cfg.reconfig.plan_interval, PLAN_TIMER);
+                    }
+                }
+            }
+            Some(rep) => {
+                rep.last_leader_hb = now;
+                rep.last_attempt = now;
+                for t in rep.peer_hb.iter_mut() {
+                    *t = now;
+                }
+                ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
+                if has_partitioned {
+                    ctx.set_timer(self.cfg.reconfig.resync_interval, RESYNC_TIMER);
+                    if self.cfg.reconfig.enabled {
+                        ctx.set_timer(self.cfg.reconfig.plan_interval, PLAN_TIMER);
+                    }
+                }
+                ctx.set_timer(self.cfg.heartbeat_interval, REP_TICK);
+                // Replica 0 bootstraps the group: elect, then decree the
+                // initial configuration (`Bootstrap` follows the win).
+                if rep.cons.idx == 0 {
+                    rep.elections += 1;
+                    let out = rep.cons.start_candidacy();
+                    self.send_consensus(out, ctx);
+                    self.drain_chosen(ctx);
+                }
             }
         }
     }
@@ -784,10 +1324,10 @@ impl Node for Controller {
                     })),
                 );
             }
-            SwishMsg::CatchupDone(c) if self.view.learners.contains(&c.node) => {
-                self.view.learners.retain(|&n| n != c.node);
-                self.view.chain.push(c.node);
-                self.broadcast(ctx, ConfigEventKind::Promoted(c.node));
+            SwishMsg::CatchupDone(c)
+                if self.view.learners.contains(&c.node) && self.is_acting_leader() =>
+            {
+                self.submit(CtrlCmd::Promote { node: c.node }, ctx);
             }
             SwishMsg::LoadReport(lr) => {
                 for e in &lr.entries {
@@ -796,60 +1336,126 @@ impl Node for Controller {
                 }
             }
             SwishMsg::MigrateDone(d) => {
-                let now = ctx.now();
+                if !self.is_acting_leader() {
+                    return;
+                }
                 let Some(i) = self.meta_idx(d.reg, d.start) else {
                     return;
                 };
-                let commit = match &mut self.rmeta[i].mig {
+                // Only decree reports that match the open transfer, so
+                // stale/duplicate reports don't burn log slots.
+                let fresh = matches!(
+                    &self.rmeta[i].mig,
                     Some(mig)
                         if mig.epoch == d.epoch
                             && mig.to == d.node
-                            && mig.phase == MigrationPhase::Transferring =>
-                    {
-                        mig.phase = MigrationPhase::DualOwner;
-                        Some((mig.to, mig.commit_owners.clone()))
-                    }
-                    _ => None, // stale/duplicate report
-                };
-                if let Some((to, owners)) = commit {
-                    self.log_reconfig(
-                        now,
-                        ReconfigEvent::Done {
+                            && mig.phase == MigrationPhase::Transferring
+                );
+                if fresh {
+                    self.submit(
+                        CtrlCmd::MigDone {
                             reg: d.reg,
                             start: d.start,
-                            to,
+                            node: d.node,
+                            epoch: d.epoch,
                             pass: d.pass,
                         },
+                        ctx,
                     );
-                    self.commit_range(d.reg, d.start, owners, ctx);
                 }
             }
+            SwishMsg::CtrlPrepare(m) => {
+                self.note_peer(m.from, ctx.now());
+                let Some(rep) = self.rep.as_mut() else { return };
+                let out = rep.cons.on_prepare(m);
+                self.send_consensus(out, ctx);
+                self.drain_chosen(ctx);
+            }
+            SwishMsg::CtrlPromise(m) => {
+                self.note_peer(m.from, ctx.now());
+                let Some(rep) = self.rep.as_mut() else { return };
+                let out = rep.cons.on_promise(m);
+                self.send_consensus(out, ctx);
+                self.drain_chosen(ctx);
+            }
+            SwishMsg::CtrlAccept(m) => {
+                self.note_peer(m.from, ctx.now());
+                let Some(rep) = self.rep.as_mut() else { return };
+                let out = rep.cons.on_accept(m);
+                self.send_consensus(out, ctx);
+                self.drain_chosen(ctx);
+            }
+            SwishMsg::CtrlAccepted(m) => {
+                self.note_peer(m.from, ctx.now());
+                let Some(rep) = self.rep.as_mut() else { return };
+                let out = rep.cons.on_accepted(m);
+                self.send_consensus(out, ctx);
+                self.drain_chosen(ctx);
+            }
+            SwishMsg::CtrlLearn(m) => {
+                self.note_peer(m.from, ctx.now());
+                let Some(rep) = self.rep.as_mut() else { return };
+                let out = rep.cons.on_learn(m);
+                self.send_consensus(out, ctx);
+                self.drain_chosen(ctx);
+            }
+            SwishMsg::CtrlHb(hb) => self.on_ctrl_hb(hb, ctx),
             _ => {}
         }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         if let Some((op, reg, key, to)) = decode_trigger(token) {
+            if !self.is_acting_leader() {
+                return;
+            }
+            let now = ctx.now();
             match op {
-                TriggerOp::Move => self.start_move(reg, key, to, false, ctx),
-                TriggerOp::Grow => self.start_grow(reg, key, to, ctx),
-                TriggerOp::Shrink => self.start_shrink(reg, key, to, ctx),
+                TriggerOp::Move => {
+                    if self.cooldown_ok(reg, key, now) {
+                        self.submit(
+                            CtrlCmd::Move {
+                                reg,
+                                key,
+                                to,
+                                planned: false,
+                            },
+                            ctx,
+                        );
+                    }
+                }
+                TriggerOp::Grow => {
+                    if self.cooldown_ok(reg, key, now) {
+                        self.submit(CtrlCmd::Grow { reg, key, to }, ctx);
+                    }
+                }
+                TriggerOp::Shrink => self.submit(CtrlCmd::Shrink { reg, key, node: to }, ctx),
             }
             return;
         }
         match token {
             CHECK_TIMER => {
-                self.check_liveness(ctx);
+                if self.is_acting_leader() {
+                    self.check_liveness(ctx);
+                }
                 ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
             }
             PLAN_TIMER => {
-                self.run_planner(ctx);
+                if self.is_acting_leader() {
+                    self.run_planner(ctx);
+                } else {
+                    self.clear_load_window();
+                }
                 ctx.set_timer(self.cfg.reconfig.plan_interval, PLAN_TIMER);
             }
             RESYNC_TIMER => {
-                self.resync_ranges(ctx);
+                if self.is_acting_leader() {
+                    let mut io = Io { ctx, emit: true };
+                    self.resync_ranges(&mut io);
+                }
                 ctx.set_timer(self.cfg.reconfig.resync_interval, RESYNC_TIMER);
             }
+            REP_TICK => self.rep_tick(ctx),
             _ => {}
         }
     }
@@ -869,5 +1475,20 @@ mod tests {
         assert_eq!(c.view().chain, vec![NodeId(2), NodeId(0), NodeId(1)]);
         assert_eq!(c.view().epoch, 0);
         assert!(c.events().is_empty());
+        assert!(c.is_acting_leader(), "singleton always acts");
+    }
+
+    #[test]
+    fn replica_followers_do_not_act() {
+        let group = vec![NodeId(u16::MAX), NodeId(u16::MAX - 1), NodeId(u16::MAX - 2)];
+        let c = Controller::replica(
+            SwishConfig::default(),
+            vec![NodeId(0), NodeId(1)],
+            vec![],
+            1,
+            group,
+        );
+        assert!(!c.is_acting_leader());
+        assert_eq!(c.leader_hint(), None);
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::api::NfApp;
 use crate::config::{ClockMode, RegisterSpec, SwishConfig};
-use crate::controller::{ConfigEvent, Controller};
+use crate::controller::{ConfigEvent, ConsensusMetrics, Controller};
 use crate::layer::cp::SwishCp;
 use crate::layer::program::SwishProgram;
 use crate::layer::{ChainView, Handles, RegKind, PENDING_SWEEP_PKTGEN_TOKEN, SYNC_PKTGEN_TOKEN};
@@ -113,6 +113,15 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Size of the controller replica group (default 1 = the classic
+    /// singleton controller). Even values are rounded up to the next odd
+    /// so a strict majority quorum exists. Shorthand for setting
+    /// [`SwishConfig::ctrl_replicas`] via [`Self::swish_config`].
+    pub fn ctrl_replicas(mut self, n: u8) -> Self {
+        self.swish_cfg.ctrl_replicas = n;
+        self
+    }
+
     /// Per-switch data-plane memory budget.
     pub fn memory(mut self, bytes: usize) -> Self {
         self.memory = bytes;
@@ -139,6 +148,17 @@ impl DeploymentBuilder {
         let mut sim = Simulator::new(self.seed);
         let mut skew_rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_cafe);
         let switch_ids: Vec<NodeId> = (0..self.n_switches as u16).map(NodeId).collect();
+        // Controller replica group (DESIGN.md §12): odd size, replica 0
+        // at NodeId::CONTROLLER so singleton addressing is unchanged.
+        let n_ctrl = {
+            let r = usize::from(self.swish_cfg.ctrl_replicas.max(1));
+            if r % 2 == 0 {
+                r + 1
+            } else {
+                r
+            }
+        };
+        let ctrl_ids: Vec<NodeId> = (0..n_ctrl as u16).map(|i| NodeId(u16::MAX - i)).collect();
 
         for &id in &switch_ids {
             let mut dp = DataPlane::new(MemoryBudget::new(self.memory));
@@ -155,7 +175,10 @@ impl DeploymentBuilder {
             let clock = SwitchClock::new(id, self.swish_cfg.clock, skew);
             let program =
                 SwishProgram::new(id, self.swish_cfg, handles.clone(), app_factory(id), clock);
-            let cp = SwishCp::new(id, self.swish_cfg, NodeId::CONTROLLER, handles);
+            let mut cp = SwishCp::new(id, self.swish_cfg, NodeId::CONTROLLER, handles);
+            if n_ctrl > 1 {
+                cp.set_ctrl_group(ctrl_ids.clone());
+            }
             let mut sw = Switch::new(self.switch_cfg, dp, program, cp);
             sw.add_pktgen(self.swish_cfg.sync_period, SYNC_PKTGEN_TOKEN);
             if self.swish_cfg.pending_sweep_period.as_nanos() > 0 {
@@ -167,14 +190,29 @@ impl DeploymentBuilder {
             sim.add_node(id, Box::new(sw));
         }
 
-        sim.add_node(
-            NodeId::CONTROLLER,
-            Box::new(Controller::new(
-                self.swish_cfg,
-                switch_ids.clone(),
-                self.registers.clone(),
-            )),
-        );
+        if n_ctrl == 1 {
+            sim.add_node(
+                NodeId::CONTROLLER,
+                Box::new(Controller::new(
+                    self.swish_cfg,
+                    switch_ids.clone(),
+                    self.registers.clone(),
+                )),
+            );
+        } else {
+            for (i, &id) in ctrl_ids.iter().enumerate() {
+                sim.add_node(
+                    id,
+                    Box::new(Controller::replica(
+                        self.swish_cfg,
+                        switch_ids.clone(),
+                        self.registers.clone(),
+                        i as u8,
+                        ctrl_ids.clone(),
+                    )),
+                );
+            }
+        }
 
         let mut hosts = Vec::with_capacity(self.n_hosts);
         let mut recordings = Vec::with_capacity(self.n_hosts);
@@ -225,8 +263,12 @@ impl DeploymentBuilder {
         for &s in &switch_ids {
             sim.topology_mut().add_link(s, s, loopback);
         }
-        sim.topology_mut()
-            .star(NodeId::CONTROLLER, &switch_ids, self.link);
+        for &c in &ctrl_ids {
+            sim.topology_mut().star(c, &switch_ids, self.link);
+        }
+        if n_ctrl > 1 {
+            sim.topology_mut().full_mesh(&ctrl_ids, self.link);
+        }
         for &h in &hosts {
             for &s in &switch_ids {
                 sim.topology_mut().connect(h, s, self.link);
@@ -236,6 +278,7 @@ impl DeploymentBuilder {
         Deployment {
             sim,
             switches: switch_ids,
+            ctrls: ctrl_ids,
             hosts,
             recordings,
             cfg: self.swish_cfg,
@@ -250,6 +293,7 @@ pub struct Deployment {
     /// statistics).
     pub sim: Simulator,
     switches: Vec<NodeId>,
+    ctrls: Vec<NodeId>,
     hosts: Vec<NodeId>,
     recordings: Vec<Recording>,
     cfg: SwishConfig,
@@ -319,10 +363,72 @@ impl Deployment {
         (0..self.switches.len()).map(|i| f(&self.metrics(i))).sum()
     }
 
+    /// Controller node ids: `[NodeId::CONTROLLER]` for a singleton, the
+    /// replica group otherwise.
+    pub fn controller_ids(&self) -> &[NodeId] {
+        &self.ctrls
+    }
+
+    /// The controller node whose answers are authoritative right now:
+    /// the live acting leader if there is one, else the live replica
+    /// with the highest configuration epoch (the most caught-up
+    /// follower), else replica 0.
+    pub fn acting_controller_id(&self) -> NodeId {
+        let mut best = self.ctrls[0];
+        let mut best_epoch = 0;
+        for &c in &self.ctrls {
+            let Some(ctrl) = self.sim.node::<Controller>(c) else {
+                continue;
+            };
+            if self.sim.is_failed(c) {
+                continue;
+            }
+            if ctrl.is_acting_leader() {
+                return c;
+            }
+            if ctrl.view().epoch >= best_epoch {
+                best_epoch = ctrl.view().epoch;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn acting_controller(&self) -> Option<&Controller> {
+        self.sim.node::<Controller>(self.acting_controller_id())
+    }
+
+    /// Read front-end over the whole controller group (singleton or
+    /// replicated): per-replica access plus group-level summaries.
+    pub fn controller(&self) -> ReplicatedController<'_> {
+        ReplicatedController {
+            ids: self.ctrls.clone(),
+            reps: self
+                .ctrls
+                .iter()
+                .map(|&c| self.sim.node::<Controller>(c))
+                .collect(),
+            failed: self.ctrls.iter().map(|&c| self.sim.is_failed(c)).collect(),
+        }
+    }
+
+    /// Schedule a fail-stop crash of controller replica `idx` at `t`.
+    pub fn schedule_ctrl_fail(&mut self, t: SimTime, idx: usize) {
+        let id = self.ctrls[idx];
+        self.sim.schedule_fail(t, id);
+    }
+
+    /// Schedule recovery of controller replica `idx` at `t`. Unlike a
+    /// switch recovery, controller state survives the crash (persistent
+    /// controller storage; DESIGN.md §12).
+    pub fn schedule_ctrl_recover(&mut self, t: SimTime, idx: usize) {
+        let id = self.ctrls[idx];
+        self.sim.schedule_recover(t, id);
+    }
+
     /// The controller's reconfiguration log.
     pub fn controller_events(&self) -> Vec<ConfigEvent> {
-        self.sim
-            .node::<Controller>(NodeId::CONTROLLER)
+        self.acting_controller()
             .map(|c| c.events().to_vec())
             .unwrap_or_default()
     }
@@ -354,8 +460,7 @@ impl Deployment {
 
     /// The controller's current chain view.
     pub fn controller_view(&self) -> ChainView {
-        self.sim
-            .node::<Controller>(NodeId::CONTROLLER)
+        self.acting_controller()
             .map(|c| c.view().clone())
             .unwrap_or_default()
     }
@@ -373,24 +478,21 @@ impl Deployment {
 
     /// The controller's master range table for a partitioned register.
     pub fn controller_ranges(&self, reg: RegId) -> Vec<crate::reconfig::RangeView> {
-        self.sim
-            .node::<Controller>(NodeId::CONTROLLER)
+        self.acting_controller()
             .map(|c| c.range_table(reg))
             .unwrap_or_default()
     }
 
     /// The controller's reconfiguration-engine event log.
     pub fn reconfig_events(&self) -> Vec<crate::reconfig::ReconfigLogEntry> {
-        self.sim
-            .node::<Controller>(NodeId::CONTROLLER)
+        self.acting_controller()
             .map(|c| c.reconfig_log().to_vec())
             .unwrap_or_default()
     }
 
     /// The migration phase of the range containing `reg[key]`.
     pub fn migration_phase(&self, reg: RegId, key: Key) -> crate::reconfig::MigrationPhase {
-        self.sim
-            .node::<Controller>(NodeId::CONTROLLER)
+        self.acting_controller()
             .map(|c| c.migration_phase(reg, key))
             .unwrap_or(crate::reconfig::MigrationPhase::Idle)
     }
@@ -408,8 +510,13 @@ impl Deployment {
     ) {
         let token = crate::reconfig::trigger_token_op(op, reg, key, to);
         let now = self.sim.now();
-        let sched =
-            swishmem_simnet::FaultSchedule::new().trigger(t.since(now), NodeId::CONTROLLER, token);
+        // Every replica receives the trigger; only whoever acts as
+        // leader at fire time submits it (so a pre-fire failover does
+        // not lose the trigger).
+        let mut sched = swishmem_simnet::FaultSchedule::new();
+        for &c in &self.ctrls {
+            sched = sched.trigger(t.since(now), c, token);
+        }
         self.sim.schedule_faults(now, &sched);
     }
 
@@ -494,7 +601,16 @@ impl Deployment {
             }
         }
         for &s in &self.switches {
-            links.push((s, NodeId::CONTROLLER));
+            for &c in &self.ctrls {
+                links.push((s, c));
+            }
+        }
+        // Replica-replica links: partitions here are what consensus is
+        // for, so the fault plane must be able to cut them.
+        for (i, &a) in self.ctrls.iter().enumerate() {
+            for &b in &self.ctrls[i + 1..] {
+                links.push((a, b));
+            }
         }
         links
     }
@@ -528,12 +644,16 @@ impl Deployment {
 
     /// Partition a register's key space across the switches in the
     /// controller's directory (§7 extension). Call before running.
+    /// Applied to every replica: the layout is part of the replicated
+    /// initial state, so all replicas must agree on it before slot 0.
     pub fn partition_register(&mut self, reg: RegId, keys: Key, owners: &[NodeId]) {
-        let ctrl = self
-            .sim
-            .node_mut::<crate::controller::Controller>(NodeId::CONTROLLER)
-            .expect("controller present");
-        ctrl.directory_mut().partition_even(reg, keys, owners);
+        for c in self.ctrls.clone() {
+            let ctrl = self
+                .sim
+                .node_mut::<crate::controller::Controller>(c)
+                .expect("controller present");
+            ctrl.directory_mut().partition_even(reg, keys, owners);
+        }
     }
 
     /// Issue a directory lookup from switch `sw`'s control plane: injects
@@ -555,5 +675,95 @@ impl Deployment {
             .cp_app()
             .dir_owners(reg, key)
             .map(|o| o.to_vec())
+    }
+}
+
+/// Read front-end over the controller group (DESIGN.md §12): one place
+/// to ask group-level questions — who leads, what the quorum is, how
+/// much consensus traffic the group spent — whether the deployment runs
+/// the paper's singleton or a replica group. Obtained from
+/// [`Deployment::controller`].
+pub struct ReplicatedController<'a> {
+    ids: Vec<NodeId>,
+    reps: Vec<Option<&'a Controller>>,
+    failed: Vec<bool>,
+}
+
+impl<'a> ReplicatedController<'a> {
+    /// Replica node ids, index order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Group size (1 for a singleton).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True for a singleton group.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Majority quorum size.
+    pub fn quorum(&self) -> usize {
+        self.len() / 2 + 1
+    }
+
+    /// Replica `idx`, if present.
+    pub fn replica(&self, idx: usize) -> Option<&'a Controller> {
+        self.reps.get(idx).copied().flatten()
+    }
+
+    /// Whether replica `idx` is currently crashed.
+    pub fn is_failed(&self, idx: usize) -> bool {
+        self.failed.get(idx).copied().unwrap_or(false)
+    }
+
+    /// The live replica currently acting as leader, if any.
+    pub fn leader(&self) -> Option<(NodeId, &'a Controller)> {
+        self.ids
+            .iter()
+            .zip(&self.reps)
+            .zip(&self.failed)
+            .filter(|((_, r), &f)| !f && r.map(|c| c.is_acting_leader()).unwrap_or(false))
+            .map(|((&id, r), _)| (id, r.expect("filtered")))
+            .next()
+    }
+
+    /// Consensus counters summed across replicas; `commit` reports the
+    /// group's highest committed prefix.
+    pub fn consensus_metrics(&self) -> ConsensusMetrics {
+        let mut total = ConsensusMetrics::default();
+        for c in self.reps.iter().flatten() {
+            let m = c.consensus_metrics();
+            total.msgs_sent += m.msgs_sent;
+            total.elections += m.elections;
+            total.commit = total.commit.max(m.commit);
+            total.leader_changes = total.leader_changes.max(m.leader_changes);
+        }
+        total
+    }
+
+    /// Leader changes committed to the group's log (max across
+    /// replicas: each counts the changes in its own committed prefix).
+    pub fn leader_changes(&self) -> u64 {
+        self.consensus_metrics().leader_changes
+    }
+
+    /// `LeaderElected` events from the most-advanced replica's log, for
+    /// failover-gap measurement.
+    pub fn elections(&self) -> Vec<ConfigEvent> {
+        let best = self
+            .reps
+            .iter()
+            .flatten()
+            .max_by_key(|c| c.events().len())
+            .map(|c| c.events())
+            .unwrap_or(&[]);
+        best.iter()
+            .filter(|e| matches!(e.kind, crate::controller::ConfigEventKind::LeaderElected(_)))
+            .cloned()
+            .collect()
     }
 }

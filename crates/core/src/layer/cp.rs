@@ -129,6 +129,19 @@ pub struct SwishCp {
     me: NodeId,
     cfg: SwishConfig,
     controller: NodeId,
+    /// Controller replica group (empty = singleton controller).
+    /// Heartbeats fan out to every member so all replicas track
+    /// liveness; decision-bound traffic follows `believed_leader`.
+    ctrl_group: Vec<NodeId>,
+    /// Highest-ballot leader announcement adopted so far (replicated
+    /// mode; equals `controller` for a singleton).
+    believed_leader: NodeId,
+    /// Ballot of the adopted announcement (stale `CtrlLead`s lose).
+    ctrl_ballot: u64,
+    /// This switch finished snapshot catch-up but has not seen itself
+    /// promoted yet: re-announce `CatchupDone` on the heartbeat tick so
+    /// a leader failover cannot strand it as a learner.
+    caught_up: bool,
     handles: Rc<Handles>,
     view: ChainView,
     next_job: u64,
@@ -157,6 +170,10 @@ impl SwishCp {
             me,
             cfg,
             controller,
+            ctrl_group: Vec::new(),
+            believed_leader: controller,
+            ctrl_ballot: 0,
+            caught_up: false,
             handles,
             view: ChainView::default(),
             next_job: 0,
@@ -171,6 +188,20 @@ impl SwishCp {
             load: Vec::new(),
             metrics: CpMetrics::default(),
         }
+    }
+
+    /// Run against a replicated controller group (DESIGN.md §12):
+    /// heartbeats fan out to every replica, decision traffic follows
+    /// the announced leader. Call before the simulation starts.
+    pub fn set_ctrl_group(&mut self, group: Vec<NodeId>) {
+        self.believed_leader = group.first().copied().unwrap_or(self.controller);
+        self.ctrl_group = group;
+    }
+
+    /// The controller node this switch currently addresses decisions to
+    /// (the singleton, or the last-announced replica leader).
+    pub fn believed_leader(&self) -> NodeId {
+        self.believed_leader
     }
 
     /// Cached owner set for a partitioned key, if a directory reply has
@@ -226,7 +257,19 @@ impl SwishCp {
         let base = self.cfg.retry_timeout.as_nanos().max(1);
         let cap = self.cfg.retry_backoff_max.as_nanos().max(base);
         let backed = base.saturating_mul(1u64 << attempts.min(20)).min(cap);
-        let h = splitmix64((u64::from(self.me.0) << 52) ^ (write_id << 8) ^ u64::from(attempts));
+        // Replicated mode folds the believed controller replica into the
+        // jitter stream: a failover re-shuffles retry phases per
+        // (switch, destination replica) so post-failover retry storms
+        // from many switches do not arrive in lockstep at the new
+        // leader. Singleton deployments keep the original stream (the
+        // golden determinism fingerprint depends on it).
+        let dest = if self.ctrl_group.is_empty() {
+            0
+        } else {
+            u64::from(self.believed_leader.0) << 36
+        };
+        let h =
+            splitmix64((u64::from(self.me.0) << 52) ^ dest ^ (write_id << 8) ^ u64::from(attempts));
         SimDuration::nanos(backed + h % (backed / 4 + 1))
     }
 
@@ -356,7 +399,7 @@ impl SwishCp {
             .collect();
         self.metrics.load_reports_sent += 1;
         cp.packet_out(
-            self.controller,
+            self.believed_leader,
             PacketBody::Swish(SwishMsg::LoadReport(LoadReport {
                 from: self.me,
                 entries,
@@ -466,8 +509,11 @@ impl SwishCp {
                 pass: t.pass,
             };
             self.metrics.migrate_done_sent += 1;
+            // Addressed to the *current* leader belief: after a failover
+            // mid-transfer, the source's next pass resets `done_sent`,
+            // so the completion report is re-sent to the new leader.
             cp.packet_out(
-                self.controller,
+                self.believed_leader,
                 PacketBody::Swish(SwishMsg::MigrateDone(done)),
             );
         }
@@ -747,18 +793,41 @@ impl SwishCp {
             cp.set_timer(self.cfg.snapshot_interval, TT_SNAP);
         }
     }
+
+    /// Send liveness heartbeats: the singleton controller, or every
+    /// member of the replica group (each replica runs its own failure
+    /// detector so the next leader starts with fresh observations).
+    fn send_heartbeats(&mut self, cp: &mut CpCtx<'_, '_>) {
+        let hb = Heartbeat {
+            from: self.me,
+            epoch: self.view.epoch,
+        };
+        if self.ctrl_group.is_empty() {
+            self.metrics.heartbeats += 1;
+            cp.packet_out(self.controller, PacketBody::Swish(SwishMsg::Heartbeat(hb)));
+        } else {
+            for i in 0..self.ctrl_group.len() {
+                let c = self.ctrl_group[i];
+                self.metrics.heartbeats += 1;
+                cp.packet_out(c, PacketBody::Swish(SwishMsg::Heartbeat(hb)));
+            }
+        }
+    }
+
+    fn send_catchup_done(&mut self, cp: &mut CpCtx<'_, '_>) {
+        cp.packet_out(
+            self.believed_leader,
+            PacketBody::Swish(SwishMsg::CatchupDone(CatchupComplete {
+                node: self.me,
+                epoch: self.view.epoch,
+            })),
+        );
+    }
 }
 
 impl ControlApp for SwishCp {
     fn on_start(&mut self, cp: &mut CpCtx<'_, '_>) {
-        self.metrics.heartbeats += 1;
-        cp.packet_out(
-            self.controller,
-            PacketBody::Swish(SwishMsg::Heartbeat(Heartbeat {
-                from: self.me,
-                epoch: 0,
-            })),
-        );
+        self.send_heartbeats(cp);
         cp.set_timer(self.cfg.heartbeat_interval, TT_HEARTBEAT);
     }
 
@@ -774,13 +843,8 @@ impl ControlApp for SwishCp {
                 ingress,
             } => self.handle_write_job(writes, decision, trace, ingress, cp),
             CpItem::SnapshotDone => {
-                cp.packet_out(
-                    self.controller,
-                    PacketBody::Swish(SwishMsg::CatchupDone(CatchupComplete {
-                        node: self.me,
-                        epoch: self.view.epoch,
-                    })),
-                );
+                self.caught_up = true;
+                self.send_catchup_done(cp);
             }
             CpItem::Proto(msg) => match msg {
                 SwishMsg::Ack(a) => self.handle_ack(a.write_id, cp),
@@ -793,6 +857,11 @@ impl ControlApp for SwishCp {
                     let cfgblk: RegHandle = self.handles.cfgblk;
                     write_chain(cp.dataplane(), cfgblk, &self.view);
                     self.metrics.epochs_adopted += 1;
+                    if self.view.chain.contains(&self.me) {
+                        // Promoted (or already a member): stop the
+                        // catch-up re-announcement.
+                        self.caught_up = false;
+                    }
                     if self.view.chain.last() == Some(&self.me) {
                         self.clear_own_pending(cp);
                     }
@@ -810,6 +879,16 @@ impl ControlApp for SwishCp {
                 SwishMsg::MigrateBegin(m) => self.on_migrate_begin(m, cp),
                 SwishMsg::MigrateChunk(ch) => self.on_migrate_chunk(&ch, cp),
                 SwishMsg::OwnershipCommit(c) => self.on_ownership_commit(&c),
+                // Adopt the highest-ballot leadership announcement;
+                // redirect controller-bound traffic to the new leader.
+                SwishMsg::CtrlLead(l)
+                    if !self.ctrl_group.is_empty()
+                        && l.ballot >= self.ctrl_ballot
+                        && self.ctrl_group.contains(&l.leader) =>
+                {
+                    self.ctrl_ballot = l.ballot;
+                    self.believed_leader = l.leader;
+                }
                 _ => {}
             },
         }
@@ -835,16 +914,14 @@ impl ControlApp for SwishCp {
                 cp.set_timer(self.retry_delay(write_id, attempts), TT_RETRY | write_id);
             }
             TT_HEARTBEAT => {
-                self.metrics.heartbeats += 1;
-                cp.packet_out(
-                    self.controller,
-                    PacketBody::Swish(SwishMsg::Heartbeat(Heartbeat {
-                        from: self.me,
-                        epoch: self.view.epoch,
-                    })),
-                );
+                self.send_heartbeats(cp);
                 cp.set_timer(self.cfg.heartbeat_interval, TT_HEARTBEAT);
                 self.flush_load_report(cp);
+                // Learner stuck waiting for promotion (e.g. the leader
+                // that received our CatchupDone died): keep announcing.
+                if self.caught_up && self.view.learners.contains(&self.me) {
+                    self.send_catchup_done(cp);
+                }
             }
             TT_SNAP => self.pump_snapshot(cp),
             TT_MIGRATE => self.pump_migration(cp),
@@ -854,6 +931,9 @@ impl ControlApp for SwishCp {
 
     fn reset(&mut self) {
         self.view = ChainView::default();
+        self.believed_leader = self.ctrl_group.first().copied().unwrap_or(self.controller);
+        self.ctrl_ballot = 0;
+        self.caught_up = false;
         self.jobs.clear();
         self.writes.clear();
         self.snap_out.clear();

@@ -46,6 +46,7 @@
 
 pub mod api;
 pub mod config;
+pub mod consensus;
 pub mod controller;
 pub mod crdt;
 pub mod deployment;
@@ -62,8 +63,11 @@ pub use api::{NfApp, NfDecision, SharedState};
 pub use config::{
     ClockMode, MergePolicy, Placement, ReconfigPolicy, RegisterClass, RegisterSpec, SwishConfig,
 };
-pub use controller::{ConfigEvent, ConfigEventKind, Controller};
-pub use deployment::{Deployment, DeploymentBuilder, Fabric, SwishSwitch, HOST_BASE, SPINE_BASE};
+pub use consensus::{Consensus, Role};
+pub use controller::{ConfigEvent, ConfigEventKind, ConsensusMetrics, Controller};
+pub use deployment::{
+    Deployment, DeploymentBuilder, Fabric, ReplicatedController, SwishSwitch, HOST_BASE, SPINE_BASE,
+};
 pub use directory::DirectoryService;
 pub use layer::{ChainView, REPLICA_GROUP};
 pub use metrics::{CpMetrics, DpMetrics, Histogram, HistogramSummary, SwitchMetrics};

@@ -220,6 +220,42 @@ pub enum ViolationKind {
         /// Epoch of the later (not larger) Begin/Commit.
         to: u32,
     },
+    /// Two controller replicas committed different decisions under the
+    /// same issued per-range epoch — the epoch was not chosen by one
+    /// consensus decree (split-brain evidence; DESIGN.md §12).
+    ReplicaEpochConflict {
+        /// Register.
+        reg: RegId,
+        /// Range start key.
+        start: Key,
+        /// The doubly-issued per-range epoch.
+        epoch: u32,
+        /// First replica.
+        a: NodeId,
+        /// Conflicting replica.
+        b: NodeId,
+    },
+    /// Two controller replicas hold committed range tables that disagree
+    /// on the owner set at the same per-range epoch.
+    RangeSplitBrain {
+        /// Register.
+        reg: RegId,
+        /// Range start key.
+        start: Key,
+        /// The epoch both tables claim.
+        epoch: u32,
+        /// First replica.
+        a: NodeId,
+        /// Conflicting replica.
+        b: NodeId,
+    },
+    /// Two live controller replicas both act as leader at one poll.
+    DualLeader {
+        /// First leader.
+        a: NodeId,
+        /// Second leader.
+        b: NodeId,
+    },
     /// Replicas still disagree after the fault horizon plus grace.
     Diverged {
         /// Register.
@@ -321,6 +357,31 @@ impl fmt::Display for ViolationKind {
                 f,
                 "reconfig epoch not increasing: reg {reg} range@{start}: {from} -> {to}"
             ),
+            ViolationKind::ReplicaEpochConflict {
+                reg,
+                start,
+                epoch,
+                a,
+                b,
+            } => write!(
+                f,
+                "replica epoch conflict: reg {reg} range@{start} epoch {epoch} \
+                 decided differently by {a} and {b}"
+            ),
+            ViolationKind::RangeSplitBrain {
+                reg,
+                start,
+                epoch,
+                a,
+                b,
+            } => write!(
+                f,
+                "range split-brain: reg {reg} range@{start} epoch {epoch}: \
+                 {a} and {b} commit different owner sets"
+            ),
+            ViolationKind::DualLeader { a, b } => {
+                write!(f, "dual leader: {a} and {b} both act as controller leader")
+            }
             ViolationKind::Diverged {
                 reg,
                 key,
@@ -460,6 +521,11 @@ pub struct OracleSuite {
     /// Ranges whose entire owner set was simultaneously failed at some
     /// poll: their state legally died; convergence skips them forever.
     dead_ranges: BTreeSet<(RegId, Key)>,
+    /// First poll at which two live controller replicas both acted as
+    /// leader (cleared when uniqueness returns). Transient dual
+    /// leadership during an election handover is legal; only
+    /// persistence beyond the leader-lease bound is a violation.
+    dual_since: Option<SimTime>,
     first: Option<Violation>,
 }
 
@@ -483,6 +549,7 @@ impl OracleSuite {
             reconfig_events_seen: 0,
             reconfig_issued: BTreeMap::new(),
             dead_ranges: BTreeSet::new(),
+            dual_since: None,
             first: None,
         }
     }
@@ -582,6 +649,68 @@ impl OracleSuite {
             }
         }
         self.reconfig_events_seen = rlog.len();
+
+        // 2c'. Replicated control plane (DESIGN.md §12): at most one
+        //      live acting leader; issued per-range epochs are decided
+        //      identically across every replica's applied log; committed
+        //      range tables never disagree at equal epochs.
+        let ctrl = dep.controller();
+        if ctrl.len() > 1 {
+            let mut leaders: Vec<NodeId> = Vec::new();
+            for (i, &id) in ctrl.ids().iter().enumerate() {
+                if ctrl.is_failed(i) {
+                    continue;
+                }
+                if let Some(c) = ctrl.replica(i) {
+                    if c.is_acting_leader() {
+                        leaders.push(id);
+                    }
+                }
+            }
+            if leaders.len() > 1 {
+                // Legal during an election handover (an isolated old
+                // leader cannot know it lost); a violation only once it
+                // outlives the leader lease, which forces self-demotion
+                // within `failure_timeout` of losing quorum contact.
+                let bound = SimDuration::nanos(3 * dep.config().failure_timeout.as_nanos());
+                match self.dual_since {
+                    Some(t0) if now.since(t0) > bound => self.record(
+                        now,
+                        ViolationKind::DualLeader {
+                            a: leaders[0],
+                            b: leaders[1],
+                        },
+                    ),
+                    Some(_) => {}
+                    None => self.dual_since = Some(now),
+                }
+            } else {
+                self.dual_since = None;
+            }
+            let logs: Vec<(NodeId, &[crate::reconfig::ReconfigLogEntry])> = ctrl
+                .ids()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &id)| ctrl.replica(i).map(|c| (id, c.reconfig_log())))
+                .collect();
+            for kind in replica_epoch_conflicts(&logs) {
+                self.record(now, kind);
+            }
+            for spec in dep.register_specs().to_vec() {
+                if !spec.is_partitioned() {
+                    continue;
+                }
+                let tables: Vec<(NodeId, Vec<crate::reconfig::RangeView>)> = ctrl
+                    .ids()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &id)| ctrl.replica(i).map(|c| (id, c.range_table(spec.id))))
+                    .collect();
+                for kind in range_split_brain_errors(spec.id, &tables) {
+                    self.record(now, kind);
+                }
+            }
+        }
 
         let specs = dep.register_specs().to_vec();
         let swish = *dep.config();
@@ -999,6 +1128,77 @@ fn coverage_errors(
     vec![]
 }
 
+/// Cross-replica issued-epoch uniqueness (DESIGN.md §12): every
+/// epoch-issuing event (`Begin`/`Commit`) in any replica's applied
+/// reconfiguration log must be *the same event* wherever it appears —
+/// the epoch was decreed once through consensus, so two replicas
+/// deciding different things under one `(reg, range, epoch)` is direct
+/// split-brain evidence. Pure over the observed logs, so it can be fed
+/// hand-built histories in tests.
+pub fn replica_epoch_conflicts(
+    logs: &[(NodeId, &[crate::reconfig::ReconfigLogEntry])],
+) -> Vec<ViolationKind> {
+    let mut seen: BTreeMap<(RegId, Key, u32), (NodeId, &crate::reconfig::ReconfigEvent)> =
+        BTreeMap::new();
+    let mut out = Vec::new();
+    for (node, log) in logs {
+        for e in log.iter() {
+            let Some(epoch) = e.event.issued_epoch() else {
+                continue;
+            };
+            let (reg, start) = e.event.range_key();
+            match seen.get(&(reg, start, epoch)) {
+                Some((first, ev)) => {
+                    if *first != *node && **ev != e.event {
+                        out.push(ViolationKind::ReplicaEpochConflict {
+                            reg,
+                            start,
+                            epoch,
+                            a: *first,
+                            b: *node,
+                        });
+                    }
+                }
+                None => {
+                    seen.insert((reg, start, epoch), (*node, &e.event));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// No-split-brain range tables (DESIGN.md §12): two controller replicas
+/// whose tables claim the same per-range epoch for the same range must
+/// agree on its owner set — disagreement means two "authoritative"
+/// tables exist at once. Lagging replicas (lower epochs) are fine; only
+/// equal-epoch disagreement is a violation. Pure over the observed
+/// tables.
+pub fn range_split_brain_errors(
+    reg: RegId,
+    tables: &[(NodeId, Vec<crate::reconfig::RangeView>)],
+) -> Vec<ViolationKind> {
+    let mut out = Vec::new();
+    for (i, (a, ta)) in tables.iter().enumerate() {
+        for (b, tb) in &tables[i + 1..] {
+            for ra in ta {
+                for rb in tb {
+                    if ra.start == rb.start && ra.epoch == rb.epoch && ra.owners != rb.owners {
+                        out.push(ViolationKind::RangeSplitBrain {
+                            reg,
+                            start: ra.start,
+                            epoch: ra.epoch,
+                            a: *a,
+                            b: *b,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1074,5 +1274,104 @@ mod tests {
         let s = v.to_string();
         assert!(s.contains("123 ns"), "{s}");
         assert!(s.contains("pending bit stuck"), "{s}");
+    }
+
+    /// A hand-built history that SHOULD violate issued-epoch uniqueness:
+    /// two controller replicas each log a `Commit` for the same
+    /// `(reg, start, epoch)` but with different owner sets — i.e. two
+    /// leaders both believed they issued epoch 3 for the same range.
+    #[test]
+    fn replica_epoch_conflict_oracle_fires() {
+        use crate::reconfig::{ReconfigEvent, ReconfigLogEntry};
+        let commit = |owners: Vec<NodeId>| ReconfigLogEntry {
+            time: SimTime(10),
+            event: ReconfigEvent::Commit {
+                reg: 7,
+                start: 100,
+                owners,
+                epoch: 3,
+            },
+        };
+        let a = vec![commit(vec![NodeId(1)])];
+        let b = vec![commit(vec![NodeId(2)])];
+        let na = NodeId(u16::MAX);
+        let nb = NodeId(u16::MAX - 1);
+        let v = replica_epoch_conflicts(&[(na, &a), (nb, &b)]);
+        assert_eq!(v.len(), 1, "conflicting commits must be flagged: {v:?}");
+        assert!(matches!(
+            v[0],
+            ViolationKind::ReplicaEpochConflict {
+                reg: 7,
+                start: 100,
+                epoch: 3,
+                ..
+            }
+        ));
+        // Same event replicated on both logs (the normal consensus
+        // outcome) is NOT a conflict.
+        let b_same = vec![commit(vec![NodeId(1)])];
+        assert!(replica_epoch_conflicts(&[(na, &a), (nb, &b_same)]).is_empty());
+        // Different epochs for the same range (a lagging replica) is
+        // NOT a conflict either.
+        let b_old = vec![ReconfigLogEntry {
+            time: SimTime(5),
+            event: ReconfigEvent::Commit {
+                reg: 7,
+                start: 100,
+                owners: vec![NodeId(2)],
+                epoch: 2,
+            },
+        }];
+        assert!(replica_epoch_conflicts(&[(na, &a), (nb, &b_old)]).is_empty());
+    }
+
+    /// A hand-built pair of range tables that SHOULD violate the
+    /// no-split-brain invariant: same range, same per-range epoch,
+    /// different owner sets across two replicas.
+    #[test]
+    fn range_split_brain_oracle_fires() {
+        use crate::reconfig::RangeView;
+        let mk = |epoch, owner: u16| {
+            vec![RangeView {
+                start: 0,
+                end: 64,
+                epoch,
+                mig_to: None,
+                owners: vec![NodeId(owner)],
+            }]
+        };
+        let na = NodeId(u16::MAX);
+        let nb = NodeId(u16::MAX - 1);
+        // Equal epoch, different owners → split brain.
+        let v = range_split_brain_errors(4, &[(na, mk(5, 1)), (nb, mk(5, 2))]);
+        assert_eq!(v.len(), 1, "equal-epoch owner disagreement: {v:?}");
+        assert!(matches!(
+            v[0],
+            ViolationKind::RangeSplitBrain {
+                reg: 4,
+                start: 0,
+                epoch: 5,
+                ..
+            }
+        ));
+        // A lagging replica (lower epoch, stale owners) is legal.
+        assert!(range_split_brain_errors(4, &[(na, mk(5, 1)), (nb, mk(4, 2))]).is_empty());
+        // Agreement is legal.
+        assert!(range_split_brain_errors(4, &[(na, mk(5, 1)), (nb, mk(5, 1))]).is_empty());
+    }
+
+    #[test]
+    fn dual_leader_violation_displays_both_replicas() {
+        let v = Violation {
+            at: SimTime(999),
+            kind: ViolationKind::DualLeader {
+                a: NodeId(u16::MAX),
+                b: NodeId(u16::MAX - 1),
+            },
+        };
+        let s = v.to_string();
+        assert!(s.contains("ctrl"), "{s}");
+        assert!(s.contains("n65534"), "{s}");
+        assert!(s.contains("dual leader"), "{s}");
     }
 }

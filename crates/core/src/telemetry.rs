@@ -102,6 +102,15 @@ pub struct MetricsSample {
     pub migrate_applied: u64,
     /// Per-range load reports sent to the controller this window.
     pub load_reports: u64,
+    /// Controller-replica consensus messages sent this window, summed
+    /// across the replica group (zero in singleton deployments). Unlike
+    /// the per-switch counters above, this is fabric-global: every
+    /// switch's sample in the same window carries the same value, so E21
+    /// plots can read it off any one series.
+    pub consensus_msgs: u64,
+    /// Controller leader changes observed this window (fabric-global,
+    /// like `consensus_msgs`).
+    pub leader_changes: u64,
     /// Gauge: writes awaiting acknowledgment at sample time.
     pub outstanding_writes: usize,
     /// Gauge: jobs buffered in CP DRAM at sample time.
@@ -125,6 +134,8 @@ struct Cumulative {
     migrate_chunks: u64,
     migrate_applied: u64,
     load_reports: u64,
+    consensus_msgs: u64,
+    leader_changes: u64,
 }
 
 /// Periodic per-switch metrics sampler (see module docs).
@@ -166,6 +177,7 @@ impl TimeSeriesSampler {
     /// saturate at zero rather than going negative).
     pub fn sample(&mut self, dep: &Deployment) {
         let time = dep.now();
+        let cons = dep.controller().consensus_metrics();
         for i in 0..self.series.len() {
             let m = dep.metrics(i);
             let sw = dep.switch(i);
@@ -182,6 +194,8 @@ impl TimeSeriesSampler {
                 migrate_chunks: m.cp.migrate_chunks_sent,
                 migrate_applied: m.dp.migrate_applied,
                 load_reports: m.cp.load_reports_sent,
+                consensus_msgs: cons.msgs_sent,
+                leader_changes: cons.leader_changes,
             };
             let prev = self.last[i];
             let d = |a: u64, b: u64| a.saturating_sub(b);
@@ -199,6 +213,8 @@ impl TimeSeriesSampler {
                 migrate_chunks: d(cur.migrate_chunks, prev.migrate_chunks),
                 migrate_applied: d(cur.migrate_applied, prev.migrate_applied),
                 load_reports: d(cur.load_reports, prev.load_reports),
+                consensus_msgs: d(cur.consensus_msgs, prev.consensus_msgs),
+                leader_changes: d(cur.leader_changes, prev.leader_changes),
                 outstanding_writes: sw.cp_app().outstanding_writes(),
                 buffered_jobs: sw.cp_app().buffered_jobs(),
                 snapshot_backlog: sw.cp_app().snapshot_backlog(),

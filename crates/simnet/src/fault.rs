@@ -402,7 +402,28 @@ impl FaultGen {
         horizon: SimDuration,
         episodes: usize,
     ) -> FaultSchedule {
-        self.generate_impl(nodes, links, horizon, episodes, None)
+        self.generate_impl(nodes, links, horizon, episodes, None, &[])
+    }
+
+    /// [`FaultGen::generate`] with controller-replica crash coverage:
+    /// `ctrls` joins the crash (and partition) candidate pool, but with
+    /// its own concurrency budget — at most `⌊(ctrls.len() - 1) / 2⌋`
+    /// replicas down at once, so a quorum (majority) is always alive
+    /// and the replicated control plane can keep making decisions. This
+    /// mirrors the `⌊nodes.len() / 2⌋` switch-crash guard; an
+    /// over-budget pick degrades a link instead, keeping the episode
+    /// count deterministic. With `ctrls` empty the sampled schedule is
+    /// byte-identical to [`FaultGen::generate`] — existing seeds replay
+    /// unchanged.
+    pub fn generate_with_controllers(
+        &mut self,
+        nodes: &[NodeId],
+        ctrls: &[NodeId],
+        links: &[(NodeId, NodeId)],
+        horizon: SimDuration,
+        episodes: usize,
+    ) -> FaultSchedule {
+        self.generate_impl(nodes, links, horizon, episodes, None, ctrls)
     }
 
     /// [`FaultGen::generate`] for a sharded run: `shard_of[i]` is the
@@ -426,7 +447,7 @@ impl FaultGen {
             shard_of.len(),
             "shard_of must be parallel to nodes"
         );
-        self.generate_impl(nodes, links, horizon, episodes, Some(shard_of))
+        self.generate_impl(nodes, links, horizon, episodes, Some(shard_of), &[])
     }
 
     fn generate_impl(
@@ -436,6 +457,7 @@ impl FaultGen {
         horizon: SimDuration,
         episodes: usize,
         shard_of: Option<&[u32]>,
+        ctrls: &[NodeId],
     ) -> FaultSchedule {
         let h = horizon.as_nanos().max(1_000_000); // at least 1 ms
         let heal_by = h * 85 / 100;
@@ -467,15 +489,35 @@ impl FaultGen {
 
             match kind {
                 EpisodeKind::Crash => {
-                    let node = nodes[self.rng.gen_range(0..nodes.len())];
+                    // Single candidate pool: indices past `nodes` pick a
+                    // controller replica. With `ctrls` empty the range
+                    // bound is unchanged, so the RNG stream — and every
+                    // previously published seed — replays byte-identical.
+                    let idx = self.rng.gen_range(0..nodes.len() + ctrls.len());
+                    let (node, class): (NodeId, &[NodeId]) = if idx < nodes.len() {
+                        (nodes[idx], nodes)
+                    } else {
+                        (ctrls[idx - nodes.len()], ctrls)
+                    };
+                    // Controllers budget separately from switches: a
+                    // majority (quorum) of the replica group must stay
+                    // alive, so at most ⌊(n-1)/2⌋ may be down at once
+                    // (0 for a singleton — never crash the only one).
+                    let budget = if idx < nodes.len() {
+                        max_down
+                    } else {
+                        ctrls.len().saturating_sub(1) / 2
+                    };
                     let overlapping = crashes
                         .iter()
-                        .filter(|&&(n, s, e)| n != node && s < end && start < e)
+                        .filter(|&&(n, s, e)| {
+                            n != node && class.contains(&n) && s < end && start < e
+                        })
                         .count();
                     let self_overlap = crashes
                         .iter()
                         .any(|&(n, s, e)| n == node && s <= end && start <= e);
-                    if self_overlap || overlapping + 1 > max_down {
+                    if self_overlap || overlapping + 1 > budget {
                         // Too many concurrent crashes: degrade a link
                         // instead so the episode count stays deterministic.
                         if let Some(&(a, b)) = self.pick_link(links) {
@@ -518,11 +560,16 @@ impl FaultGen {
                 }
                 EpisodeKind::Partition => match shard_of {
                     None => {
-                        if nodes.len() >= 2 {
-                            let k = self.rng.gen_range(1..nodes.len());
-                            let r = self.rng.gen_range(0..nodes.len());
-                            let rotated: Vec<NodeId> = (0..nodes.len())
-                                .map(|i| nodes[(i + r) % nodes.len()])
+                        // Controller replicas join the cut pool too, so a
+                        // split can strand a leader on the minority side.
+                        // Empty `ctrls` keeps the draw bounds (and so the
+                        // RNG stream) identical to the pre-replica model.
+                        let pool: Vec<NodeId> = nodes.iter().chain(ctrls.iter()).copied().collect();
+                        if pool.len() >= 2 {
+                            let k = self.rng.gen_range(1..pool.len());
+                            let r = self.rng.gen_range(0..pool.len());
+                            let rotated: Vec<NodeId> = (0..pool.len())
+                                .map(|i| pool[(i + r) % pool.len()])
                                 .collect();
                             let (a, b) = rotated.split_at(k);
                             sched = sched.partition(a, b, at, lasting);
@@ -741,6 +788,61 @@ mod tests {
         let base = g.generate(&nodes, &links, h, 4);
         let same = g.interleave_triggers(base.clone(), NodeId(999), &[], h, 3);
         assert_eq!(base, same);
+    }
+
+    #[test]
+    fn empty_controller_set_replays_legacy_schedules() {
+        // `generate_with_controllers(.., &[], ..)` must be byte-identical
+        // to `generate` — published seeds keep replaying unchanged.
+        let nodes = [A, B, C];
+        let links = [(A, B), (B, C), (A, C)];
+        let h = SimDuration::millis(50);
+        for seed in 0..20 {
+            let legacy = FaultGen::new(seed).generate(&nodes, &links, h, 6);
+            let with = FaultGen::new(seed).generate_with_controllers(&nodes, &[], &links, h, 6);
+            assert_eq!(legacy, with, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn controller_crashes_keep_a_quorum_alive() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let ctrls: Vec<NodeId> = (0..3).map(|i| NodeId(u16::MAX - i)).collect();
+        let links: Vec<(NodeId, NodeId)> = nodes
+            .iter()
+            .flat_map(|&a| ctrls.iter().map(move |&c| (a, c)))
+            .collect();
+        let h = SimDuration::millis(60);
+        let mut ctrl_crash_seeds = 0;
+        for seed in 0..40 {
+            let s = FaultGen::new(seed).generate_with_controllers(&nodes, &ctrls, &links, h, 8);
+            // Replay crash/restart events and track how many controller
+            // replicas are down at once: never more than ⌊(3-1)/2⌋ = 1,
+            // so a 2-of-3 quorum is always alive.
+            let mut down: Vec<NodeId> = Vec::new();
+            let mut any_ctrl = false;
+            for e in s.events() {
+                match e.action {
+                    FaultAction::Crash { node } if ctrls.contains(&node) => {
+                        any_ctrl = true;
+                        down.push(node);
+                        assert!(
+                            down.len() <= 1,
+                            "seed {seed}: {} controller replicas down at once\n{s}",
+                            down.len()
+                        );
+                    }
+                    FaultAction::Restart { node } => down.retain(|&n| n != node),
+                    _ => {}
+                }
+            }
+            ctrl_crash_seeds += usize::from(any_ctrl);
+        }
+        // Controllers must actually be exercised across the seed sweep.
+        assert!(
+            ctrl_crash_seeds >= 5,
+            "only {ctrl_crash_seeds}/40 seeds crashed a controller replica"
+        );
     }
 
     #[test]

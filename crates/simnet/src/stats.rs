@@ -97,7 +97,14 @@ impl TrafficClass {
                 | SwishMsg::MigrateBegin(_)
                 | SwishMsg::OwnershipCommit(_)
                 | SwishMsg::MigrateDone(_)
-                | SwishMsg::LoadReport(_) => TrafficClass::Management,
+                | SwishMsg::LoadReport(_)
+                | SwishMsg::CtrlPrepare(_)
+                | SwishMsg::CtrlPromise(_)
+                | SwishMsg::CtrlAccept(_)
+                | SwishMsg::CtrlAccepted(_)
+                | SwishMsg::CtrlLearn(_)
+                | SwishMsg::CtrlHb(_)
+                | SwishMsg::CtrlLead(_) => TrafficClass::Management,
             },
         }
     }

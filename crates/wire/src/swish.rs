@@ -421,6 +421,261 @@ pub struct LoadReport {
     pub entries: Vec<LoadEntry>,
 }
 
+/// A replicated-controller command: one decree of the control-plane
+/// consensus log (§6.3 extension; *Paxos Made Switch-y* style roles).
+///
+/// Commands are the unit of state replication across controller
+/// replicas: every membership or range-table decision the leader makes
+/// is first chosen as a command at a log slot, then applied by every
+/// replica in slot order. All variants are fixed width (18 bytes on the
+/// wire) so acceptor register cells hold any command in one fixed-size
+/// slot, exactly like a PISA register array would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlCmd {
+    /// Initial configuration + range-table bootstrap.
+    Bootstrap,
+    /// `leader` asserts leadership of the replica group (the election
+    /// decree; choosing it fences every lower ballot).
+    Reassert {
+        /// The replica claiming leadership.
+        leader: NodeId,
+    },
+    /// Declare a switch failed and remove it from chain + groups.
+    Fail {
+        /// The failed switch.
+        node: NodeId,
+    },
+    /// Admit a recovered switch as a learner (snapshot path).
+    Admit {
+        /// The recovering switch.
+        node: NodeId,
+    },
+    /// Promote a caught-up learner to the chain tail.
+    Promote {
+        /// The learner to promote.
+        node: NodeId,
+    },
+    /// Migrate the range containing `key` so `to` becomes its primary.
+    Move {
+        /// Register.
+        reg: RegId,
+        /// Any key inside the range to move.
+        key: Key,
+        /// Destination primary.
+        to: NodeId,
+        /// True when the planner (not an explicit trigger) decided it.
+        planned: bool,
+    },
+    /// Grow the replica group of the range containing `key` by `to`.
+    Grow {
+        /// Register.
+        reg: RegId,
+        /// Any key inside the range.
+        key: Key,
+        /// The joining owner.
+        to: NodeId,
+    },
+    /// Shrink the replica group of the range containing `key`.
+    Shrink {
+        /// Register.
+        reg: RegId,
+        /// Any key inside the range.
+        key: Key,
+        /// The leaving owner.
+        node: NodeId,
+    },
+    /// A migration destination completed a full chunk pass: flip the
+    /// range to its commit owners.
+    MigDone {
+        /// Register.
+        reg: RegId,
+        /// Range start key.
+        start: Key,
+        /// The reporting destination.
+        node: NodeId,
+        /// The per-range epoch the transfer ran under.
+        epoch: u32,
+        /// The completed pass.
+        pass: u32,
+    },
+}
+
+/// Encoded size of a [`CtrlCmd`]: always fixed width.
+pub const CTRL_CMD_LEN: usize = 18;
+
+impl CtrlCmd {
+    fn encode(&self, w: &mut Writer) {
+        // Fixed layout: [sub:1][node:2][reg:2][key:4][epoch:4][pass:4][flag:1]
+        let (sub, node, reg, key, epoch, pass, flag) = match *self {
+            CtrlCmd::Bootstrap => (0u8, NodeId(0), 0, 0, 0, 0, 0u8),
+            CtrlCmd::Reassert { leader } => (1, leader, 0, 0, 0, 0, 0),
+            CtrlCmd::Fail { node } => (2, node, 0, 0, 0, 0, 0),
+            CtrlCmd::Admit { node } => (3, node, 0, 0, 0, 0, 0),
+            CtrlCmd::Promote { node } => (4, node, 0, 0, 0, 0, 0),
+            CtrlCmd::Move {
+                reg,
+                key,
+                to,
+                planned,
+            } => (5, to, reg, key, 0, 0, planned as u8),
+            CtrlCmd::Grow { reg, key, to } => (6, to, reg, key, 0, 0, 0),
+            CtrlCmd::Shrink { reg, key, node } => (7, node, reg, key, 0, 0, 0),
+            CtrlCmd::MigDone {
+                reg,
+                start,
+                node,
+                epoch,
+                pass,
+            } => (8, node, reg, start, epoch, pass, 0),
+        };
+        w.u8(sub);
+        encode_node(w, node);
+        w.u16(reg);
+        w.u32(key);
+        w.u32(epoch);
+        w.u32(pass);
+        w.u8(flag);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let sub = r.u8()?;
+        let node = decode_node(r)?;
+        let reg = r.u16()?;
+        let key = r.u32()?;
+        let epoch = r.u32()?;
+        let pass = r.u32()?;
+        let flag = r.u8()?;
+        Ok(match sub {
+            0 => CtrlCmd::Bootstrap,
+            1 => CtrlCmd::Reassert { leader: node },
+            2 => CtrlCmd::Fail { node },
+            3 => CtrlCmd::Admit { node },
+            4 => CtrlCmd::Promote { node },
+            5 => CtrlCmd::Move {
+                reg,
+                key,
+                to: node,
+                planned: flag != 0,
+            },
+            6 => CtrlCmd::Grow { reg, key, to: node },
+            7 => CtrlCmd::Shrink { reg, key, node },
+            8 => CtrlCmd::MigDone {
+                reg,
+                start: key,
+                node,
+                epoch,
+                pass,
+            },
+            t => return Err(WireError::UnknownTag(t)),
+        })
+    }
+}
+
+/// Consensus phase-1 request: `from` asks the acceptor to promise ballot
+/// `ballot` and report what it has accepted at `slot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlPrepare {
+    /// Proposing replica.
+    pub from: NodeId,
+    /// Proposal ballot (`(round << 8) | replica_idx`).
+    pub ballot: u64,
+    /// The log slot being prepared.
+    pub slot: u64,
+}
+
+/// Consensus phase-1 reply. `granted` is the promise; a refusal carries
+/// the acceptor's log-wide ballot `floor` so the proposer can pick a
+/// higher round. A grant carries the acceptor's accepted (ballot, cmd)
+/// at the slot — if any — and its highest accepted slot overall, which
+/// bounds how far a new leader must walk the log during catch-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlPromise {
+    /// Replying acceptor.
+    pub from: NodeId,
+    /// Echo of [`CtrlPrepare::ballot`].
+    pub ballot: u64,
+    /// Echo of [`CtrlPrepare::slot`].
+    pub slot: u64,
+    /// True if the promise was granted.
+    pub granted: bool,
+    /// The acceptor's log-wide promised ballot after this exchange.
+    pub floor: u64,
+    /// Highest slot the acceptor has accepted any value at (0 = none;
+    /// slots are 1-free: the value is `highest + 1` internally).
+    pub max_slot: u64,
+    /// Ballot of the accepted value at `slot` (0 = nothing accepted).
+    pub acc_ballot: u64,
+    /// The accepted value at `slot`, if any.
+    pub acc: Option<CtrlCmd>,
+}
+
+/// Consensus phase-2 request: accept `cmd` at `slot` under `ballot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlAccept {
+    /// Proposing replica.
+    pub from: NodeId,
+    /// Proposal ballot.
+    pub ballot: u64,
+    /// The log slot.
+    pub slot: u64,
+    /// The proposed command.
+    pub cmd: CtrlCmd,
+}
+
+/// Consensus phase-2 reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlAccepted {
+    /// Replying acceptor.
+    pub from: NodeId,
+    /// Echo of [`CtrlAccept::ballot`].
+    pub ballot: u64,
+    /// Echo of [`CtrlAccept::slot`].
+    pub slot: u64,
+    /// True if the value was accepted.
+    pub granted: bool,
+    /// The acceptor's log-wide promised ballot after this exchange.
+    pub floor: u64,
+}
+
+/// Chosen-value notification: the proposer observed a quorum of accepts
+/// for `cmd` at `slot` and tells every replica to learn it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlLearn {
+    /// The notifying replica.
+    pub from: NodeId,
+    /// The decided slot.
+    pub slot: u64,
+    /// The chosen command.
+    pub cmd: CtrlCmd,
+}
+
+/// Controller-replica liveness beacon, sent replica ↔ replica. The
+/// leader's beacon suppresses elections; a follower's beacon reports its
+/// contiguously-chosen prefix so the leader can re-send lost `CtrlLearn`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlHb {
+    /// Sending replica.
+    pub from: NodeId,
+    /// The sender's current ballot (leader: its leadership ballot).
+    pub ballot: u64,
+    /// Number of contiguously chosen slots the sender knows.
+    pub commit: u64,
+    /// True when the sender is the acting leader.
+    pub leader: bool,
+}
+
+/// Leader announcement to the switch control planes: after failover the
+/// switches redirect controller-bound traffic (load reports, migrate
+/// done, catch-up notices) to the new leader. Ballot-guarded so stale
+/// announcements lose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlLead {
+    /// The acting leader replica.
+    pub leader: NodeId,
+    /// Its leadership ballot.
+    pub ballot: u64,
+}
+
 /// Every SwiShmem protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SwishMsg {
@@ -460,6 +715,20 @@ pub enum SwishMsg {
     MigrateDone(MigrateDone),
     /// Per-range write-load telemetry.
     LoadReport(LoadReport),
+    /// Controller-consensus phase-1 request.
+    CtrlPrepare(CtrlPrepare),
+    /// Controller-consensus phase-1 reply.
+    CtrlPromise(CtrlPromise),
+    /// Controller-consensus phase-2 request.
+    CtrlAccept(CtrlAccept),
+    /// Controller-consensus phase-2 reply.
+    CtrlAccepted(CtrlAccepted),
+    /// Controller-consensus chosen-value notification.
+    CtrlLearn(CtrlLearn),
+    /// Controller-replica liveness beacon.
+    CtrlHb(CtrlHb),
+    /// Leader announcement to switches.
+    CtrlLead(CtrlLead),
 }
 
 const TAG_WRITE: u8 = 0x01;
@@ -483,6 +752,15 @@ const TAG_MIG_CHUNK: u8 = 0x0f;
 const TAG_OWN_COMMIT: u8 = 0x10;
 const TAG_MIG_DONE: u8 = 0x11;
 const TAG_LOAD_REPORT: u8 = 0x12;
+// Replicated-control-plane messages are additive tags too: deployments
+// with a singleton controller never emit them, so WIRE_VERSION stays 2.
+const TAG_CTRL_PREPARE: u8 = 0x13;
+const TAG_CTRL_PROMISE: u8 = 0x14;
+const TAG_CTRL_ACCEPT: u8 = 0x15;
+const TAG_CTRL_ACCEPTED: u8 = 0x16;
+const TAG_CTRL_LEARN: u8 = 0x17;
+const TAG_CTRL_HB: u8 = 0x18;
+const TAG_CTRL_LEAD: u8 = 0x19;
 
 fn encode_node(w: &mut Writer, n: NodeId) {
     w.u16(n.0);
@@ -660,6 +938,62 @@ impl SwishMsg {
                     w.u32(e.start);
                     w.u64(e.writes);
                 }
+            }
+            SwishMsg::CtrlPrepare(m) => {
+                w.u8(TAG_CTRL_PREPARE);
+                encode_node(w, m.from);
+                w.u64(m.ballot);
+                w.u64(m.slot);
+            }
+            SwishMsg::CtrlPromise(m) => {
+                w.u8(TAG_CTRL_PROMISE);
+                encode_node(w, m.from);
+                w.u64(m.ballot);
+                w.u64(m.slot);
+                w.u8(m.granted as u8);
+                w.u64(m.floor);
+                w.u64(m.max_slot);
+                w.u64(m.acc_ballot);
+                match &m.acc {
+                    Some(cmd) => {
+                        w.u8(1);
+                        cmd.encode(w);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            SwishMsg::CtrlAccept(m) => {
+                w.u8(TAG_CTRL_ACCEPT);
+                encode_node(w, m.from);
+                w.u64(m.ballot);
+                w.u64(m.slot);
+                m.cmd.encode(w);
+            }
+            SwishMsg::CtrlAccepted(m) => {
+                w.u8(TAG_CTRL_ACCEPTED);
+                encode_node(w, m.from);
+                w.u64(m.ballot);
+                w.u64(m.slot);
+                w.u8(m.granted as u8);
+                w.u64(m.floor);
+            }
+            SwishMsg::CtrlLearn(m) => {
+                w.u8(TAG_CTRL_LEARN);
+                encode_node(w, m.from);
+                w.u64(m.slot);
+                m.cmd.encode(w);
+            }
+            SwishMsg::CtrlHb(m) => {
+                w.u8(TAG_CTRL_HB);
+                encode_node(w, m.from);
+                w.u64(m.ballot);
+                w.u64(m.commit);
+                w.u8(m.leader as u8);
+            }
+            SwishMsg::CtrlLead(m) => {
+                w.u8(TAG_CTRL_LEAD);
+                encode_node(w, m.leader);
+                w.u64(m.ballot);
             }
         }
     }
@@ -840,6 +1174,63 @@ impl SwishMsg {
                 }
                 SwishMsg::LoadReport(LoadReport { from, entries })
             }
+            TAG_CTRL_PREPARE => SwishMsg::CtrlPrepare(CtrlPrepare {
+                from: decode_node(r)?,
+                ballot: r.u64()?,
+                slot: r.u64()?,
+            }),
+            TAG_CTRL_PROMISE => {
+                let from = decode_node(r)?;
+                let ballot = r.u64()?;
+                let slot = r.u64()?;
+                let granted = r.u8()? != 0;
+                let floor = r.u64()?;
+                let max_slot = r.u64()?;
+                let acc_ballot = r.u64()?;
+                let acc = if r.u8()? != 0 {
+                    Some(CtrlCmd::decode(r)?)
+                } else {
+                    None
+                };
+                SwishMsg::CtrlPromise(CtrlPromise {
+                    from,
+                    ballot,
+                    slot,
+                    granted,
+                    floor,
+                    max_slot,
+                    acc_ballot,
+                    acc,
+                })
+            }
+            TAG_CTRL_ACCEPT => SwishMsg::CtrlAccept(CtrlAccept {
+                from: decode_node(r)?,
+                ballot: r.u64()?,
+                slot: r.u64()?,
+                cmd: CtrlCmd::decode(r)?,
+            }),
+            TAG_CTRL_ACCEPTED => SwishMsg::CtrlAccepted(CtrlAccepted {
+                from: decode_node(r)?,
+                ballot: r.u64()?,
+                slot: r.u64()?,
+                granted: r.u8()? != 0,
+                floor: r.u64()?,
+            }),
+            TAG_CTRL_LEARN => SwishMsg::CtrlLearn(CtrlLearn {
+                from: decode_node(r)?,
+                slot: r.u64()?,
+                cmd: CtrlCmd::decode(r)?,
+            }),
+            TAG_CTRL_HB => SwishMsg::CtrlHb(CtrlHb {
+                from: decode_node(r)?,
+                ballot: r.u64()?,
+                commit: r.u64()?,
+                leader: r.u8()? != 0,
+            }),
+            TAG_CTRL_LEAD => SwishMsg::CtrlLead(CtrlLead {
+                leader: decode_node(r)?,
+                ballot: r.u64()?,
+            }),
             t => return Err(WireError::UnknownTag(t)),
         };
         Ok(msg)
@@ -869,6 +1260,15 @@ impl SwishMsg {
             SwishMsg::OwnershipCommit(m) => 2 + 4 + 4 + 4 + 2 + m.owners.len() * 2,
             SwishMsg::MigrateDone(_) => 2 + 4 + 4 + 2 + 4 + 4,
             SwishMsg::LoadReport(m) => 2 + 2 + m.entries.len() * (2 + 4 + 8),
+            SwishMsg::CtrlPrepare(_) => 2 + 8 + 8,
+            SwishMsg::CtrlPromise(m) => {
+                2 + 8 + 8 + 1 + 8 + 8 + 8 + 1 + if m.acc.is_some() { CTRL_CMD_LEN } else { 0 }
+            }
+            SwishMsg::CtrlAccept(_) => 2 + 8 + 8 + CTRL_CMD_LEN,
+            SwishMsg::CtrlAccepted(_) => 2 + 8 + 8 + 1 + 8,
+            SwishMsg::CtrlLearn(_) => 2 + 8 + CTRL_CMD_LEN,
+            SwishMsg::CtrlHb(_) => 2 + 8 + 8 + 1,
+            SwishMsg::CtrlLead(_) => 2 + 8,
         }
     }
 }
@@ -1052,7 +1452,136 @@ mod tests {
                     },
                 ],
             }),
+            SwishMsg::CtrlPrepare(CtrlPrepare {
+                from: NodeId(u16::MAX - 1),
+                ballot: (3 << 8) | 1,
+                slot: 7,
+            }),
+            SwishMsg::CtrlPromise(CtrlPromise {
+                from: NodeId(u16::MAX),
+                ballot: (3 << 8) | 1,
+                slot: 7,
+                granted: true,
+                floor: (3 << 8) | 1,
+                max_slot: 9,
+                acc_ballot: (2 << 8),
+                acc: Some(CtrlCmd::Fail { node: NodeId(4) }),
+            }),
+            SwishMsg::CtrlPromise(CtrlPromise {
+                from: NodeId(u16::MAX - 2),
+                ballot: (3 << 8) | 1,
+                slot: 7,
+                granted: false,
+                floor: (5 << 8) | 2,
+                max_slot: 0,
+                acc_ballot: 0,
+                acc: None,
+            }),
+            SwishMsg::CtrlAccept(CtrlAccept {
+                from: NodeId(u16::MAX - 1),
+                ballot: (3 << 8) | 1,
+                slot: 7,
+                cmd: CtrlCmd::Move {
+                    reg: 2,
+                    key: 16,
+                    to: NodeId(3),
+                    planned: true,
+                },
+            }),
+            SwishMsg::CtrlAccepted(CtrlAccepted {
+                from: NodeId(u16::MAX),
+                ballot: (3 << 8) | 1,
+                slot: 7,
+                granted: true,
+                floor: (3 << 8) | 1,
+            }),
+            SwishMsg::CtrlLearn(CtrlLearn {
+                from: NodeId(u16::MAX - 1),
+                slot: 7,
+                cmd: CtrlCmd::MigDone {
+                    reg: 2,
+                    start: 16,
+                    node: NodeId(3),
+                    epoch: 4,
+                    pass: 2,
+                },
+            }),
+            SwishMsg::CtrlHb(CtrlHb {
+                from: NodeId(u16::MAX - 1),
+                ballot: (3 << 8) | 1,
+                commit: 8,
+                leader: true,
+            }),
+            SwishMsg::CtrlLead(CtrlLead {
+                leader: NodeId(u16::MAX - 1),
+                ballot: (3 << 8) | 1,
+            }),
         ]
+    }
+
+    #[test]
+    fn ctrl_cmd_round_trips_every_variant() {
+        let cmds = [
+            CtrlCmd::Bootstrap,
+            CtrlCmd::Reassert {
+                leader: NodeId(u16::MAX),
+            },
+            CtrlCmd::Fail { node: NodeId(1) },
+            CtrlCmd::Admit { node: NodeId(2) },
+            CtrlCmd::Promote { node: NodeId(2) },
+            CtrlCmd::Move {
+                reg: 1,
+                key: 32,
+                to: NodeId(3),
+                planned: false,
+            },
+            CtrlCmd::Grow {
+                reg: 1,
+                key: 32,
+                to: NodeId(3),
+            },
+            CtrlCmd::Shrink {
+                reg: 1,
+                key: 32,
+                node: NodeId(0),
+            },
+            CtrlCmd::MigDone {
+                reg: 1,
+                start: 32,
+                node: NodeId(3),
+                epoch: 9,
+                pass: 1,
+            },
+        ];
+        for cmd in cmds {
+            let mut w = Writer::new();
+            cmd.encode(&mut w);
+            let buf = w.finish();
+            assert_eq!(buf.len(), CTRL_CMD_LEN, "fixed width for {cmd:?}");
+            let mut r = Reader::new(&buf);
+            assert_eq!(CtrlCmd::decode(&mut r).unwrap(), cmd);
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_ctrl_accept() {
+        let msg = SwishMsg::CtrlAccept(CtrlAccept {
+            from: NodeId(u16::MAX),
+            ballot: (1 << 8) | 2,
+            slot: 3,
+            cmd: CtrlCmd::Bootstrap,
+        });
+        let mut w = Writer::new();
+        msg.encode(&mut w);
+        let buf = w.finish();
+        for cut in 1..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(
+                SwishMsg::decode(&mut r).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,17 @@ cargo test -q --test reconfig_sweep
 echo "==> cargo test --test directory_invariants (range-table property tests)"
 cargo test -q -p swishmem --test directory_invariants
 
+# Replicated-control-plane gate (DESIGN.md §12), by name: the 3-replica
+# smoke plus the crash-during-migration sweep — the leader dies
+# mid-Transferring and at the dual-owner boundary across >=12 seeds, and
+# every run must keep all foreground writes, finish the migration under
+# the surviving quorum, and stay silent under the cross-replica
+# epoch-uniqueness / no-split-brain oracles.
+echo "==> cargo test --test controller_failover three_replica_smoke (3-replica smoke)"
+cargo test -q --test controller_failover three_replica_smoke
+echo "==> cargo test --test controller_failover (leader-failover sweep)"
+cargo test -q --test controller_failover
+
 # Observability gates (DESIGN.md §9), also by name: span tracing must be
 # a passive observer (golden fingerprint bit-identical with a collector
 # attached), and compiled-in-but-disabled tracing must stay cheap.
