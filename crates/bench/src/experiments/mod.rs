@@ -23,6 +23,7 @@ pub mod e18_trace_overhead;
 pub mod e19_reconfig;
 pub mod e20_shard_scaling;
 pub mod e21_failover;
+pub mod e22_consensus_hardening;
 
 use crate::table::ExperimentResult;
 
@@ -53,5 +54,6 @@ pub fn all() -> Vec<(&'static str, RunFn)> {
         ("e19", e19_reconfig::run),
         ("e20", e20_shard_scaling::run),
         ("e21", e21_failover::run),
+        ("e22", e22_consensus_hardening::run),
     ]
 }

@@ -268,6 +268,28 @@ pub struct SwishConfig {
     /// (an even group tolerates no more failures than the next odd size
     /// down, so they are never worth their cost).
     pub ctrl_replicas: u8,
+    /// Replicated mode (DESIGN.md §13): the leader proposes a log
+    /// compaction once the consensus register window holds this many
+    /// decrees. Must stay well below
+    /// [`crate::consensus::SLOT_CAP`] so the compaction decree commits
+    /// before the window can overflow.
+    pub log_compact_threshold: usize,
+    /// Replicated mode: how long after the last leader beacon a
+    /// follower replica may keep answering directory lookups (the
+    /// follower-read lease). Past it the follower drops lookups and the
+    /// querier's retry finds another replica or the leader.
+    pub dir_lease: SimDuration,
+    /// Replicated mode: use the phi-accrual-style failure detector over
+    /// leader-heartbeat inter-arrival history for election timing.
+    /// False falls back to the static staggered `failure_timeout`.
+    pub adaptive_detector: bool,
+    /// Suspicion threshold of the adaptive detector, in units of mean
+    /// absolute deviation above the mean inter-arrival gap.
+    pub detector_phi: u32,
+    /// Additive floor margin of the adaptive detector (guards against a
+    /// near-zero deviation history declaring suspicion on the first
+    /// delayed beacon).
+    pub detector_floor: SimDuration,
 }
 
 impl Default for SwishConfig {
@@ -290,6 +312,11 @@ impl Default for SwishConfig {
             clock: ClockMode::Synced { max_skew_ns: 50 },
             reconfig: ReconfigPolicy::default(),
             ctrl_replicas: 1,
+            log_compact_threshold: 256,
+            dir_lease: SimDuration::millis(8),
+            adaptive_detector: true,
+            detector_phi: 4,
+            detector_floor: SimDuration::millis(2),
         }
     }
 }

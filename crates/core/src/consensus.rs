@@ -35,10 +35,42 @@ pub type Ballot = u64;
 /// A log slot index.
 pub type Slot = u64;
 
-/// Hard cap on the consensus log, mirroring a fixed-size register array.
-/// Control-plane decrees are rare (membership + migration events), so a
-/// real deployment would recycle cells; the simulation enforces the cap.
+/// Capacity of the consensus log *window*, mirroring a fixed-size
+/// register array. Slots are absolute and monotonically increasing, but
+/// only the window `[base, base + SLOT_CAP)` is backed by register
+/// cells; compaction (a chosen [`CtrlCmd::Compact`] decree) advances
+/// `base` and recycles the cells below it, the way a real PISA register
+/// array would be reused. Overflowing the window is a degraded-mode
+/// error ([`ConsensusError::LogOverflow`]), not a panic.
 pub const SLOT_CAP: usize = 1024;
+
+/// A consensus invariant the register model cannot absorb. Surfaced to
+/// the oracle layer as a violation (the harness attaches seed and
+/// schedule for replay) instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsensusError {
+    /// A slot landed outside the `SLOT_CAP` register window — the log
+    /// grew a full window beyond the last compaction boundary.
+    LogOverflow {
+        /// The slot that did not fit.
+        slot: Slot,
+        /// The window base at the time.
+        base: Slot,
+    },
+}
+
+impl std::fmt::Display for ConsensusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsensusError::LogOverflow { slot, base } => write!(
+                f,
+                "consensus log overflow: slot {slot} outside register \
+                 window [{base}, {})",
+                base + SLOT_CAP as u64
+            ),
+        }
+    }
+}
 
 /// Compose a ballot from an election round and a replica index.
 pub fn ballot(round: u64, idx: u8) -> Ballot {
@@ -65,36 +97,70 @@ pub enum Role {
 }
 
 /// Acceptor register state: the log-wide promise plus per-slot accepted
-/// (ballot, command) cells.
+/// (ballot, command) cells for the current window. Cell storage is
+/// indexed by `slot - base`; slots below `base` have been recycled and
+/// any request naming them is refused (the proposer heals via the
+/// snapshot catch-up path instead).
 #[derive(Debug, Clone, Default)]
 pub struct Acceptor {
     /// Log-wide promised ballot: Prepares and Accepts below it are
     /// refused, which is what keeps an established leader stable.
     pub floor: Ballot,
+    /// First slot still backed by a register cell.
+    pub base: Slot,
     cells: Vec<Option<(Ballot, CtrlCmd)>>,
 }
 
 impl Acceptor {
     fn cell(&self, slot: Slot) -> Option<(Ballot, CtrlCmd)> {
-        self.cells.get(slot as usize).copied().flatten()
+        if slot < self.base {
+            return None;
+        }
+        self.cells
+            .get((slot - self.base) as usize)
+            .copied()
+            .flatten()
     }
 
-    fn set_cell(&mut self, slot: Slot, b: Ballot, c: CtrlCmd) {
-        let i = slot as usize;
-        assert!(i < SLOT_CAP, "consensus log exceeded SLOT_CAP");
+    /// Store an accepted value. False when the slot falls outside the
+    /// register window (compacted or a full window ahead).
+    #[must_use]
+    fn set_cell(&mut self, slot: Slot, b: Ballot, c: CtrlCmd) -> bool {
+        if slot < self.base {
+            return false;
+        }
+        let i = (slot - self.base) as usize;
+        if i >= SLOT_CAP {
+            return false;
+        }
         if self.cells.len() <= i {
             self.cells.resize(i + 1, None);
         }
         self.cells[i] = Some((b, c));
+        true
     }
 
-    /// Highest slot with an accepted value, 1-based (0 = none).
+    /// Highest slot with an accepted value, 1-based (`base` = none).
     fn max_slot(&self) -> u64 {
         self.cells
             .iter()
             .rposition(|c| c.is_some())
-            .map(|i| i as u64 + 1)
-            .unwrap_or(0)
+            .map(|i| i as u64 + 1 + self.base)
+            .unwrap_or(self.base)
+    }
+
+    /// Recycle every cell below `base` and advance the window.
+    fn rebase(&mut self, base: Slot) {
+        if base <= self.base {
+            return;
+        }
+        let drop = (base - self.base) as usize;
+        if drop >= self.cells.len() {
+            self.cells.clear();
+        } else {
+            self.cells.drain(..drop);
+        }
+        self.base = base;
     }
 }
 
@@ -122,8 +188,17 @@ pub struct Consensus {
     pub me: NodeId,
     /// This replica's index within the group (ballot tiebreak).
     pub idx: u8,
-    /// All replicas, index order (`group[idx] == me`).
+    /// Current consensus membership. Changed at runtime by committed
+    /// `AddReplica`/`RemoveReplica` decrees; a spare replica starts with
+    /// a group that does not contain it and stays passive until a
+    /// membership decree admits it.
     pub group: Vec<NodeId>,
+    /// Previous membership during a joint-quorum window: from the
+    /// commit of a membership decree until one further decree commits,
+    /// proposals must gather majorities of BOTH groups.
+    pub old_group: Option<Vec<NodeId>>,
+    /// Commit height at which the joint window closes.
+    joint_until: Slot,
     /// Current role.
     pub role: Role,
     /// Our proposal ballot while candidate/leader.
@@ -142,6 +217,11 @@ pub struct Consensus {
     queue: VecDeque<CtrlCmd>,
     /// Leader changes observed in the committed prefix (failover count).
     pub leader_changes: u64,
+    /// Compaction decrees applied (register-window recycles).
+    pub compactions: u64,
+    /// First capacity violation observed, sticky: the run degrades and
+    /// the oracle layer reports it, rather than the process aborting.
+    pub error: Option<ConsensusError>,
 }
 
 impl Consensus {
@@ -151,6 +231,8 @@ impl Consensus {
             me,
             idx,
             group,
+            old_group: None,
+            joint_until: 0,
             role: Role::Follower,
             bal: 0,
             seen_round: 0,
@@ -161,24 +243,67 @@ impl Consensus {
             inflight: None,
             queue: VecDeque::new(),
             leader_changes: 0,
+            compactions: 0,
+            error: None,
         }
     }
 
-    fn quorum(&self) -> usize {
+    /// Majority size of the current group.
+    pub fn quorum(&self) -> usize {
         self.group.len() / 2 + 1
     }
 
+    /// True when `grants` satisfies the quorum rule: a majority of the
+    /// current group, and — during a joint window — a majority of the
+    /// outgoing group as well.
+    fn has_quorum(&self, grants: &[NodeId]) -> bool {
+        let maj = |g: &[NodeId]| grants.iter().filter(|n| g.contains(n)).count() > g.len() / 2;
+        maj(&self.group) && self.old_group.as_deref().map(maj).unwrap_or(true)
+    }
+
     fn peers(&self) -> Vec<NodeId> {
-        self.group
+        let mut v: Vec<NodeId> = self
+            .group
             .iter()
             .copied()
             .filter(|&p| p != self.me)
-            .collect()
+            .collect();
+        if let Some(og) = &self.old_group {
+            for &p in og {
+                if p != self.me && !v.contains(&p) {
+                    v.push(p);
+                }
+            }
+        }
+        v
     }
 
-    /// The chosen command at `slot`, if decided.
+    /// First slot still backed by register cells (compaction boundary).
+    pub fn base(&self) -> Slot {
+        self.acceptor.base
+    }
+
+    /// Occupied length of the register window (slots since the last
+    /// compaction) — the leader proposes a `Compact` when this nears
+    /// [`SLOT_CAP`].
+    pub fn window_len(&self) -> usize {
+        (self.first_unchosen() - self.acceptor.base) as usize
+    }
+
+    /// True while a membership change's joint-quorum window is open.
+    pub fn in_joint_window(&self) -> bool {
+        self.old_group.is_some()
+    }
+
+    /// The chosen command at `slot`, if decided and not yet compacted.
     pub fn chosen_at(&self, slot: Slot) -> Option<CtrlCmd> {
-        self.chosen.get(slot as usize).copied().flatten()
+        if slot < self.acceptor.base {
+            return None;
+        }
+        self.chosen
+            .get((slot - self.acceptor.base) as usize)
+            .copied()
+            .flatten()
     }
 
     fn first_unchosen(&self) -> Slot {
@@ -245,10 +370,16 @@ impl Consensus {
             return out;
         }
         let slot = self.first_unchosen();
-        assert!(
-            (slot as usize) < SLOT_CAP,
-            "consensus log exceeded SLOT_CAP"
-        );
+        if (slot - self.acceptor.base) as usize >= SLOT_CAP {
+            // The window is full and no compaction landed in time:
+            // degrade (sticky error, surfaced by the oracles) instead of
+            // panicking, and stop proposing.
+            self.error.get_or_insert(ConsensusError::LogOverflow {
+                slot,
+                base: self.acceptor.base,
+            });
+            return out;
+        }
         self.inflight = Some(Inflight {
             slot,
             phase2: false,
@@ -309,7 +440,9 @@ impl Consensus {
 
     fn promise_for(&mut self, m: CtrlPrepare) -> CtrlPromise {
         self.seen_round = self.seen_round.max(ballot_round(m.ballot));
-        let granted = m.ballot >= self.acceptor.floor;
+        // Refuse slots below the compaction boundary: those register
+        // cells are recycled, the proposer must catch up via snapshot.
+        let granted = m.ballot >= self.acceptor.floor && m.slot >= self.acceptor.base;
         if granted {
             self.acceptor.floor = m.ballot;
         }
@@ -339,10 +472,17 @@ impl Consensus {
 
     fn accepted_for(&mut self, m: CtrlAccept) -> CtrlAccepted {
         self.seen_round = self.seen_round.max(ballot_round(m.ballot));
-        let granted = m.ballot >= self.acceptor.floor;
+        let mut granted = m.ballot >= self.acceptor.floor && m.slot >= self.acceptor.base;
         if granted {
-            self.acceptor.floor = m.ballot;
-            self.acceptor.set_cell(m.slot, m.ballot, m.cmd);
+            if self.acceptor.set_cell(m.slot, m.ballot, m.cmd) {
+                self.acceptor.floor = m.ballot;
+            } else {
+                granted = false;
+                self.error.get_or_insert(ConsensusError::LogOverflow {
+                    slot: m.slot,
+                    base: self.acceptor.base,
+                });
+            }
         }
         CtrlAccepted {
             from: self.me,
@@ -370,7 +510,6 @@ impl Consensus {
         if self.role == Role::Follower || m.ballot != self.bal {
             return;
         }
-        let quorum = self.quorum();
         let Some(f) = self.inflight.as_mut() else {
             return;
         };
@@ -392,9 +531,11 @@ impl Consensus {
         if !f.grants.contains(&m.from) {
             f.grants.push(m.from);
         }
-        if f.grants.len() < quorum {
+        let grants = f.grants.clone();
+        if !self.has_quorum(&grants) {
             return;
         }
+        let f = self.inflight.as_mut().expect("inflight");
         // Phase 2: push the discovered value if any (completing an
         // interrupted decree), else our own command.
         let (value, mine) = match f.best {
@@ -441,7 +582,6 @@ impl Consensus {
         if self.role == Role::Follower || m.ballot != self.bal {
             return;
         }
-        let quorum = self.quorum();
         let Some(f) = self.inflight.as_mut() else {
             return;
         };
@@ -465,9 +605,11 @@ impl Consensus {
         if !f.grants.contains(&m.from) {
             f.grants.push(m.from);
         }
-        if f.grants.len() < quorum {
+        let grants = f.grants.clone();
+        if !self.has_quorum(&grants) {
             return;
         }
+        let f = self.inflight.as_ref().expect("inflight");
         let slot = f.slot;
         let value = f.value.expect("phase-2 value");
         self.inflight = None;
@@ -511,8 +653,19 @@ impl Consensus {
     }
 
     fn learn(&mut self, slot: Slot, cmd: CtrlCmd) {
-        let i = slot as usize;
-        assert!(i < SLOT_CAP, "consensus log exceeded SLOT_CAP");
+        if slot < self.acceptor.base {
+            // Already compacted away: the decree is reflected in the
+            // snapshot state, a late Learn for it is stale.
+            return;
+        }
+        let i = (slot - self.acceptor.base) as usize;
+        if i >= SLOT_CAP {
+            self.error.get_or_insert(ConsensusError::LogOverflow {
+                slot,
+                base: self.acceptor.base,
+            });
+            return;
+        }
         if self.chosen.len() <= i {
             self.chosen.resize(i + 1, None);
         }
@@ -521,29 +674,121 @@ impl Consensus {
             "two different values chosen at slot {slot}"
         );
         self.chosen[i] = Some(cmd);
-        // Advance the committed prefix; leadership follows the log.
+        self.advance_commit();
+    }
+
+    /// Advance the committed prefix; leadership, membership, and the
+    /// compaction boundary all follow the log.
+    fn advance_commit(&mut self) {
         while let Some(c) = self.chosen_at(self.commit) {
-            if let CtrlCmd::Reassert { leader } = c {
-                if self.leader_hint != Some(leader) {
-                    if self.leader_hint.is_some() {
-                        self.leader_changes += 1;
-                    }
-                    self.leader_hint = Some(leader);
-                }
-                if leader == self.me {
-                    self.role = Role::Leader;
-                } else if self.role != Role::Follower {
-                    self.step_down();
-                }
-            }
+            let slot = self.commit;
             self.commit += 1;
+            match c {
+                CtrlCmd::Reassert { leader } => {
+                    if self.leader_hint != Some(leader) {
+                        if self.leader_hint.is_some() {
+                            self.leader_changes += 1;
+                        }
+                        self.leader_hint = Some(leader);
+                    }
+                    if leader == self.me {
+                        self.role = Role::Leader;
+                    } else if self.role != Role::Follower {
+                        self.step_down();
+                    }
+                }
+                CtrlCmd::AddReplica { node } if !self.group.contains(&node) => {
+                    self.old_group = Some(self.group.clone());
+                    self.group.push(node);
+                    // Joint window: one further decree must commit
+                    // under majorities of both groups. (Single-node
+                    // changes already have overlapping majorities;
+                    // the window is the belt-and-braces on top.)
+                    self.joint_until = slot + 2;
+                }
+                CtrlCmd::RemoveReplica { node } if self.group.contains(&node) => {
+                    self.old_group = Some(self.group.clone());
+                    self.group.retain(|&n| n != node);
+                    self.joint_until = slot + 2;
+                    if node == self.me && self.role != Role::Follower {
+                        self.step_down();
+                    }
+                }
+                // `Compact` is NOT applied here: the commit cursor can
+                // run ahead of the state-machine apply cursor, and
+                // recycling cells below a slot the controller has not
+                // applied yet would lose decrees. The controller calls
+                // `compact_to` when its apply cursor passes the decree,
+                // which is the same boundary on every replica.
+                _ => {}
+            }
+            if self.old_group.is_some() && self.commit >= self.joint_until {
+                self.old_group = None;
+            }
         }
+    }
+
+    /// Recycle register cells below `upto` (acceptor and chosen arrays
+    /// alike). No-op unless `base < upto <= commit`: every discarded
+    /// slot is inside the committed prefix, so no accepted-but-unchosen
+    /// value can be lost.
+    pub fn compact_to(&mut self, upto: Slot) -> bool {
+        if upto <= self.acceptor.base || upto > self.commit {
+            return false;
+        }
+        let drop = (upto - self.acceptor.base) as usize;
+        if drop >= self.chosen.len() {
+            self.chosen.clear();
+        } else {
+            self.chosen.drain(..drop);
+        }
+        self.acceptor.rebase(upto);
+        self.compactions += 1;
+        true
+    }
+
+    /// Adopt a snapshot catch-up boundary: a peer's applied state
+    /// replaces everything below `base`, and this replica resumes from
+    /// there (keeping any already-decided suffix at or above `base`).
+    /// No-op unless actually behind (`commit < base`).
+    pub fn install_base(
+        &mut self,
+        base: Slot,
+        group: Vec<NodeId>,
+        leader: Option<NodeId>,
+        leader_changes: u64,
+    ) -> bool {
+        if base <= self.commit {
+            return false;
+        }
+        let old_base = self.acceptor.base;
+        if base > old_base {
+            let drop = (base - old_base) as usize;
+            if drop >= self.chosen.len() {
+                self.chosen.clear();
+            } else {
+                self.chosen.drain(..drop);
+            }
+            self.acceptor.rebase(base);
+        }
+        self.group = group;
+        self.old_group = None;
+        self.leader_hint = leader;
+        self.leader_changes = leader_changes;
+        self.commit = base;
+        self.step_down();
+        // A decided suffix above the boundary may already be sitting in
+        // the chosen array — walk it as usual.
+        self.advance_commit();
+        true
     }
 
     /// Learn messages re-playing slots `[from, commit)` for a lagging
     /// follower (lost-`CtrlLearn` recovery, driven off its heartbeat).
+    /// Clamped to the compaction boundary: anything below `base` only
+    /// exists as snapshot state and is shipped via `CtrlSnap` instead.
     pub fn learns_since(&self, from: Slot) -> Vec<CtrlLearn> {
-        (from..self.commit)
+        (from.max(self.acceptor.base)..self.commit)
             .filter_map(|s| {
                 self.chosen_at(s).map(|cmd| CtrlLearn {
                     from: self.me,
@@ -699,6 +944,163 @@ mod tests {
             1,
             "exactly one leader"
         );
+    }
+
+    #[test]
+    fn compaction_sustains_four_windows_of_decrees() {
+        let mut reps = vec![mk(0), mk(1), mk(2)];
+        let out = reps[0].start_candidacy();
+        run_bus(&mut reps, out, |_, _| false);
+        // Long horizon: 4x the register window, with the leader choosing
+        // a Compact decree whenever the window crosses a threshold —
+        // the production trigger wired through the controller tick.
+        let total = 4 * SLOT_CAP;
+        for k in 0..total {
+            let out = reps[0].enqueue(CtrlCmd::Fail {
+                node: NodeId((k % 64) as u16),
+            });
+            run_bus(&mut reps, out, |_, _| false);
+            if reps[0].window_len() >= 256 {
+                let upto = reps[0].commit;
+                let out = reps[0].enqueue(CtrlCmd::Compact { upto });
+                run_bus(&mut reps, out, |_, _| false);
+                // Each replica's apply cursor passes the decree and
+                // recycles the window (the controller's job in prod).
+                for r in reps.iter_mut() {
+                    assert!(r.compact_to(upto));
+                }
+            }
+        }
+        for r in &reps {
+            assert!(r.error.is_none(), "overflow surfaced: {:?}", r.error);
+            assert!(r.compactions > 0, "window never recycled");
+            assert!(r.window_len() < SLOT_CAP);
+            assert!(r.base() > 0);
+            assert_eq!(r.commit, reps[0].commit, "replicas diverged");
+        }
+        assert!(reps[0].commit as usize > total);
+    }
+
+    #[test]
+    fn window_overflow_degrades_with_error_not_panic() {
+        let mut reps = vec![mk(0), mk(1), mk(2)];
+        let out = reps[0].start_candidacy();
+        run_bus(&mut reps, out, |_, _| false);
+        // No compaction: the window must fill and degrade, not abort.
+        for k in 0..SLOT_CAP + 8 {
+            let out = reps[0].enqueue(CtrlCmd::Fail {
+                node: NodeId((k % 64) as u16),
+            });
+            run_bus(&mut reps, out, |_, _| false);
+        }
+        assert!(matches!(
+            reps[0].error,
+            Some(ConsensusError::LogOverflow { .. })
+        ));
+        assert!(reps[0].commit as usize <= SLOT_CAP);
+    }
+
+    #[test]
+    fn membership_decrees_change_quorum_at_runtime() {
+        let g = group3();
+        let spare = NodeId(u16::MAX - 3);
+        let mut reps = vec![mk(0), mk(1), mk(2), Consensus::new(spare, 3, g.clone())];
+        let out = reps[0].start_candidacy();
+        run_bus(&mut reps, out, |_, _| false);
+        let out = reps[0].enqueue(CtrlCmd::AddReplica { node: spare });
+        run_bus(&mut reps, out, |_, _| false);
+        for r in &reps[..3] {
+            assert_eq!(r.group.len(), 4);
+            assert!(r.group.contains(&spare));
+        }
+        assert!(reps[0].in_joint_window(), "joint window opens at commit");
+        // The spare catches up via learn replay and adopts the
+        // membership that admits it.
+        let learns: Outbox = reps[0]
+            .learns_since(0)
+            .into_iter()
+            .map(|l| (spare, SwishMsg::CtrlLearn(l)))
+            .collect();
+        run_bus(&mut reps, learns, |_, _| false);
+        assert!(reps[3].group.contains(&spare));
+        assert_eq!(reps[3].commit, reps[0].commit);
+        // One further decree closes the joint window.
+        let out = reps[0].enqueue(CtrlCmd::Fail { node: NodeId(9) });
+        run_bus(&mut reps, out, |_, _| false);
+        assert!(!reps[0].in_joint_window());
+        // Removal shrinks the group; the removed replica steps aside.
+        let out = reps[0].enqueue(CtrlCmd::RemoveReplica { node: g[2] });
+        run_bus(&mut reps, out, |_, _| false);
+        let out = reps[0].enqueue(CtrlCmd::Fail { node: NodeId(10) });
+        run_bus(&mut reps, out, |_, _| false);
+        assert_eq!(reps[0].group.len(), 3);
+        assert!(!reps[0].group.contains(&g[2]));
+        assert!(!reps[0].in_joint_window());
+        assert!(!reps[2].group.contains(&g[2]));
+        assert_eq!(reps[2].role, Role::Follower);
+    }
+
+    #[test]
+    fn interrupted_membership_decree_converges_to_one_membership() {
+        let g = group3();
+        let spare = NodeId(u16::MAX - 3);
+        let mut reps = vec![mk(0), mk(1), mk(2), Consensus::new(spare, 3, g.clone())];
+        let out = reps[0].start_candidacy();
+        run_bus(&mut reps, out, |_, _| false);
+        // The AddReplica is accepted at a quorum, but every reply past
+        // the accepts is lost: chosen nowhere, then the leader crashes.
+        let out = reps[0].enqueue(CtrlCmd::AddReplica { node: spare });
+        run_bus(&mut reps, out, |i, m| {
+            i == 0 && matches!(m, SwishMsg::CtrlAccepted(_) | SwishMsg::CtrlLearn(_))
+        });
+        assert_eq!(reps[1].group.len(), 3, "not yet applied anywhere");
+        // The next leader must re-discover and finish the membership
+        // decree before its own Reassert — one membership, not two.
+        let out = reps[1].start_candidacy();
+        run_bus(&mut reps, out, |i, _| i == 0);
+        assert_eq!(reps[1].role, Role::Leader);
+        for r in &reps[1..3] {
+            assert_eq!(r.group.len(), 4, "membership converged");
+            assert!(r.group.contains(&spare));
+        }
+    }
+
+    #[test]
+    fn lagging_replica_jumps_to_snapshot_base() {
+        let mut reps = vec![mk(0), mk(1), mk(2)];
+        let out = reps[0].start_candidacy();
+        run_bus(&mut reps, out, |_, _| false);
+        // Replica 2 misses a stretch that then gets compacted away.
+        for k in 0..8 {
+            let out = reps[0].enqueue(CtrlCmd::Fail { node: NodeId(k) });
+            run_bus(&mut reps, out, |i, _| i == 2);
+        }
+        let upto = reps[0].commit;
+        let out = reps[0].enqueue(CtrlCmd::Compact { upto });
+        run_bus(&mut reps, out, |i, _| i == 2);
+        assert!(reps[0].compact_to(upto));
+        assert!(reps[1].compact_to(upto));
+        assert!(reps[0].base() > 0);
+        assert_eq!(reps[2].commit, 1);
+        // Learn replay no longer covers the gap below the boundary …
+        assert!(reps[0]
+            .learns_since(reps[2].commit)
+            .iter()
+            .all(|l| l.slot >= reps[0].base()));
+        // … so the snapshot path jumps the replica to the boundary.
+        let base = reps[0].base();
+        let group = reps[0].group.clone();
+        let (hint, changes) = (reps[0].leader_hint, reps[0].leader_changes);
+        assert!(reps[2].install_base(base, group, hint, changes));
+        assert_eq!(reps[2].commit, base);
+        // Suffix replay completes the catch-up.
+        let learns: Outbox = reps[0]
+            .learns_since(base)
+            .into_iter()
+            .map(|l| (NodeId(u16::MAX - 2), SwishMsg::CtrlLearn(l)))
+            .collect();
+        run_bus(&mut reps, learns, |_, _| false);
+        assert_eq!(reps[2].commit, reps[0].commit);
     }
 
     #[test]

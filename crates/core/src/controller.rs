@@ -25,17 +25,17 @@
 //! from the switches' broadcasts.
 
 use crate::config::{RegisterSpec, SwishConfig};
-use crate::consensus::{Consensus, Role, Slot};
-use crate::directory::DirectoryService;
+use crate::consensus::{Consensus, ConsensusError, Role, Slot};
+use crate::directory::{DirectoryService, RangeEntry};
 use crate::layer::{ChainView, REPLICA_GROUP};
 use crate::reconfig::{
     decode_trigger, MigrationPhase, RangeView, ReconfigEvent, ReconfigLogEntry, TriggerOp,
     MAX_RANGE_OWNERS,
 };
-use swishmem_simnet::{Ctx, Node, SimTime};
+use swishmem_simnet::{Ctx, Node, SimDuration, SimTime};
 use swishmem_wire::swish::{
-    ChainConfig, CtrlCmd, CtrlHb, CtrlLead, GroupConfig, Key, MigrateBegin, OwnershipCommit, RegId,
-    SnapshotRequest,
+    ChainConfig, CtrlCmd, CtrlHb, CtrlLead, CtrlSnap, CtrlSnapMig, CtrlSnapRange, CtrlSnapReg,
+    GroupConfig, Key, MigrateBegin, OwnershipCommit, RegId, SnapshotRequest,
 };
 use swishmem_wire::{NodeId, Packet, PacketBody, SwishMsg};
 
@@ -63,6 +63,11 @@ pub enum ConfigEventKind {
     Promoted(NodeId),
     /// A controller replica won an election (replicated mode only).
     LeaderElected(NodeId),
+    /// A controller replica joined the consensus group (a committed
+    /// `AddReplica` decree; replicated mode only).
+    ReplicaAdded(NodeId),
+    /// A controller replica left the consensus group.
+    ReplicaRemoved(NodeId),
 }
 
 /// Aggregate consensus counters of one controller replica.
@@ -77,6 +82,17 @@ pub struct ConsensusMetrics {
     pub elections: u64,
     /// Contiguously chosen log prefix (gauge).
     pub commit: u64,
+    /// Log compactions applied (register-window recycles).
+    pub log_compactions: u64,
+    /// Bytes of controller state persisted into the snapshot register
+    /// region across all compactions.
+    pub snapshot_bytes: u64,
+    /// Failure-detector suspicion transitions (a healthy-looking leader
+    /// crossing the phi threshold counts once per episode).
+    pub suspect_events: u64,
+    /// Directory lookups served by this replica while NOT leading
+    /// (lease-gated follower reads).
+    pub follower_reads: u64,
 }
 
 /// An in-flight range migration, controller side.
@@ -124,15 +140,37 @@ struct Rep {
     last_leader_hb: SimTime,
     /// Last time this replica started an election (retry pacing).
     last_attempt: SimTime,
-    /// Last beacon heard from each group member (index order; own slot
-    /// unused). A leader that cannot hear a quorum within
-    /// `failure_timeout` demotes itself — its decrees cannot commit
-    /// anyway, and self-demotion bounds how long an isolated old leader
-    /// keeps *acting* (emitting resyncs) after the group moved on.
-    peer_hb: Vec<SimTime>,
+    /// Last beacon heard per group member, keyed by node id (runtime
+    /// reconfiguration makes positional indexing unsound — the group
+    /// can grow, shrink, and reorder). A leader that cannot hear a
+    /// quorum within `failure_timeout` demotes itself — its decrees
+    /// cannot commit anyway, and self-demotion bounds how long an
+    /// isolated old leader keeps *acting* (emitting resyncs) after the
+    /// group moved on.
+    peer_hb: Vec<(NodeId, SimTime)>,
+    /// Leader-beacon inter-arrival history (nanoseconds, newest last),
+    /// feeding the phi-accrual-style failure detector.
+    hb_gaps: Vec<u64>,
+    /// Whether this replica currently suspects the leader (transition
+    /// tracking for the `suspect_events` counter).
+    suspected: bool,
+    /// Highest `Compact` boundary this replica proposed as leader
+    /// (suppresses duplicate proposals while one is in flight).
+    last_compact_upto: Slot,
+    /// Operator-requested membership changes `(replica, add)` not yet
+    /// reflected in the consensus group. Stored at *every* replica the
+    /// trigger reached: whoever leads re-proposes until the group
+    /// matches, so a decree racing a leader crash is never lost.
+    pending_member: Vec<(NodeId, bool)>,
     msgs_sent: u64,
     elections: u64,
+    suspect_events: u64,
+    follower_reads: u64,
+    snapshot_bytes: u64,
 }
+
+/// Leader-beacon inter-arrival samples retained by the detector.
+const HB_HISTORY: usize = 8;
 
 /// Effect sink for command application: followers apply state changes
 /// silently (`emit == false`); the leader and the singleton also send
@@ -183,6 +221,11 @@ pub struct Controller {
     /// when a crashed node recovers, which must re-arm timers but not
     /// re-bootstrap state.
     started: bool,
+    /// Whether the `Bootstrap` decree has been applied. Replicated state
+    /// (set by `broadcast`, restored from snapshots) — the event log is
+    /// NOT a faithful mirror after a snapshot install, so bootstrap
+    /// dedup cannot scan it.
+    boot_done: bool,
     rep: Option<Rep>,
 }
 
@@ -210,6 +253,7 @@ impl Controller {
             rmeta: Vec::new(),
             reconfig_log: Vec::new(),
             started: false,
+            boot_done: false,
             rep: None,
         }
     }
@@ -225,16 +269,54 @@ impl Controller {
         group: Vec<NodeId>,
     ) -> Controller {
         let me = group[idx as usize];
-        let n = group.len();
+        Controller::replica_at(cfg, switches, specs, idx, me, group)
+    }
+
+    /// A spare controller replica: consensus-capable but NOT a member of
+    /// `group` yet. It stays passive (never campaigns, gets no catch-up
+    /// traffic) until a committed `AddReplica` decree admits it — the
+    /// runtime path for replacing a dead replica.
+    pub fn spare(
+        cfg: SwishConfig,
+        switches: Vec<NodeId>,
+        specs: Vec<RegisterSpec>,
+        idx: u8,
+        me: NodeId,
+        group: Vec<NodeId>,
+    ) -> Controller {
+        Controller::replica_at(cfg, switches, specs, idx, me, group)
+    }
+
+    fn replica_at(
+        cfg: SwishConfig,
+        switches: Vec<NodeId>,
+        specs: Vec<RegisterSpec>,
+        idx: u8,
+        me: NodeId,
+        group: Vec<NodeId>,
+    ) -> Controller {
+        let peer_hb = group
+            .iter()
+            .copied()
+            .filter(|&g| g != me)
+            .map(|g| (g, SimTime::ZERO))
+            .collect();
         let mut c = Controller::new(cfg, switches, specs);
         c.rep = Some(Rep {
             cons: Consensus::new(me, idx, group),
             applied: 0,
             last_leader_hb: SimTime::ZERO,
             last_attempt: SimTime::ZERO,
-            peer_hb: vec![SimTime::ZERO; n],
+            peer_hb,
+            hb_gaps: Vec::new(),
+            suspected: false,
+            last_compact_upto: 0,
+            pending_member: Vec::new(),
             msgs_sent: 0,
             elections: 0,
+            suspect_events: 0,
+            follower_reads: 0,
+            snapshot_bytes: 0,
         });
         c
     }
@@ -290,8 +372,36 @@ impl Controller {
                 leader_changes: r.cons.leader_changes,
                 elections: r.elections,
                 commit: r.cons.commit,
+                log_compactions: r.cons.compactions,
+                snapshot_bytes: r.snapshot_bytes,
+                suspect_events: r.suspect_events,
+                follower_reads: r.follower_reads,
             },
         }
+    }
+
+    /// The sticky consensus-layer error, if this replica's log window
+    /// ever overflowed (`None` for singletons and healthy replicas). The
+    /// oracle suite polls this: overflow is a protocol violation once
+    /// compaction exists, not a panic.
+    pub fn consensus_error(&self) -> Option<ConsensusError> {
+        self.rep.as_ref().and_then(|r| r.cons.error)
+    }
+
+    /// The consensus membership this replica currently believes (empty
+    /// for a singleton). Changes at runtime as `AddReplica` /
+    /// `RemoveReplica` decrees commit.
+    pub fn consensus_group(&self) -> Vec<NodeId> {
+        self.rep
+            .as_ref()
+            .map(|r| r.cons.group.clone())
+            .unwrap_or_default()
+    }
+
+    /// The replica's consensus-log compaction boundary (0 for a
+    /// singleton or before the first compaction).
+    pub fn log_base(&self) -> u64 {
+        self.rep.as_ref().map(|r| r.cons.base()).unwrap_or(0)
     }
 
     /// The controller's master range table for `reg`: directory owners
@@ -381,6 +491,54 @@ impl Controller {
         let out = rep.cons.enqueue(cmd);
         self.send_consensus(out, ctx);
         self.drain_chosen(ctx);
+    }
+
+    /// Record an operator membership change and propose it if leading.
+    /// Every replica that saw the trigger keeps the intent; see
+    /// [`Controller::flush_member_changes`].
+    fn queue_member_change(&mut self, node: NodeId, add: bool, ctx: &mut Ctx<'_>) {
+        let Some(rep) = self.rep.as_mut() else {
+            // Singleton: membership decrees are meaningless; apply the
+            // no-op directly so the event log still records the request.
+            let cmd = if add {
+                CtrlCmd::AddReplica { node }
+            } else {
+                CtrlCmd::RemoveReplica { node }
+            };
+            self.submit(cmd, ctx);
+            return;
+        };
+        if !rep.pending_member.contains(&(node, add)) {
+            rep.pending_member.push((node, add));
+        }
+        self.flush_member_changes(ctx);
+    }
+
+    /// Drop membership intents the group already reflects; as leader,
+    /// propose the rest. Called on the trigger and on every replica
+    /// tick, so an intent survives leader crashes and churn: whichever
+    /// replica leads next re-proposes it until the decree commits.
+    fn flush_member_changes(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(rep) = self.rep.as_mut() else { return };
+        rep.pending_member
+            .retain(|&(node, add)| rep.cons.group.contains(&node) != add);
+        if rep.cons.role != Role::Leader {
+            return;
+        }
+        let cmds: Vec<CtrlCmd> = rep
+            .pending_member
+            .iter()
+            .map(|&(node, add)| {
+                if add {
+                    CtrlCmd::AddReplica { node }
+                } else {
+                    CtrlCmd::RemoveReplica { node }
+                }
+            })
+            .collect();
+        for cmd in cmds {
+            self.submit(cmd, ctx);
+        }
     }
 
     fn send_consensus(&mut self, out: Vec<(NodeId, SwishMsg)>, ctx: &mut Ctx<'_>) {
@@ -502,13 +660,55 @@ impl Controller {
                 epoch,
                 pass,
             } => self.apply_mig_done(reg, start, node, epoch, pass, io),
+            CtrlCmd::Compact { upto } => {
+                // Recycle the log window at the *apply* cursor — the
+                // same boundary on every replica, and never ahead of any
+                // replica's own applied prefix (a committed-but-unapplied
+                // suffix must keep its register cells). The snapshot that
+                // makes the prefix recoverable is costed in wire bytes as
+                // if persisted to the snapshot register region.
+                let snap_len = SwishMsg::CtrlSnap(self.make_snapshot()).wire_len() as u64;
+                let Some(rep) = self.rep.as_mut() else { return };
+                if rep.cons.compact_to(upto) {
+                    rep.snapshot_bytes += snap_len;
+                }
+            }
+            CtrlCmd::AddReplica { node } => self.apply_replica_change(node, true, io),
+            CtrlCmd::RemoveReplica { node } => self.apply_replica_change(node, false, io),
         }
     }
 
+    /// Consensus already switched membership at commit time (quorum math
+    /// must change the moment the decree is chosen); the controller's
+    /// apply side re-keys its replica-liveness table to the new group and
+    /// logs the event for the operator.
+    fn apply_replica_change(&mut self, node: NodeId, added: bool, io: &mut Io<'_, '_>) {
+        let now = io.now();
+        let epoch = self.view.epoch;
+        let Some(rep) = self.rep.as_mut() else { return };
+        let me = rep.cons.me;
+        let group = rep.cons.group.clone();
+        rep.peer_hb.retain(|(n, _)| group.contains(n));
+        for &g in &group {
+            if g != me && !rep.peer_hb.iter().any(|(n, _)| *n == g) {
+                // A freshly admitted member starts with a live baseline
+                // so the leader-lease check does not count it dead.
+                rep.peer_hb.push((g, now));
+            }
+        }
+        self.events.push(ConfigEvent {
+            time: now,
+            epoch,
+            kind: if added {
+                ConfigEventKind::ReplicaAdded(node)
+            } else {
+                ConfigEventKind::ReplicaRemoved(node)
+            },
+        });
+    }
+
     fn bootstrapped(&self) -> bool {
-        self.events
-            .iter()
-            .any(|e| matches!(e.kind, ConfigEventKind::Bootstrap))
+        self.boot_done
     }
 
     /// Send the current configuration to one switch (idempotent; used for
@@ -561,6 +761,9 @@ impl Controller {
 
     fn broadcast(&mut self, io: &mut Io<'_, '_>, kind: ConfigEventKind) {
         self.view.epoch += 1;
+        if matches!(kind, ConfigEventKind::Bootstrap) {
+            self.boot_done = true;
+        }
         self.events.push(ConfigEvent {
             time: io.now(),
             epoch: self.view.epoch,
@@ -1123,28 +1326,26 @@ impl Controller {
     // ------------------------------------------------------------------
 
     fn rep_tick(&mut self, ctx: &mut Ctx<'_>) {
-        // Election timeout staggered by replica index so the lowest
-        // live index normally wins uncontested.
         let hb_interval = self.cfg.heartbeat_interval;
         let retry_pace = self.cfg.failure_timeout;
+        let cfg = self.cfg;
         let Some(rep) = self.rep.as_mut() else { return };
-        let election_timeout =
-            swishmem_simnet::SimDuration(retry_pace.0 + hb_interval.0 * u64::from(rep.cons.idx));
         let now = ctx.now();
         let me = rep.cons.me;
         // Leader lease: a leader that cannot hear a quorum of peers
         // within `failure_timeout` cannot commit anything either — stop
-        // acting so an isolated old leader bounds its own tenure.
+        // acting so an isolated old leader bounds its own tenure. (This
+        // same lease is what bounds follower-read staleness: every
+        // lookup a *deposed-but-unaware* leader can serve is confined to
+        // this window.)
         if rep.cons.role == Role::Leader {
-            let idx = usize::from(rep.cons.idx);
+            let group = rep.cons.group.clone();
             let heard = rep
                 .peer_hb
                 .iter()
-                .enumerate()
-                .filter(|&(i, &t)| i != idx && now.since(t) <= retry_pace)
+                .filter(|(n, t)| *n != me && group.contains(n) && now.since(*t) <= retry_pace)
                 .count();
-            let quorum = rep.cons.group.len() / 2 + 1;
-            if heard + 1 < quorum {
+            if heard + 1 < rep.cons.quorum() {
                 rep.cons.on_restart();
                 rep.last_leader_hb = now;
                 rep.last_attempt = now;
@@ -1185,17 +1386,59 @@ impl Controller {
         {
             self.submit(CtrlCmd::Bootstrap, ctx);
         }
-        // Election timer.
+        // Log compaction: once the window crosses the threshold and the
+        // leader's apply cursor has caught up with commit (so the decree
+        // boundary captures exactly the applied prefix), propose a
+        // `Compact`. `last_compact_upto` suppresses re-proposing while
+        // one is in flight.
+        let compact_upto = self.rep.as_ref().and_then(|r| {
+            (r.cons.role == Role::Leader
+                && r.applied == r.cons.commit
+                && r.cons.window_len() >= cfg.log_compact_threshold
+                && r.cons.commit > r.last_compact_upto)
+                .then_some(r.cons.commit)
+        });
+        if let Some(upto) = compact_upto {
+            self.rep.as_mut().expect("replica").last_compact_upto = upto;
+            self.submit(CtrlCmd::Compact { upto }, ctx);
+        }
+        // Re-propose operator membership intents the group does not yet
+        // reflect (survives leader crashes between trigger and commit).
+        self.flush_member_changes(ctx);
+        // Election timer, phi-accrual style: with enough leader-beacon
+        // inter-arrival history the suspicion threshold adapts to the
+        // *observed* beacon cadence (mean + phi deviations + floor,
+        // capped at 2x the static timeout) instead of the conservative
+        // static `failure_timeout`. Staggered by position in the current
+        // group so the first live member normally wins uncontested. A
+        // spare (group does not contain us yet) never campaigns.
         let Some(rep) = self.rep.as_mut() else { return };
-        if rep.cons.role != Role::Leader
+        let pos = rep.cons.group.iter().position(|&g| g == me);
+        let stagger = hb_interval.0 * pos.unwrap_or(0) as u64;
+        let timeout_ns = if cfg.adaptive_detector && rep.hb_gaps.len() >= 3 {
+            let n = rep.hb_gaps.len() as u64;
+            let mean = rep.hb_gaps.iter().sum::<u64>() / n;
+            let dev = rep.hb_gaps.iter().map(|&g| g.abs_diff(mean)).sum::<u64>() / n;
+            (mean + u64::from(cfg.detector_phi) * dev + cfg.detector_floor.0).min(2 * retry_pace.0)
+        } else {
+            retry_pace.0
+        };
+        let election_timeout = SimDuration(timeout_ns + stagger);
+        if pos.is_some()
+            && rep.cons.role != Role::Leader
             && now.since(rep.last_leader_hb) > election_timeout
-            && now.since(rep.last_attempt) > retry_pace
         {
-            rep.last_attempt = now;
-            rep.elections += 1;
-            let out = rep.cons.start_candidacy();
-            self.send_consensus(out, ctx);
-            self.drain_chosen(ctx);
+            if !rep.suspected {
+                rep.suspected = true;
+                rep.suspect_events += 1;
+            }
+            if now.since(rep.last_attempt) > retry_pace {
+                rep.last_attempt = now;
+                rep.elections += 1;
+                let out = rep.cons.start_candidacy();
+                self.send_consensus(out, ctx);
+                self.drain_chosen(ctx);
+            }
         }
         ctx.set_timer(hb_interval, REP_TICK);
     }
@@ -1204,8 +1447,11 @@ impl Controller {
     /// lease in `rep_tick`).
     fn note_peer(&mut self, from: NodeId, now: SimTime) {
         let Some(rep) = self.rep.as_mut() else { return };
-        if let Some(i) = rep.cons.group.iter().position(|&g| g == from) {
-            rep.peer_hb[i] = now;
+        let member = rep.cons.group.contains(&from);
+        match rep.peer_hb.iter_mut().find(|(n, _)| *n == from) {
+            Some((_, t)) => *t = now,
+            None if member => rep.peer_hb.push((from, now)),
+            None => {}
         }
     }
 
@@ -1214,10 +1460,47 @@ impl Controller {
         self.note_peer(hb.from, now);
         let Some(rep) = self.rep.as_mut() else { return };
         if hb.leader {
+            // Feed the failure detector with the beacon inter-arrival
+            // gap. Gaps spanning elections or our own downtime would
+            // poison the history; anything beyond 2x the static timeout
+            // is discarded as not a normal-operation sample.
+            let gap = now.since(rep.last_leader_hb);
+            if rep.last_leader_hb != SimTime::ZERO
+                && gap.0 > 0
+                && gap.0 <= 2 * self.cfg.failure_timeout.0
+            {
+                rep.hb_gaps.push(gap.0);
+                if rep.hb_gaps.len() > HB_HISTORY {
+                    rep.hb_gaps.remove(0);
+                }
+            }
             rep.last_leader_hb = now;
+            rep.suspected = false;
         }
-        // Replay chosen decrees a lagging replica missed.
-        if hb.commit < rep.cons.commit {
+        // Catch-up is for group members only: a spare that has not been
+        // admitted by an `AddReplica` decree yet gets nothing (its state
+        // transfer happens when the decree commits and its beacons start
+        // reflecting membership).
+        let member = rep.cons.group.contains(&hb.from)
+            || rep
+                .cons
+                .old_group
+                .as_ref()
+                .is_some_and(|g| g.contains(&hb.from));
+        if !member {
+            return;
+        }
+        // A member below our compaction boundary cannot be healed by
+        // learn-replay alone — the decrees are recycled. Send a snapshot
+        // of the applied prefix; the learns below cover the suffix.
+        let needs_snap = hb.commit < rep.cons.base();
+        let needs_replay = hb.commit < rep.cons.commit;
+        if needs_snap {
+            let snap = SwishMsg::CtrlSnap(self.make_snapshot());
+            self.send_consensus(vec![(hb.from, snap)], ctx);
+        }
+        if needs_replay {
+            let rep = self.rep.as_ref().expect("replica");
             let learns: Vec<(NodeId, SwishMsg)> = rep
                 .cons
                 .learns_since(hb.commit)
@@ -1226,6 +1509,135 @@ impl Controller {
                 .collect();
             self.send_consensus(learns, ctx);
         }
+    }
+
+    /// Serialize the applied controller state for a lagging replica:
+    /// consensus bookkeeping up to this replica's apply cursor plus the
+    /// fabric view and the full partitioned-range tables.
+    fn make_snapshot(&self) -> CtrlSnap {
+        let rep = self.rep.as_ref().expect("replica");
+        let mut regs = Vec::new();
+        for spec in self.specs.iter().filter(|s| s.is_partitioned()) {
+            let ranges = self
+                .directory
+                .ranges(spec.id)
+                .iter()
+                .map(|r| {
+                    let meta = self
+                        .rmeta
+                        .iter()
+                        .find(|m| m.reg == spec.id && m.start == r.start);
+                    CtrlSnapRange {
+                        start: r.start,
+                        end: r.end,
+                        committed_epoch: meta.map(|m| m.committed_epoch).unwrap_or(0),
+                        issued_epoch: meta.map(|m| m.issued_epoch).unwrap_or(0),
+                        owners: r.owners.clone(),
+                        mig: meta.and_then(|m| m.mig.as_ref()).map(|g| CtrlSnapMig {
+                            from: g.from,
+                            to: g.to,
+                            epoch: g.epoch,
+                            phase: phase_code(g.phase),
+                            commit_owners: g.commit_owners.clone(),
+                        }),
+                    }
+                })
+                .collect();
+            regs.push(CtrlSnapReg {
+                reg: spec.id,
+                ranges,
+            });
+        }
+        CtrlSnap {
+            from: rep.cons.me,
+            base: rep.applied,
+            epoch: self.view.epoch,
+            chain: self.view.chain.clone(),
+            learners: self.view.learners.clone(),
+            group: rep.cons.group.clone(),
+            leader: rep.cons.leader_hint,
+            leader_changes: rep.cons.leader_changes,
+            boot_done: self.boot_done,
+            regs,
+        }
+    }
+
+    /// Install a peer's snapshot: jump the consensus log to its base and
+    /// adopt the sender's applied controller state wholesale. Refused
+    /// (no-op) unless it actually advances our committed prefix.
+    fn on_ctrl_snap(&mut self, s: CtrlSnap, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.note_peer(s.from, now);
+        let Some(rep) = self.rep.as_mut() else { return };
+        if !rep
+            .cons
+            .install_base(s.base, s.group.clone(), s.leader, s.leader_changes)
+        {
+            return;
+        }
+        rep.applied = s.base;
+        // Re-key peer liveness to the adopted membership.
+        let me = rep.cons.me;
+        let group = rep.cons.group.clone();
+        rep.peer_hb.retain(|(n, _)| group.contains(n));
+        for &g in &group {
+            if g != me && !rep.peer_hb.iter().any(|(n, _)| *n == g) {
+                rep.peer_hb.push((g, now));
+            }
+        }
+        self.boot_done = s.boot_done;
+        self.view.epoch = s.epoch;
+        self.view.chain = s.chain;
+        self.view.learners = s.learners;
+        self.rmeta.clear();
+        for rg in s.regs {
+            let entries: Vec<RangeEntry> = rg
+                .ranges
+                .iter()
+                .map(|r| RangeEntry {
+                    start: r.start,
+                    end: r.end,
+                    owners: r.owners.clone(),
+                })
+                .collect();
+            self.directory.install_ranges(rg.reg, entries);
+            for r in rg.ranges {
+                self.rmeta.push(RangeMeta {
+                    reg: rg.reg,
+                    start: r.start,
+                    end: r.end,
+                    committed_epoch: r.committed_epoch,
+                    issued_epoch: r.issued_epoch,
+                    mig: r.mig.map(|g| Mig {
+                        from: g.from,
+                        to: g.to,
+                        epoch: g.epoch,
+                        phase: phase_from_code(g.phase),
+                        commit_owners: g.commit_owners,
+                    }),
+                    cooldown_until: None,
+                });
+            }
+        }
+        // Apply whatever committed suffix `install_base` retained.
+        self.drain_chosen(ctx);
+    }
+}
+
+/// Wire code for an in-flight migration phase (only open migrations are
+/// snapshotted, so terminal phases never cross the wire).
+fn phase_code(p: MigrationPhase) -> u8 {
+    match p {
+        MigrationPhase::Transferring => 0,
+        MigrationPhase::DualOwner => 1,
+        _ => u8::MAX,
+    }
+}
+
+fn phase_from_code(c: u8) -> MigrationPhase {
+    match c {
+        0 => MigrationPhase::Transferring,
+        _ => MigrationPhase::DualOwner,
     }
 }
 
@@ -1254,9 +1666,13 @@ impl Node for Controller {
                 rep.cons.on_restart();
                 rep.last_leader_hb = now;
                 rep.last_attempt = now;
-                for t in rep.peer_hb.iter_mut() {
+                for (_, t) in rep.peer_hb.iter_mut() {
                     *t = now;
                 }
+                // Inter-arrival history spans the downtime — discard it
+                // so the detector re-learns the cadence from scratch.
+                rep.hb_gaps.clear();
+                rep.suspected = false;
                 ctx.set_timer(self.cfg.heartbeat_interval, REP_TICK);
             }
             return;
@@ -1281,7 +1697,7 @@ impl Node for Controller {
             Some(rep) => {
                 rep.last_leader_hb = now;
                 rep.last_attempt = now;
-                for t in rep.peer_hb.iter_mut() {
+                for (_, t) in rep.peer_hb.iter_mut() {
                     *t = now;
                 }
                 ctx.set_timer(self.cfg.heartbeat_interval, CHECK_TIMER);
@@ -1314,6 +1730,21 @@ impl Node for Controller {
                 self.note_heartbeat(hb.from, hb.epoch, now, ctx);
             }
             SwishMsg::DirLookup(q) => {
+                // Follower reads (replicated mode): a non-leading replica
+                // may answer only under a fresh leader lease — a beacon
+                // within `dir_lease` proves its applied prefix is at most
+                // one lease behind the leader's commits. Outside the
+                // lease the lookup is dropped; the querier's CP retry
+                // (which also re-targets) recovers. Singletons and
+                // leaders answer unconditionally.
+                if let Some(rep) = self.rep.as_mut() {
+                    if rep.cons.role != Role::Leader {
+                        if ctx.now().since(rep.last_leader_hb) > self.cfg.dir_lease {
+                            return;
+                        }
+                        rep.follower_reads += 1;
+                    }
+                }
                 let owners = self.directory.lookup(q.reg, q.key, q.from);
                 ctx.send(
                     q.from,
@@ -1400,12 +1831,30 @@ impl Node for Controller {
                 self.drain_chosen(ctx);
             }
             SwishMsg::CtrlHb(hb) => self.on_ctrl_hb(hb, ctx),
+            SwishMsg::CtrlSnap(s) => self.on_ctrl_snap(s, ctx),
             _ => {}
         }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         if let Some((op, reg, key, to)) = decode_trigger(token) {
+            // Replica-group reconfiguration bypasses the leader gate:
+            // every replica records the operator's intent and whoever
+            // leads (now or after a crash) proposes it — the trigger's
+            // node field carries the replica *index* (controller ids
+            // don't fit 12 bits), mapped back to the `u16::MAX - idx`
+            // id scheme used by the deployment.
+            match op {
+                TriggerOp::AddCtrl => {
+                    self.queue_member_change(NodeId(u16::MAX - to.0), true, ctx);
+                    return;
+                }
+                TriggerOp::RemoveCtrl => {
+                    self.queue_member_change(NodeId(u16::MAX - to.0), false, ctx);
+                    return;
+                }
+                _ => {}
+            }
             if !self.is_acting_leader() {
                 return;
             }
@@ -1430,6 +1879,8 @@ impl Node for Controller {
                     }
                 }
                 TriggerOp::Shrink => self.submit(CtrlCmd::Shrink { reg, key, node: to }, ctx),
+                // Handled above, before the leader gate.
+                TriggerOp::AddCtrl | TriggerOp::RemoveCtrl => unreachable!(),
             }
             return;
         }

@@ -59,6 +59,7 @@ pub struct DeploymentBuilder {
     registers: Vec<RegisterSpec>,
     memory: usize,
     fabric: Fabric,
+    ctrl_spares: u8,
 }
 
 impl DeploymentBuilder {
@@ -74,6 +75,7 @@ impl DeploymentBuilder {
             registers: Vec::new(),
             memory: swishmem_pisa::memory::DEFAULT_CAPACITY,
             fabric: Fabric::FullMesh,
+            ctrl_spares: 0,
         }
     }
 
@@ -122,6 +124,17 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Number of spare controller replicas (default 0). Spares are
+    /// deployed and wired into the fabric but are NOT members of the
+    /// initial consensus group: they stay passive until an `AddReplica`
+    /// decree (see [`Deployment::schedule_ctrl_add`]) admits them at
+    /// runtime — the replacement pool for dead replicas. Requires
+    /// `ctrl_replicas > 1`.
+    pub fn ctrl_spares(mut self, n: u8) -> Self {
+        self.ctrl_spares = n;
+        self
+    }
+
     /// Per-switch data-plane memory budget.
     pub fn memory(mut self, bytes: usize) -> Self {
         self.memory = bytes;
@@ -150,7 +163,7 @@ impl DeploymentBuilder {
         let switch_ids: Vec<NodeId> = (0..self.n_switches as u16).map(NodeId).collect();
         // Controller replica group (DESIGN.md §12): odd size, replica 0
         // at NodeId::CONTROLLER so singleton addressing is unchanged.
-        let n_ctrl = {
+        let n_active = {
             let r = usize::from(self.swish_cfg.ctrl_replicas.max(1));
             if r % 2 == 0 {
                 r + 1
@@ -158,7 +171,14 @@ impl DeploymentBuilder {
                 r
             }
         };
+        let n_spares = if n_active > 1 {
+            usize::from(self.ctrl_spares)
+        } else {
+            0
+        };
+        let n_ctrl = n_active + n_spares;
         let ctrl_ids: Vec<NodeId> = (0..n_ctrl as u16).map(|i| NodeId(u16::MAX - i)).collect();
+        let active_ids: Vec<NodeId> = ctrl_ids[..n_active].to_vec();
 
         for &id in &switch_ids {
             let mut dp = DataPlane::new(MemoryBudget::new(self.memory));
@@ -176,8 +196,11 @@ impl DeploymentBuilder {
             let program =
                 SwishProgram::new(id, self.swish_cfg, handles.clone(), app_factory(id), clock);
             let mut cp = SwishCp::new(id, self.swish_cfg, NodeId::CONTROLLER, handles);
-            if n_ctrl > 1 {
-                cp.set_ctrl_group(ctrl_ids.clone());
+            if n_active > 1 {
+                // Switches address the ACTIVE group only: spares hold no
+                // lease (no leader beacons reach them) so routing fabric
+                // lookups at them would only burn retries.
+                cp.set_ctrl_group(active_ids.clone());
             }
             let mut sw = Switch::new(self.switch_cfg, dp, program, cp);
             sw.add_pktgen(self.swish_cfg.sync_period, SYNC_PKTGEN_TOKEN);
@@ -200,7 +223,7 @@ impl DeploymentBuilder {
                 )),
             );
         } else {
-            for (i, &id) in ctrl_ids.iter().enumerate() {
+            for (i, &id) in active_ids.iter().enumerate() {
                 sim.add_node(
                     id,
                     Box::new(Controller::replica(
@@ -208,7 +231,20 @@ impl DeploymentBuilder {
                         switch_ids.clone(),
                         self.registers.clone(),
                         i as u8,
-                        ctrl_ids.clone(),
+                        active_ids.clone(),
+                    )),
+                );
+            }
+            for (i, &id) in ctrl_ids.iter().enumerate().skip(n_active) {
+                sim.add_node(
+                    id,
+                    Box::new(Controller::spare(
+                        self.swish_cfg,
+                        switch_ids.clone(),
+                        self.registers.clone(),
+                        i as u8,
+                        id,
+                        active_ids.clone(),
                     )),
                 );
             }
@@ -279,6 +315,7 @@ impl DeploymentBuilder {
             sim,
             switches: switch_ids,
             ctrls: ctrl_ids,
+            n_ctrl_active: n_active,
             hosts,
             recordings,
             cfg: self.swish_cfg,
@@ -294,6 +331,9 @@ pub struct Deployment {
     pub sim: Simulator,
     switches: Vec<NodeId>,
     ctrls: Vec<NodeId>,
+    /// Replicas `0..n_ctrl_active` form the initial consensus group;
+    /// the rest are spares awaiting an `AddReplica` decree.
+    n_ctrl_active: usize,
     hosts: Vec<NodeId>,
     recordings: Vec<Recording>,
     cfg: SwishConfig,
@@ -403,6 +443,7 @@ impl Deployment {
     pub fn controller(&self) -> ReplicatedController<'_> {
         ReplicatedController {
             ids: self.ctrls.clone(),
+            n_active: self.n_ctrl_active,
             reps: self
                 .ctrls
                 .iter()
@@ -518,6 +559,38 @@ impl Deployment {
             sched = sched.trigger(t.since(now), c, token);
         }
         self.sim.schedule_faults(now, &sched);
+    }
+
+    /// Schedule a replica-group reconfiguration decree admitting
+    /// controller replica `idx` (normally a spare) at `t`. Rides the
+    /// ordinary trigger path: whoever leads at fire time submits an
+    /// `AddReplica` through the log.
+    pub fn schedule_ctrl_add(&mut self, t: SimTime, idx: usize) {
+        self.schedule_trigger(
+            t,
+            crate::reconfig::TriggerOp::AddCtrl,
+            0,
+            0,
+            NodeId(idx as u16),
+        );
+    }
+
+    /// Schedule a decree removing controller replica `idx` from the
+    /// consensus group at `t` (runtime replacement of a dead replica).
+    pub fn schedule_ctrl_remove(&mut self, t: SimTime, idx: usize) {
+        self.schedule_trigger(
+            t,
+            crate::reconfig::TriggerOp::RemoveCtrl,
+            0,
+            0,
+            NodeId(idx as u16),
+        );
+    }
+
+    /// Controller replicas in the initial consensus group (spares are
+    /// deployed after this prefix of [`Deployment::controller_ids`]).
+    pub fn ctrl_active(&self) -> usize {
+        self.n_ctrl_active
     }
 
     /// Per-group applied sequence numbers of a chain register at switch
@@ -660,10 +733,23 @@ impl Deployment {
     /// the query packet toward the controller; the reply is cached in the
     /// switch CP (see [`Deployment::dir_owners`]).
     pub fn dir_lookup(&mut self, t: SimTime, sw: usize, reg: RegId, key: Key) {
+        let target = self.switch(sw).cp_app().dir_query_target(reg, key);
         let from = self.switches[sw];
         let pkt = Packet::swish(
             from,
-            NodeId::CONTROLLER,
+            target,
+            swishmem_wire::SwishMsg::DirLookup(swishmem_wire::swish::DirLookup { from, reg, key }),
+        );
+        self.sim.inject(t, pkt);
+    }
+
+    /// Like [`Deployment::dir_lookup`] but pinned to controller replica
+    /// `ctrl` — the lease-edge tests aim lookups at a specific follower.
+    pub fn dir_lookup_at(&mut self, t: SimTime, sw: usize, ctrl: usize, reg: RegId, key: Key) {
+        let from = self.switches[sw];
+        let pkt = Packet::swish(
+            from,
+            self.ctrls[ctrl],
             swishmem_wire::SwishMsg::DirLookup(swishmem_wire::swish::DirLookup { from, reg, key }),
         );
         self.sim.inject(t, pkt);
@@ -685,6 +771,7 @@ impl Deployment {
 /// [`Deployment::controller`].
 pub struct ReplicatedController<'a> {
     ids: Vec<NodeId>,
+    n_active: usize,
     reps: Vec<Option<&'a Controller>>,
     failed: Vec<bool>,
 }
@@ -705,9 +792,17 @@ impl<'a> ReplicatedController<'a> {
         self.ids.is_empty()
     }
 
-    /// Majority quorum size.
+    /// Majority quorum size of the current consensus membership: the
+    /// leader's live group when one exists (it tracks runtime
+    /// `AddReplica`/`RemoveReplica` decrees), else the deployment's
+    /// initial active group.
     pub fn quorum(&self) -> usize {
-        self.len() / 2 + 1
+        let group = self
+            .leader()
+            .map(|(_, l)| l.consensus_group().len())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.n_active);
+        group / 2 + 1
     }
 
     /// Replica `idx`, if present.
@@ -741,8 +836,23 @@ impl<'a> ReplicatedController<'a> {
             total.elections += m.elections;
             total.commit = total.commit.max(m.commit);
             total.leader_changes = total.leader_changes.max(m.leader_changes);
+            total.log_compactions = total.log_compactions.max(m.log_compactions);
+            total.snapshot_bytes = total.snapshot_bytes.max(m.snapshot_bytes);
+            total.suspect_events += m.suspect_events;
+            total.follower_reads += m.follower_reads;
         }
         total
+    }
+
+    /// Sticky consensus-layer errors across the group: `(replica id,
+    /// error)` for every replica whose log window overflowed. The oracle
+    /// suite reports any entry here as a protocol violation.
+    pub fn consensus_errors(&self) -> Vec<(NodeId, crate::consensus::ConsensusError)> {
+        self.ids
+            .iter()
+            .zip(&self.reps)
+            .filter_map(|(&id, r)| r.and_then(|c| c.consensus_error()).map(|e| (id, e)))
+            .collect()
     }
 
     /// Leader changes committed to the group's log (max across

@@ -78,6 +78,21 @@ impl DirectoryService {
         );
     }
 
+    /// Install `ranges` wholesale as `reg`'s table, discarding whatever
+    /// was there (access counters included). The snapshot-restore entry
+    /// point: a controller replica catching up from a peer's `CtrlSnap`
+    /// adopts the sender's applied table instead of replaying the
+    /// compacted decrees that built it.
+    pub fn install_ranges(&mut self, reg: RegId, ranges: Vec<RangeEntry>) {
+        self.regs.insert(
+            reg,
+            RegDirectory {
+                ranges,
+                accesses: HashMap::new(),
+            },
+        );
+    }
+
     /// All ranges of `reg`, in key order (empty when unknown). The
     /// reconfiguration engine reads this as the authoritative table.
     pub fn ranges(&self, reg: RegId) -> &[RangeEntry] {

@@ -210,6 +210,21 @@ impl SwishCp {
         self.dir_cache.get(&(reg, key)).map(Vec::as_slice)
     }
 
+    /// The controller replica this switch addresses a directory lookup
+    /// for `reg[key]` to. A singleton answers everything; against a
+    /// replica group, lookups spread deterministically by (switch, reg,
+    /// key) so followers absorb read load under their leader lease
+    /// instead of funneling every query through the leader.
+    pub fn dir_query_target(&self, reg: RegId, key: Key) -> NodeId {
+        if self.ctrl_group.is_empty() {
+            return self.controller;
+        }
+        let h = u64::from(self.me.0)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(reg) << 32 | u64::from(key));
+        self.ctrl_group[(h % self.ctrl_group.len() as u64) as usize]
+    }
+
     /// Control-plane metrics.
     pub fn metrics(&self) -> &CpMetrics {
         &self.metrics

@@ -63,7 +63,7 @@ pub use api::{NfApp, NfDecision, SharedState};
 pub use config::{
     ClockMode, MergePolicy, Placement, ReconfigPolicy, RegisterClass, RegisterSpec, SwishConfig,
 };
-pub use consensus::{Consensus, Role};
+pub use consensus::{Consensus, ConsensusError, Role};
 pub use controller::{ConfigEvent, ConfigEventKind, ConsensusMetrics, Controller};
 pub use deployment::{
     Deployment, DeploymentBuilder, Fabric, ReplicatedController, SwishSwitch, HOST_BASE, SPINE_BASE,

@@ -256,6 +256,33 @@ pub enum ViolationKind {
         /// Second leader.
         b: NodeId,
     },
+    /// A controller replica's consensus log outgrew its register window:
+    /// compaction failed to keep up (or was disabled). The run degrades
+    /// (the replica stops choosing new slots) instead of panicking; the
+    /// harness attaches the seed and fault schedule for replay.
+    ConsensusLogOverflow {
+        /// The overflowing replica.
+        replica: NodeId,
+        /// The slot that did not fit.
+        slot: u64,
+        /// The window base at the time.
+        base: u64,
+    },
+    /// A directory reply served an owner set that was not authoritative
+    /// at any instant within the staleness bound before delivery — a
+    /// follower read escaped its leader lease.
+    StaleDirectoryRead {
+        /// The replica that served the reply.
+        replica: NodeId,
+        /// Register.
+        reg: RegId,
+        /// Key.
+        key: Key,
+        /// The owner set served.
+        served: Vec<NodeId>,
+        /// The staleness bound the reply violated, in nanoseconds.
+        bound_ns: u64,
+    },
     /// Replicas still disagree after the fault horizon plus grace.
     Diverged {
         /// Register.
@@ -382,6 +409,26 @@ impl fmt::Display for ViolationKind {
             ViolationKind::DualLeader { a, b } => {
                 write!(f, "dual leader: {a} and {b} both act as controller leader")
             }
+            ViolationKind::ConsensusLogOverflow {
+                replica,
+                slot,
+                base,
+            } => write!(
+                f,
+                "consensus log overflow: {replica} slot {slot} outside register \
+                 window at base {base} (compaction fell behind)"
+            ),
+            ViolationKind::StaleDirectoryRead {
+                replica,
+                reg,
+                key,
+                served,
+                bound_ns,
+            } => write!(
+                f,
+                "stale directory read: {replica} served reg {reg} key {key} \
+                 owners {served:?} not authoritative within the last {bound_ns} ns"
+            ),
             ViolationKind::Diverged {
                 reg,
                 key,
@@ -415,9 +462,17 @@ pub struct WireState {
     orphaned: BTreeSet<(RegId, Key)>,
     /// Crash notifications since the last poll drained them.
     crashed: Vec<NodeId>,
+    /// Directory replies delivered since the last poll drained them:
+    /// `(at, serving replica, reg, key, served owners)` — input to the
+    /// staleness oracle.
+    dir_replies: Vec<DirReplyObs>,
     /// First wire-level violation (picked up by the next poll).
     violation: Option<(SimTime, ViolationKind)>,
 }
+
+/// One observed directory reply: `(delivery time, serving replica, reg,
+/// key, served owner set)`.
+pub type DirReplyObs = (SimTime, NodeId, RegId, Key, Vec<NodeId>);
 
 impl WireState {
     fn requested_contains(&self, reg: RegId, key: Key, value: u64) -> bool {
@@ -482,6 +537,10 @@ impl NetObserver for WireState {
                         set.remove(&(a.reg, a.key));
                     }
                 }
+                PacketBody::Swish(SwishMsg::DirReply(r)) => {
+                    self.dir_replies
+                        .push((now, pkt.src, r.reg, r.key, r.owners.clone()));
+                }
                 _ => {}
             },
             _ => {}
@@ -521,6 +580,11 @@ pub struct OracleSuite {
     /// Ranges whose entire owner set was simultaneously failed at some
     /// poll: their state legally died; convergence skips them forever.
     dead_ranges: BTreeSet<(RegId, Key)>,
+    /// Per partitioned register: history of the controller's master
+    /// table, appended whenever a poll observes a change. The staleness
+    /// oracle checks every delivered directory reply against the sets
+    /// that were authoritative inside its staleness window.
+    table_hist: BTreeMap<RegId, Vec<(SimTime, Vec<crate::reconfig::RangeView>)>>,
     /// First poll at which two live controller replicas both acted as
     /// leader (cleared when uniqueness returns). Transient dual
     /// leadership during an election handover is legal; only
@@ -549,6 +613,7 @@ impl OracleSuite {
             reconfig_events_seen: 0,
             reconfig_issued: BTreeMap::new(),
             dead_ranges: BTreeSet::new(),
+            table_hist: BTreeMap::new(),
             dual_since: None,
             first: None,
         }
@@ -610,10 +675,18 @@ impl OracleSuite {
             }
         }
 
-        // 2. Controller-issued epochs are strictly increasing.
+        // 2. Controller-issued epochs are strictly increasing. Replica-
+        //    group membership decrees are exempt: they reshape the
+        //    consensus group, not the data-plane chain view, so their
+        //    log entries carry the epoch current at commit time.
         let events = dep.controller_events();
         for ev in &events[self.ctrl_events_seen.min(events.len())..] {
-            if self.ctrl_events_seen > 0 && ev.epoch <= self.ctrl_epoch {
+            let membership = matches!(
+                ev.kind,
+                crate::controller::ConfigEventKind::ReplicaAdded(_)
+                    | crate::controller::ConfigEventKind::ReplicaRemoved(_)
+            );
+            if self.ctrl_events_seen > 0 && ev.epoch <= self.ctrl_epoch && !membership {
                 self.record(
                     ev.time,
                     ViolationKind::ControllerEpochNotIncreasing {
@@ -727,6 +800,10 @@ impl OracleSuite {
         //     legally died with the owners).
         for spec in specs.iter().filter(|s| s.is_partitioned()) {
             let master = dep.controller_ranges(spec.id);
+            let hist = self.table_hist.entry(spec.id).or_default();
+            if hist.last().map(|(_, t)| t != &master).unwrap_or(true) {
+                hist.push((now, master.clone()));
+            }
             for v in coverage_errors(spec.id, None, &master, spec.keys) {
                 self.record(now, v);
             }
@@ -778,6 +855,33 @@ impl OracleSuite {
                         self.record(now, v);
                     }
                 }
+            }
+        }
+
+        // 2e. Replicated control plane: consensus-log capacity and
+        //     follower-read staleness. A replica whose window overflowed
+        //     carries a sticky typed error; every delivered directory
+        //     reply must match an owner set that was authoritative at
+        //     some instant within the staleness bound (the leader lease
+        //     plus the demotion window of a deposed leader).
+        if ctrl.len() > 1 {
+            for (replica, e) in ctrl.consensus_errors() {
+                let crate::consensus::ConsensusError::LogOverflow { slot, base } = e;
+                self.record(
+                    now,
+                    ViolationKind::ConsensusLogOverflow {
+                        replica,
+                        slot,
+                        base,
+                    },
+                );
+            }
+            let bound = SimDuration::nanos(
+                swish.dir_lease.as_nanos() + 2 * swish.failure_timeout.as_nanos(),
+            );
+            let replies = std::mem::take(&mut self.wire.borrow_mut().dir_replies);
+            for kind in stale_read_errors(&replies, &self.table_hist, bound) {
+                self.record(now, kind);
             }
         }
 
@@ -1168,6 +1272,60 @@ pub fn replica_epoch_conflicts(
     out
 }
 
+/// Bounded-staleness follower reads (DESIGN.md §13): every directory
+/// reply must serve an owner set that was authoritative — per the
+/// leader's master table history — at *some* instant within `bound`
+/// before the reply's delivery. A follower whose lease-validated applied
+/// prefix lags at most the lease plus the old-leader demotion window can
+/// never fail this; a reply escaping that bound is a protocol violation.
+/// Empty served sets are skipped (an unknown answer is not a *stale*
+/// answer), as are replies before any table was observed. Pure over the
+/// observed replies and table history, so tests can feed hand-built
+/// timelines.
+pub fn stale_read_errors(
+    replies: &[DirReplyObs],
+    history: &BTreeMap<RegId, Vec<(SimTime, Vec<crate::reconfig::RangeView>)>>,
+    bound: SimDuration,
+) -> Vec<ViolationKind> {
+    let mut out = Vec::new();
+    for (at, replica, reg, key, served) in replies {
+        if served.is_empty() {
+            continue;
+        }
+        let Some(snaps) = history.get(reg) else {
+            continue;
+        };
+        let lo = at.nanos().saturating_sub(bound.as_nanos());
+        let mut any_candidate = false;
+        let mut fresh = false;
+        for (i, (t0, table)) in snaps.iter().enumerate() {
+            // The snapshot is in force over [t0, t1); it is a candidate
+            // iff that interval intersects the reply's window [lo, at].
+            let t1 = snaps.get(i + 1).map(|s| s.0.nanos()).unwrap_or(u64::MAX);
+            if t0.nanos() > at.nanos() || t1 <= lo {
+                continue;
+            }
+            if let Some(r) = table.iter().find(|r| r.start <= *key && *key < r.end) {
+                any_candidate = true;
+                if r.owners == *served {
+                    fresh = true;
+                    break;
+                }
+            }
+        }
+        if any_candidate && !fresh {
+            out.push(ViolationKind::StaleDirectoryRead {
+                replica: *replica,
+                reg: *reg,
+                key: *key,
+                served: served.clone(),
+                bound_ns: bound.as_nanos(),
+            });
+        }
+    }
+    out
+}
+
 /// No-split-brain range tables (DESIGN.md §12): two controller replicas
 /// whose tables claim the same per-range epoch for the same range must
 /// agree on its owner set — disagreement means two "authoritative"
@@ -1246,6 +1404,52 @@ mod tests {
         ));
         // Empty table of a zero-key register is fine.
         assert!(coverage_errors(0, None, &[], 0).is_empty());
+    }
+
+    #[test]
+    fn stale_read_errors_respect_the_freshness_window() {
+        use crate::reconfig::RangeView;
+        let table = |owner: u16| {
+            vec![RangeView {
+                start: 0,
+                end: 100,
+                epoch: 1,
+                mig_to: None,
+                owners: vec![NodeId(owner)],
+            }]
+        };
+        let t = |ms: u64| SimTime(ms * 1_000_000);
+        let bound = SimDuration::millis(10);
+        // Owner of key-space [0,100) moves from switch 1 to switch 2 at
+        // t=50ms; history records both table versions.
+        let mut hist = BTreeMap::new();
+        hist.insert(0u16, vec![(t(0), table(1)), (t(50), table(2))]);
+        let reply = |at_ms: u64, owner: u16| (t(at_ms), NodeId(9), 0u16, 7u32, vec![NodeId(owner)]);
+
+        // Fresh: current owners at any point in the reply's window.
+        assert!(stale_read_errors(&[reply(40, 1)], &hist, bound).is_empty());
+        assert!(stale_read_errors(&[reply(55, 2)], &hist, bound).is_empty());
+        // Straddling: the old table was still in force within the bound.
+        assert!(stale_read_errors(&[reply(55, 1)], &hist, bound).is_empty());
+        // Stale: the old owner set expired more than `bound` ago.
+        let v = stale_read_errors(&[reply(70, 1)], &hist, bound);
+        assert!(matches!(
+            v[0],
+            ViolationKind::StaleDirectoryRead {
+                replica: NodeId(9),
+                reg: 0,
+                key: 7,
+                ..
+            }
+        ));
+        // Never-authoritative owner set is stale at any time.
+        assert!(!stale_read_errors(&[reply(40, 3)], &hist, bound).is_empty());
+        // Empty served sets and unknown registers are skipped.
+        assert!(stale_read_errors(&[(t(40), NodeId(9), 0, 7, vec![])], &hist, bound).is_empty());
+        assert!(
+            stale_read_errors(&[(t(40), NodeId(9), 5, 7, vec![NodeId(1)])], &hist, bound)
+                .is_empty()
+        );
     }
 
     #[test]

@@ -297,6 +297,14 @@ pub enum TriggerOp {
     /// Shrink the replica group: the target leaves the owner set (no
     /// transfer needed; surviving owners already hold all acked writes).
     Shrink,
+    /// Add a controller replica to the consensus group. The token's
+    /// node field carries the replica *index* (controller node ids are
+    /// near `u16::MAX` and do not fit the 12-bit field); the reg/key
+    /// fields are unused.
+    AddCtrl,
+    /// Remove a controller replica from the consensus group, by replica
+    /// index (same encoding as [`TriggerOp::AddCtrl`]).
+    RemoveCtrl,
 }
 
 impl TriggerOp {
@@ -305,6 +313,8 @@ impl TriggerOp {
             TriggerOp::Move => 0,
             TriggerOp::Grow => 1,
             TriggerOp::Shrink => 2,
+            TriggerOp::AddCtrl => 3,
+            TriggerOp::RemoveCtrl => 4,
         }
     }
 
@@ -313,6 +323,8 @@ impl TriggerOp {
             0 => Some(TriggerOp::Move),
             1 => Some(TriggerOp::Grow),
             2 => Some(TriggerOp::Shrink),
+            3 => Some(TriggerOp::AddCtrl),
+            4 => Some(TriggerOp::RemoveCtrl),
             _ => None,
         }
     }
@@ -412,7 +424,13 @@ mod tests {
             decode_trigger(t),
             Some((TriggerOp::Move, 7, 1_000_000, NodeId(2)))
         );
-        for op in [TriggerOp::Move, TriggerOp::Grow, TriggerOp::Shrink] {
+        for op in [
+            TriggerOp::Move,
+            TriggerOp::Grow,
+            TriggerOp::Shrink,
+            TriggerOp::AddCtrl,
+            TriggerOp::RemoveCtrl,
+        ] {
             let t = trigger_token_op(op, 3, 42, NodeId(1));
             assert_eq!(decode_trigger(t), Some((op, 3, 42, NodeId(1))));
         }

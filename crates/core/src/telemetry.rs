@@ -111,6 +111,17 @@ pub struct MetricsSample {
     /// Controller leader changes observed this window (fabric-global,
     /// like `consensus_msgs`).
     pub leader_changes: u64,
+    /// Consensus log compactions this window (fabric-global).
+    pub log_compactions: u64,
+    /// Controller-state snapshot bytes persisted this window
+    /// (fabric-global).
+    pub snapshot_bytes: u64,
+    /// Failure-detector suspicion episodes this window, summed across
+    /// replicas (fabric-global).
+    pub suspect_events: u64,
+    /// Directory lookups served by non-leading replicas this window
+    /// (fabric-global).
+    pub follower_reads: u64,
     /// Gauge: writes awaiting acknowledgment at sample time.
     pub outstanding_writes: usize,
     /// Gauge: jobs buffered in CP DRAM at sample time.
@@ -136,6 +147,10 @@ struct Cumulative {
     load_reports: u64,
     consensus_msgs: u64,
     leader_changes: u64,
+    log_compactions: u64,
+    snapshot_bytes: u64,
+    suspect_events: u64,
+    follower_reads: u64,
 }
 
 /// Periodic per-switch metrics sampler (see module docs).
@@ -196,6 +211,10 @@ impl TimeSeriesSampler {
                 load_reports: m.cp.load_reports_sent,
                 consensus_msgs: cons.msgs_sent,
                 leader_changes: cons.leader_changes,
+                log_compactions: cons.log_compactions,
+                snapshot_bytes: cons.snapshot_bytes,
+                suspect_events: cons.suspect_events,
+                follower_reads: cons.follower_reads,
             };
             let prev = self.last[i];
             let d = |a: u64, b: u64| a.saturating_sub(b);
@@ -215,6 +234,10 @@ impl TimeSeriesSampler {
                 load_reports: d(cur.load_reports, prev.load_reports),
                 consensus_msgs: d(cur.consensus_msgs, prev.consensus_msgs),
                 leader_changes: d(cur.leader_changes, prev.leader_changes),
+                log_compactions: d(cur.log_compactions, prev.log_compactions),
+                snapshot_bytes: d(cur.snapshot_bytes, prev.snapshot_bytes),
+                suspect_events: d(cur.suspect_events, prev.suspect_events),
+                follower_reads: d(cur.follower_reads, prev.follower_reads),
                 outstanding_writes: sw.cp_app().outstanding_writes(),
                 buffered_jobs: sw.cp_app().buffered_jobs(),
                 snapshot_backlog: sw.cp_app().snapshot_backlog(),

@@ -412,7 +412,11 @@ impl FaultGen {
     /// and the replicated control plane can keep making decisions. This
     /// mirrors the `⌊nodes.len() / 2⌋` switch-crash guard; an
     /// over-budget pick degrades a link instead, keeping the episode
-    /// count deterministic. With `ctrls` empty the sampled schedule is
+    /// count deterministic. Partition episodes keep the whole replica
+    /// group on one side of the cut, so no schedule can sever two
+    /// replicas from each other — switches may lose their controller
+    /// path, but the group itself always retains a live, mutually
+    /// connected majority. With `ctrls` empty the sampled schedule is
     /// byte-identical to [`FaultGen::generate`] — existing seeds replay
     /// unchanged.
     pub fn generate_with_controllers(
@@ -560,10 +564,11 @@ impl FaultGen {
                 }
                 EpisodeKind::Partition => match shard_of {
                     None => {
-                        // Controller replicas join the cut pool too, so a
-                        // split can strand a leader on the minority side.
-                        // Empty `ctrls` keeps the draw bounds (and so the
-                        // RNG stream) identical to the pre-replica model.
+                        // Controller replicas join the cut pool too, so
+                        // switches can lose their control-plane path mid-
+                        // migration. Empty `ctrls` keeps the draw bounds
+                        // (and so the RNG stream) identical to the
+                        // pre-replica model.
                         let pool: Vec<NodeId> = nodes.iter().chain(ctrls.iter()).copied().collect();
                         if pool.len() >= 2 {
                             let k = self.rng.gen_range(1..pool.len());
@@ -572,7 +577,31 @@ impl FaultGen {
                                 .map(|i| pool[(i + r) % pool.len()])
                                 .collect();
                             let (a, b) = rotated.split_at(k);
-                            sched = sched.partition(a, b, at, lasting);
+                            // Re-home the replica group onto one side so a
+                            // cut never severs two replicas from each other:
+                            // combined with the crash budget this guarantees
+                            // a live, mutually connected controller majority
+                            // in every sampled schedule. Side with more
+                            // replicas wins (ties go to `a`); pure shuffling,
+                            // no extra RNG draws, and with `ctrls` empty the
+                            // events are byte-identical to the legacy path.
+                            let (mut a, mut b) = (a.to_vec(), b.to_vec());
+                            if !ctrls.is_empty() {
+                                let n_in =
+                                    |s: &[NodeId]| s.iter().filter(|n| ctrls.contains(n)).count();
+                                let (keep, strip) = if n_in(&a) >= n_in(&b) {
+                                    (&mut a, &mut b)
+                                } else {
+                                    (&mut b, &mut a)
+                                };
+                                strip.retain(|n| !ctrls.contains(n));
+                                for &c in ctrls {
+                                    if !keep.contains(&c) {
+                                        keep.push(c);
+                                    }
+                                }
+                            }
+                            sched = sched.partition(&a, &b, at, lasting);
                         }
                     }
                     Some(map) => {
@@ -843,6 +872,79 @@ mod tests {
             ctrl_crash_seeds >= 5,
             "only {ctrl_crash_seeds}/40 seeds crashed a controller replica"
         );
+    }
+
+    #[test]
+    fn no_schedule_degrades_a_controller_majority() {
+        // Property sweep: across 64 seeds and two group sizes, no sampled
+        // schedule may crash or partition away a controller majority at
+        // any instant. Crashes are interval-checked (budget ⌊(n-1)/2⌋
+        // concurrently down) and partitions must never cut a link between
+        // two replicas — together these leave a live, mutually connected
+        // majority at all times.
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        for n_ctrl in [3u16, 5] {
+            let ctrls: Vec<NodeId> = (0..n_ctrl).map(|i| NodeId(u16::MAX - i)).collect();
+            let links: Vec<(NodeId, NodeId)> = nodes
+                .iter()
+                .flat_map(|&a| ctrls.iter().map(move |&c| (a, c)))
+                .collect();
+            let budget = (usize::from(n_ctrl) - 1) / 2;
+            let h = SimDuration::millis(60);
+            let mut ctrl_cuts = 0;
+            for seed in 0..64 {
+                let s =
+                    FaultGen::new(seed).generate_with_controllers(&nodes, &ctrls, &links, h, 10);
+                // Crash intervals per controller replica.
+                let mut down: Vec<(NodeId, u64)> = Vec::new(); // (replica, since)
+                let mut windows: Vec<(u64, u64)> = Vec::new();
+                for e in s.events() {
+                    match e.action {
+                        FaultAction::Crash { node } if ctrls.contains(&node) => {
+                            down.push((node, e.at.as_nanos()));
+                        }
+                        FaultAction::Restart { node } if ctrls.contains(&node) => {
+                            if let Some(i) = down.iter().position(|&(n, _)| n == node) {
+                                let (_, since) = down.remove(i);
+                                windows.push((since, e.at.as_nanos()));
+                            }
+                        }
+                        FaultAction::LinkDown { a, b }
+                            if ctrls.contains(&a) && ctrls.contains(&b) =>
+                        {
+                            ctrl_cuts += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(
+                    down.is_empty(),
+                    "seed {seed}: unhealed controller crash\n{s}"
+                );
+                // Sweep the interval boundaries for the true maximum
+                // number of concurrently down replicas (restarts apply
+                // before crashes at the same instant — touching windows
+                // don't overlap).
+                let mut bounds: Vec<(u64, i32)> = windows
+                    .iter()
+                    .flat_map(|&(s, e)| [(s, 1), (e, -1)])
+                    .collect();
+                bounds.sort_by_key(|&(t, delta)| (t, delta));
+                let (mut cur, mut peak) = (0i32, 0i32);
+                for (_, delta) in bounds {
+                    cur += delta;
+                    peak = peak.max(cur);
+                }
+                assert!(
+                    peak as usize <= budget,
+                    "seed {seed}: {peak} of {n_ctrl} replicas down at once\n{s}"
+                );
+            }
+            assert_eq!(
+                ctrl_cuts, 0,
+                "{n_ctrl} replicas: some schedule partitioned the replica group"
+            );
+        }
     }
 
     #[test]

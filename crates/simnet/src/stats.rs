@@ -104,7 +104,8 @@ impl TrafficClass {
                 | SwishMsg::CtrlAccepted(_)
                 | SwishMsg::CtrlLearn(_)
                 | SwishMsg::CtrlHb(_)
-                | SwishMsg::CtrlLead(_) => TrafficClass::Management,
+                | SwishMsg::CtrlLead(_)
+                | SwishMsg::CtrlSnap(_) => TrafficClass::Management,
             },
         }
     }

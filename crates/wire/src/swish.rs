@@ -498,6 +498,27 @@ pub enum CtrlCmd {
         /// The completed pass.
         pass: u32,
     },
+    /// Compact the consensus log: every replica snapshots its applied
+    /// state at the decree's slot and recycles the register cells of all
+    /// slots below `upto`, exactly as a bounded PISA register array
+    /// would. Chosen through the log itself, so all replicas compact at
+    /// the same boundary.
+    Compact {
+        /// First slot NOT discarded (the proposer's applied prefix at
+        /// proposal time; always at or below the decree's own slot).
+        upto: u64,
+    },
+    /// Add a controller replica to the consensus group (membership rides
+    /// the log; a joint-quorum window guards the transition).
+    AddReplica {
+        /// The joining replica.
+        node: NodeId,
+    },
+    /// Remove a controller replica from the consensus group.
+    RemoveReplica {
+        /// The leaving replica.
+        node: NodeId,
+    },
 }
 
 /// Encoded size of a [`CtrlCmd`]: always fixed width.
@@ -527,6 +548,10 @@ impl CtrlCmd {
                 epoch,
                 pass,
             } => (8, node, reg, start, epoch, pass, 0),
+            // Slot indices are u64; split across the key/epoch u32 pair.
+            CtrlCmd::Compact { upto } => (9, NodeId(0), 0, upto as u32, (upto >> 32) as u32, 0, 0),
+            CtrlCmd::AddReplica { node } => (10, node, 0, 0, 0, 0, 0),
+            CtrlCmd::RemoveReplica { node } => (11, node, 0, 0, 0, 0, 0),
         };
         w.u8(sub);
         encode_node(w, node);
@@ -566,6 +591,11 @@ impl CtrlCmd {
                 epoch,
                 pass,
             },
+            9 => CtrlCmd::Compact {
+                upto: u64::from(key) | (u64::from(epoch) << 32),
+            },
+            10 => CtrlCmd::AddReplica { node },
+            11 => CtrlCmd::RemoveReplica { node },
             t => return Err(WireError::UnknownTag(t)),
         })
     }
@@ -676,6 +706,77 @@ pub struct CtrlLead {
     pub ballot: u64,
 }
 
+/// An open migration inside a [`CtrlSnapRange`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlSnapMig {
+    /// Source primary.
+    pub from: NodeId,
+    /// Destination switch.
+    pub to: NodeId,
+    /// Per-range epoch the transfer opened under.
+    pub epoch: u32,
+    /// Migration phase code (controller-defined).
+    pub phase: u8,
+    /// Owner set to install once the destination holds the range.
+    pub commit_owners: Vec<NodeId>,
+}
+
+/// One range of a [`CtrlSnap`]: directory bounds plus per-range epochs
+/// and any open migration — enough to rebuild the master range table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlSnapRange {
+    /// Range start (inclusive).
+    pub start: Key,
+    /// Range end (exclusive).
+    pub end: Key,
+    /// Epoch of the last ownership commit.
+    pub committed_epoch: u32,
+    /// Highest per-range epoch ever issued.
+    pub issued_epoch: u32,
+    /// Current owner set (`owners[0]` sequences).
+    pub owners: Vec<NodeId>,
+    /// Open migration, if any.
+    pub mig: Option<CtrlSnapMig>,
+}
+
+/// Range table of one register inside a [`CtrlSnap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlSnapReg {
+    /// Register.
+    pub reg: RegId,
+    /// Its ranges, in directory order.
+    pub ranges: Vec<CtrlSnapRange>,
+}
+
+/// Controller-state snapshot, replica → replica: the sender's applied
+/// state at log slot `base`. A replica whose committed prefix fell below
+/// the group's compaction boundary installs this wholesale and resumes
+/// from `base` instead of replaying from slot 0 (the compacted decrees
+/// no longer exist anywhere).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlSnap {
+    /// Sending replica.
+    pub from: NodeId,
+    /// First log slot above the snapshot: the receiver resumes here.
+    pub base: u64,
+    /// Configuration epoch of the captured chain view.
+    pub epoch: u32,
+    /// Chain membership at the boundary.
+    pub chain: Vec<NodeId>,
+    /// Learners at the boundary.
+    pub learners: Vec<NodeId>,
+    /// Consensus group membership at the boundary.
+    pub group: Vec<NodeId>,
+    /// The leader named by the committed prefix, if any.
+    pub leader: Option<NodeId>,
+    /// Leader changes committed below `base`.
+    pub leader_changes: u64,
+    /// Whether the `Bootstrap` decree is applied below `base`.
+    pub boot_done: bool,
+    /// Per-register range tables (partitioned registers only).
+    pub regs: Vec<CtrlSnapReg>,
+}
+
 /// Every SwiShmem protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SwishMsg {
@@ -729,6 +830,8 @@ pub enum SwishMsg {
     CtrlHb(CtrlHb),
     /// Leader announcement to switches.
     CtrlLead(CtrlLead),
+    /// Controller-state snapshot for lagging-replica catch-up.
+    CtrlSnap(CtrlSnap),
 }
 
 const TAG_WRITE: u8 = 0x01;
@@ -761,6 +864,7 @@ const TAG_CTRL_ACCEPTED: u8 = 0x16;
 const TAG_CTRL_LEARN: u8 = 0x17;
 const TAG_CTRL_HB: u8 = 0x18;
 const TAG_CTRL_LEAD: u8 = 0x19;
+const TAG_CTRL_SNAP: u8 = 0x1a;
 
 fn encode_node(w: &mut Writer, n: NodeId) {
     w.u16(n.0);
@@ -994,6 +1098,47 @@ impl SwishMsg {
                 w.u8(TAG_CTRL_LEAD);
                 encode_node(w, m.leader);
                 w.u64(m.ballot);
+            }
+            SwishMsg::CtrlSnap(m) => {
+                w.u8(TAG_CTRL_SNAP);
+                encode_node(w, m.from);
+                w.u64(m.base);
+                w.u32(m.epoch);
+                encode_nodes(w, &m.chain);
+                encode_nodes(w, &m.learners);
+                encode_nodes(w, &m.group);
+                match m.leader {
+                    Some(l) => {
+                        w.u8(1);
+                        encode_node(w, l);
+                    }
+                    None => w.u8(0),
+                }
+                w.u64(m.leader_changes);
+                w.u8(m.boot_done as u8);
+                w.u16(m.regs.len() as u16);
+                for rg in &m.regs {
+                    w.u16(rg.reg);
+                    w.u16(rg.ranges.len() as u16);
+                    for r in &rg.ranges {
+                        w.u32(r.start);
+                        w.u32(r.end);
+                        w.u32(r.committed_epoch);
+                        w.u32(r.issued_epoch);
+                        encode_nodes(w, &r.owners);
+                        match &r.mig {
+                            Some(g) => {
+                                w.u8(1);
+                                encode_node(w, g.from);
+                                encode_node(w, g.to);
+                                w.u32(g.epoch);
+                                w.u8(g.phase);
+                                encode_nodes(w, &g.commit_owners);
+                            }
+                            None => w.u8(0),
+                        }
+                    }
+                }
             }
         }
     }
@@ -1231,6 +1376,67 @@ impl SwishMsg {
                 leader: decode_node(r)?,
                 ballot: r.u64()?,
             }),
+            TAG_CTRL_SNAP => {
+                let from = decode_node(r)?;
+                let base = r.u64()?;
+                let epoch = r.u32()?;
+                let chain = decode_nodes(r)?;
+                let learners = decode_nodes(r)?;
+                let group = decode_nodes(r)?;
+                let leader = if r.u8()? != 0 {
+                    Some(decode_node(r)?)
+                } else {
+                    None
+                };
+                let leader_changes = r.u64()?;
+                let boot_done = r.u8()? != 0;
+                let n_regs = r.u16()? as usize;
+                let mut regs = Vec::with_capacity(n_regs.min(1024));
+                for _ in 0..n_regs {
+                    let reg = r.u16()?;
+                    let n_ranges = r.u16()? as usize;
+                    let mut ranges = Vec::with_capacity(n_ranges.min(1024));
+                    for _ in 0..n_ranges {
+                        let start = r.u32()?;
+                        let end = r.u32()?;
+                        let committed_epoch = r.u32()?;
+                        let issued_epoch = r.u32()?;
+                        let owners = decode_nodes(r)?;
+                        let mig = if r.u8()? != 0 {
+                            Some(CtrlSnapMig {
+                                from: decode_node(r)?,
+                                to: decode_node(r)?,
+                                epoch: r.u32()?,
+                                phase: r.u8()?,
+                                commit_owners: decode_nodes(r)?,
+                            })
+                        } else {
+                            None
+                        };
+                        ranges.push(CtrlSnapRange {
+                            start,
+                            end,
+                            committed_epoch,
+                            issued_epoch,
+                            owners,
+                            mig,
+                        });
+                    }
+                    regs.push(CtrlSnapReg { reg, ranges });
+                }
+                SwishMsg::CtrlSnap(CtrlSnap {
+                    from,
+                    base,
+                    epoch,
+                    chain,
+                    learners,
+                    group,
+                    leader,
+                    leader_changes,
+                    boot_done,
+                    regs,
+                })
+            }
             t => return Err(WireError::UnknownTag(t)),
         };
         Ok(msg)
@@ -1269,6 +1475,38 @@ impl SwishMsg {
             SwishMsg::CtrlLearn(_) => 2 + 8 + CTRL_CMD_LEN,
             SwishMsg::CtrlHb(_) => 2 + 8 + 8 + 1,
             SwishMsg::CtrlLead(_) => 2 + 8,
+            SwishMsg::CtrlSnap(m) => {
+                let nodes = |v: &[NodeId]| 2 + v.len() * 2;
+                let ranges: usize = m
+                    .regs
+                    .iter()
+                    .map(|rg| {
+                        2 + 2
+                            + rg.ranges
+                                .iter()
+                                .map(|r| {
+                                    16 + nodes(&r.owners)
+                                        + 1
+                                        + r.mig
+                                            .as_ref()
+                                            .map(|g| 2 + 2 + 4 + 1 + nodes(&g.commit_owners))
+                                            .unwrap_or(0)
+                                })
+                                .sum::<usize>()
+                    })
+                    .sum();
+                2 + 8
+                    + 4
+                    + nodes(&m.chain)
+                    + nodes(&m.learners)
+                    + nodes(&m.group)
+                    + 1
+                    + if m.leader.is_some() { 2 } else { 0 }
+                    + 8
+                    + 1
+                    + 2
+                    + ranges
+            }
         }
     }
 }
@@ -1516,6 +1754,61 @@ mod tests {
                 leader: NodeId(u16::MAX - 1),
                 ballot: (3 << 8) | 1,
             }),
+            SwishMsg::CtrlLearn(CtrlLearn {
+                from: NodeId(u16::MAX - 1),
+                slot: 260,
+                cmd: CtrlCmd::Compact { upto: 256 },
+            }),
+            SwishMsg::CtrlSnap(CtrlSnap {
+                from: NodeId(u16::MAX - 1),
+                base: (1 << 32) | 17,
+                epoch: 5,
+                chain: vec![NodeId(0), NodeId(1), NodeId(2)],
+                learners: vec![NodeId(3)],
+                group: vec![NodeId(u16::MAX), NodeId(u16::MAX - 1), NodeId(u16::MAX - 3)],
+                leader: Some(NodeId(u16::MAX - 1)),
+                leader_changes: 2,
+                boot_done: true,
+                regs: vec![CtrlSnapReg {
+                    reg: 2,
+                    ranges: vec![
+                        CtrlSnapRange {
+                            start: 0,
+                            end: 32,
+                            committed_epoch: 3,
+                            issued_epoch: 4,
+                            owners: vec![NodeId(0), NodeId(1)],
+                            mig: Some(CtrlSnapMig {
+                                from: NodeId(0),
+                                to: NodeId(2),
+                                epoch: 4,
+                                phase: 1,
+                                commit_owners: vec![NodeId(2), NodeId(1)],
+                            }),
+                        },
+                        CtrlSnapRange {
+                            start: 32,
+                            end: 64,
+                            committed_epoch: 1,
+                            issued_epoch: 1,
+                            owners: vec![NodeId(1)],
+                            mig: None,
+                        },
+                    ],
+                }],
+            }),
+            SwishMsg::CtrlSnap(CtrlSnap {
+                from: NodeId(u16::MAX),
+                base: 0,
+                epoch: 0,
+                chain: vec![],
+                learners: vec![],
+                group: vec![],
+                leader: None,
+                leader_changes: 0,
+                boot_done: false,
+                regs: vec![],
+            }),
         ]
     }
 
@@ -1551,6 +1844,15 @@ mod tests {
                 node: NodeId(3),
                 epoch: 9,
                 pass: 1,
+            },
+            CtrlCmd::Compact {
+                upto: (7 << 32) | 42,
+            },
+            CtrlCmd::AddReplica {
+                node: NodeId(u16::MAX - 3),
+            },
+            CtrlCmd::RemoveReplica {
+                node: NodeId(u16::MAX - 1),
             },
         ];
         for cmd in cmds {

@@ -36,6 +36,20 @@ cargo test -q --test controller_failover three_replica_smoke
 echo "==> cargo test --test controller_failover (leader-failover sweep)"
 cargo test -q --test controller_failover
 
+# Consensus-hardening gates (DESIGN.md §13), by name: the long-horizon
+# compaction sweep must recycle log slots without ever tripping the
+# SLOT_CAP overflow error, the 12-seed reconfiguration-under-fault sweep
+# must converge every membership decree to exactly one group, and the
+# adaptive failure detector must beat the static timeout on real crashes
+# while staying silent (no elections, no suspicion) under gray links.
+echo "==> cargo test --test consensus_hardening compaction_sweep_long_horizon (compaction sweep)"
+cargo test -q --test consensus_hardening compaction_sweep_long_horizon
+echo "==> cargo test --test consensus_hardening reconfiguration_under_fault_sweep (membership under fault)"
+cargo test -q --test consensus_hardening reconfiguration_under_fault_sweep
+echo "==> cargo test --test consensus_hardening detector (detector vs gray links)"
+cargo test -q --test consensus_hardening detector_cuts_failover_gap
+cargo test -q --test consensus_hardening gray_links_cause_no_spurious_elections
+
 # Observability gates (DESIGN.md §9), also by name: span tracing must be
 # a passive observer (golden fingerprint bit-identical with a collector
 # attached), and compiled-in-but-disabled tracing must stay cheap.
