@@ -38,6 +38,10 @@ fn main() {
         for (id, _) in &all {
             println!("{id}");
         }
+        eprintln!(
+            "companion bins (cargo run -p swishmem-bench --release --bin <name>): \
+             trace_explain, ctrl_explain, perf_baseline"
+        );
         return;
     }
     let known: Vec<&str> = all.iter().map(|(id, _)| *id).collect();

@@ -24,6 +24,7 @@ pub mod e19_reconfig;
 pub mod e20_shard_scaling;
 pub mod e21_failover;
 pub mod e22_consensus_hardening;
+pub mod e23_ctrl_recorder;
 
 use crate::table::ExperimentResult;
 
@@ -55,5 +56,6 @@ pub fn all() -> Vec<(&'static str, RunFn)> {
         ("e20", e20_shard_scaling::run),
         ("e21", e21_failover::run),
         ("e22", e22_consensus_hardening::run),
+        ("e23", e23_ctrl_recorder::run),
     ]
 }

@@ -12,7 +12,7 @@
 
 use crate::json::Json;
 use std::collections::BTreeMap;
-use swishmem::Histogram;
+use swishmem::{CtrlEvent, Histogram, Journal};
 use swishmem_simnet::{SpanEvent, SpanPhase};
 use swishmem_wire::TraceId;
 
@@ -179,6 +179,278 @@ pub fn to_perfetto(events: &[SpanEvent]) -> Json {
     ])
 }
 
+/// Render a decoded control-plane journal as Chrome/Perfetto
+/// `trace_event` JSON, alongside-loadable with [`to_perfetto`]'s
+/// write-phase tracks.
+///
+/// Layout: a synthetic "control plane" process carries the fabric-global
+/// timelines — leadership reigns (one complete slice per epoch, from the
+/// election decree to the next), migration lifecycles (begin→terminal,
+/// with the dual-owner window as a nested slice) and compaction /
+/// snapshot instants. Every replica that journaled an event additionally
+/// gets its own process with a detector thread (suspicion slices from
+/// `Suspect` to the clearing `Unsuspect`, open suspicions run to the end
+/// of the journal) and a leadership thread (campaign / election / lease
+/// instants).
+pub fn ctrl_to_perfetto(journal: &Journal) -> Json {
+    let us = |ns: u64| Json::Num(ns as f64 / 1000.0);
+    let entries = journal.entries();
+    let end_ns = entries.last().map(|e| e.time.nanos()).unwrap_or(0);
+
+    const CTRL_PID: u64 = 1;
+    const TID_LEADERSHIP: u64 = 1;
+    const TID_MIGRATIONS: u64 = 2;
+    const TID_COMPACTION: u64 = 3;
+
+    let mut out: Vec<Json> = Vec::new();
+    let proc_meta = |out: &mut Vec<Json>, pid: u64, name: String| {
+        out.push(Json::obj(vec![
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::from(pid)),
+            ("args", Json::obj(vec![("name", Json::str(name))])),
+        ]));
+    };
+    let thread_meta = |out: &mut Vec<Json>, pid: u64, tid: u64, name: &str| {
+        out.push(Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::from(pid)),
+            ("tid", Json::from(tid)),
+            ("args", Json::obj(vec![("name", Json::str(name))])),
+        ]));
+    };
+    let instant =
+        |out: &mut Vec<Json>, pid: u64, tid: u64, ts: u64, name: String, detail: String| {
+            out.push(Json::obj(vec![
+                ("name", Json::str(name)),
+                ("cat", Json::str("ctrl")),
+                ("ph", Json::str("i")),
+                ("s", Json::str("t")),
+                ("ts", us(ts)),
+                ("pid", Json::from(pid)),
+                ("tid", Json::from(tid)),
+                ("args", Json::obj(vec![("detail", Json::str(detail))])),
+            ]));
+        };
+    let slice = |out: &mut Vec<Json>,
+                 pid: u64,
+                 tid: u64,
+                 ts: u64,
+                 dur: u64,
+                 name: String,
+                 detail: String| {
+        out.push(Json::obj(vec![
+            ("name", Json::str(name)),
+            ("cat", Json::str("ctrl")),
+            ("ph", Json::str("X")),
+            ("ts", us(ts)),
+            ("dur", us(dur)),
+            ("pid", Json::from(pid)),
+            ("tid", Json::from(tid)),
+            ("args", Json::obj(vec![("detail", Json::str(detail))])),
+        ]));
+    };
+
+    proc_meta(&mut out, CTRL_PID, "control plane".into());
+    thread_meta(&mut out, CTRL_PID, TID_LEADERSHIP, "leadership");
+    thread_meta(&mut out, CTRL_PID, TID_MIGRATIONS, "migrations");
+    thread_meta(&mut out, CTRL_PID, TID_COMPACTION, "compaction");
+
+    // Leadership reigns: each epoch's earliest election decree opens a
+    // slice that runs until the next epoch's decree (or journal end).
+    let failovers = journal.failovers();
+    for (i, f) in failovers.iter().enumerate() {
+        let start = f.elected_at.nanos();
+        let stop = failovers
+            .get(i + 1)
+            .map(|n| n.elected_at.nanos())
+            .unwrap_or(end_ns)
+            .max(start);
+        slice(
+            &mut out,
+            CTRL_PID,
+            TID_LEADERSHIP,
+            start,
+            stop - start,
+            format!("leader n{} (epoch {})", f.leader.0, f.epoch),
+            format!("decree slot {}", f.slot),
+        );
+    }
+
+    // Migration lifecycles, dual-owner window nested inside.
+    for m in journal.migrations() {
+        let begin = m.begin_at.nanos();
+        let stop = m
+            .commit_at
+            .or(m.abort_at)
+            .map(|t| t.nanos())
+            .unwrap_or(end_ns)
+            .max(begin);
+        let outcome = if m.commit_at.is_some() {
+            "committed".to_string()
+        } else if let Some(r) = m.abort_reason {
+            format!(
+                "aborted: {}",
+                swishmem::telemetry::journal::abort_reason_str(r)
+            )
+        } else {
+            "open".to_string()
+        };
+        slice(
+            &mut out,
+            CTRL_PID,
+            TID_MIGRATIONS,
+            begin,
+            stop - begin,
+            format!("mig reg{}@{} n{}->n{}", m.reg, m.start, m.from.0, m.to.0),
+            format!("epoch {}, {} passes, {outcome}", m.epoch, m.passes),
+        );
+        if let Some(d) = m.dual_owner_at {
+            let d_ns = d.nanos();
+            slice(
+                &mut out,
+                CTRL_PID,
+                TID_MIGRATIONS,
+                d_ns,
+                stop.max(d_ns) - d_ns,
+                "dual-owner".into(),
+                format!("reg {} start {}", m.reg, m.start),
+            );
+        }
+    }
+
+    // Compaction boundaries and snapshot traffic.
+    for c in journal.compactions() {
+        instant(
+            &mut out,
+            CTRL_PID,
+            TID_COMPACTION,
+            c.at.nanos(),
+            format!("compact@{}", c.upto),
+            format!("n{}: {} B snapshot", c.node.0, c.snap_bytes),
+        );
+    }
+    for e in entries {
+        match e.event {
+            CtrlEvent::SnapshotSent { base, bytes, to } => instant(
+                &mut out,
+                CTRL_PID,
+                TID_COMPACTION,
+                e.time.nanos(),
+                format!("snapshot@{base} -> n{}", to.0),
+                format!("{bytes} B"),
+            ),
+            CtrlEvent::SnapshotInstalled { base } => instant(
+                &mut out,
+                CTRL_PID,
+                TID_COMPACTION,
+                e.time.nanos(),
+                format!("snapshot@{base} installed"),
+                format!("n{}", e.node.0),
+            ),
+            _ => {}
+        }
+    }
+
+    // Per-replica tracks: detector suspicion slices + leadership/lease
+    // instants. pid = 2 + dense replica index, in first-seen order.
+    const TID_DETECTOR: u64 = 1;
+    const TID_REPLICA_LEAD: u64 = 2;
+    let mut pids: BTreeMap<u16, u64> = BTreeMap::new();
+    for e in entries {
+        let next = 2 + pids.len() as u64;
+        pids.entry(e.node.0).or_insert(next);
+    }
+    for (&node, &pid) in &pids {
+        proc_meta(&mut out, pid, format!("replica n{node}"));
+        thread_meta(&mut out, pid, TID_DETECTOR, "detector");
+        thread_meta(&mut out, pid, TID_REPLICA_LEAD, "leadership");
+    }
+    // Open suspicions per (observer, target).
+    let mut open: BTreeMap<(u16, u16), (u64, u64, u64)> = BTreeMap::new();
+    for e in entries {
+        let pid = pids[&e.node.0];
+        let t = e.time.nanos();
+        match e.event {
+            CtrlEvent::Suspect {
+                target,
+                silence_ns,
+                timeout_ns,
+            } => {
+                open.insert((e.node.0, target.0), (t, silence_ns, timeout_ns));
+            }
+            CtrlEvent::Unsuspect { target } => {
+                if let Some((t0, silence, budget)) = open.remove(&(e.node.0, target.0)) {
+                    slice(
+                        &mut out,
+                        pid,
+                        TID_DETECTOR,
+                        t0,
+                        t.max(t0) - t0,
+                        format!("suspect n{}", target.0),
+                        format!("{silence} ns silent vs {budget} ns budget"),
+                    );
+                }
+            }
+            CtrlEvent::ElectionStart { ballot, timeout_ns } => instant(
+                &mut out,
+                pid,
+                TID_REPLICA_LEAD,
+                t,
+                format!("election start (ballot {ballot})"),
+                format!("after {timeout_ns} ns silence"),
+            ),
+            CtrlEvent::LeaderElected {
+                leader,
+                epoch,
+                slot,
+            } => instant(
+                &mut out,
+                pid,
+                TID_REPLICA_LEAD,
+                t,
+                format!("leader n{} elected (epoch {epoch})", leader.0),
+                format!("decree slot {slot}"),
+            ),
+            CtrlEvent::StepDown { slot, ballot } => instant(
+                &mut out,
+                pid,
+                TID_REPLICA_LEAD,
+                t,
+                "step down".into(),
+                format!("slot {slot}, ballot {ballot}"),
+            ),
+            CtrlEvent::LeaseLost { heard, quorum } => instant(
+                &mut out,
+                pid,
+                TID_REPLICA_LEAD,
+                t,
+                "lease lost".into(),
+                format!("heard {heard} of quorum {quorum}"),
+            ),
+            _ => {}
+        }
+    }
+    // Suspicions never cleared run to the end of the journal.
+    for ((node, target), (t0, silence, budget)) in open {
+        slice(
+            &mut out,
+            pids[&node],
+            TID_DETECTOR,
+            t0,
+            end_ns.max(t0) - t0,
+            format!("suspect n{target} (uncleared)"),
+            format!("{silence} ns silent vs {budget} ns budget"),
+        );
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::str("ns")),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +532,116 @@ mod tests {
         assert!(doc.contains("switch n0"));
         // ts rendered in microseconds: the 100 ns ingress is 0.1 µs.
         assert!(doc.contains("\"ts\": 0.1"));
+    }
+
+    fn jrec(t: u64, node: u16, ev: CtrlEvent) -> swishmem_simnet::JournalRecord {
+        let (kind, cause, a, b, c) = ev.encode();
+        swishmem_simnet::JournalRecord {
+            time: SimTime(t),
+            node: NodeId(node),
+            kind,
+            cause,
+            a,
+            b,
+            c,
+        }
+    }
+
+    #[test]
+    fn ctrl_perfetto_renders_leadership_detector_and_migration_tracks() {
+        let leader = 65534u16;
+        let records = vec![
+            jrec(
+                1_000,
+                leader,
+                CtrlEvent::Suspect {
+                    target: NodeId(65535),
+                    silence_ns: 400,
+                    timeout_ns: 350,
+                },
+            ),
+            jrec(
+                1_100,
+                leader,
+                CtrlEvent::ElectionStart {
+                    ballot: 257,
+                    timeout_ns: 350,
+                },
+            ),
+            jrec(
+                1_200,
+                leader,
+                CtrlEvent::LeaderElected {
+                    leader: NodeId(leader),
+                    epoch: 2,
+                    slot: 8,
+                },
+            ),
+            jrec(
+                1_250,
+                leader,
+                CtrlEvent::Unsuspect {
+                    target: NodeId(65535),
+                },
+            ),
+            jrec(
+                2_000,
+                leader,
+                CtrlEvent::MigBegin {
+                    reg: 1,
+                    start: 16,
+                    from: NodeId(0),
+                    to: NodeId(2),
+                    epoch: 2,
+                },
+            ),
+            jrec(
+                2_500,
+                leader,
+                CtrlEvent::MigDualOwner {
+                    reg: 1,
+                    start: 16,
+                    epoch: 2,
+                    pass: 1,
+                },
+            ),
+            jrec(
+                3_000,
+                leader,
+                CtrlEvent::MigCommit {
+                    reg: 1,
+                    start: 16,
+                    epoch: 3,
+                },
+            ),
+            jrec(
+                3_500,
+                leader,
+                CtrlEvent::Compact {
+                    upto: 12,
+                    snap_bytes: 640,
+                },
+            ),
+        ];
+        let journal = Journal::decode(&records);
+        let doc = ctrl_to_perfetto(&journal).pretty();
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("control plane"));
+        assert!(doc.contains("leader n65534 (epoch 2)"));
+        assert!(doc.contains("mig reg1@16 n0->n2"));
+        assert!(doc.contains("dual-owner"));
+        assert!(doc.contains("compact@12"));
+        assert!(doc.contains("replica n65534"));
+        assert!(doc.contains("suspect n65535"));
+        assert!(doc.contains("election start (ballot 257)"));
+        // The suspicion slice spans 1_000..1_250 ns = 0.25 µs.
+        assert!(doc.contains("\"dur\": 0.25"), "{doc}");
+    }
+
+    #[test]
+    fn ctrl_perfetto_empty_journal_is_well_formed() {
+        let doc = ctrl_to_perfetto(&Journal::default()).pretty();
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("control plane"));
     }
 }

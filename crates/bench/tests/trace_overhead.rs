@@ -1,16 +1,17 @@
-//! Smoke test for the E18 gate: span telemetry compiled in but disabled
-//! must not meaningfully slow the event engine. The CI gate here is
-//! deliberately generous (25%) to tolerate noisy shared runners; the
-//! experiment itself reports against the real <2% target.
+//! Smoke tests for the E18/E23 gates: span telemetry and flight-recorder
+//! journaling compiled in but disabled must not meaningfully slow the
+//! event engine. The CI gates here are deliberately generous (25%) to
+//! tolerate noisy shared runners; the experiments themselves report
+//! against the real <2% targets.
 
-use swishmem_bench::experiments::e18_trace_overhead::measure_pair;
+use swishmem_bench::experiments::{e18_trace_overhead, e23_ctrl_recorder};
 
 #[test]
 fn detached_tracing_overhead_is_small() {
     const EVENTS: u64 = 20_000;
     // Interleaved best-of-5 each — min wall-clock of a deterministic
     // workload is robust to scheduler noise.
-    let (plain, traced) = measure_pair(EVENTS, 5);
+    let (plain, traced) = e18_trace_overhead::measure_pair(EVENTS, 5);
     let ratio = plain / traced;
     assert!(
         ratio < 1.25,
@@ -18,5 +19,19 @@ fn detached_tracing_overhead_is_small() {
         (ratio - 1.0) * 100.0,
         plain / 1e6,
         traced / 1e6,
+    );
+}
+
+#[test]
+fn detached_journal_overhead_is_small() {
+    const EVENTS: u64 = 20_000;
+    let (plain, journaled) = e23_ctrl_recorder::measure_pair(EVENTS, 5);
+    let ratio = plain / journaled;
+    assert!(
+        ratio < 1.25,
+        "detached journaling slowed the engine {:.1}% (plain {:.2}M ev/s, journaled {:.2}M ev/s)",
+        (ratio - 1.0) * 100.0,
+        plain / 1e6,
+        journaled / 1e6,
     );
 }

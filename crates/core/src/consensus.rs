@@ -77,6 +77,39 @@ pub fn ballot(round: u64, idx: u8) -> Ballot {
     (round << 8) | u64::from(idx)
 }
 
+/// The class of a consensus transition note (see [`ConsensusNote`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoteKind {
+    /// The proposer opened phase 1 for a slot (Prepare issued).
+    PrepareIssued,
+    /// This acceptor granted a promise.
+    PromiseGranted,
+    /// This acceptor accepted a value.
+    Accepted,
+    /// The proposer saw an accept quorum — the value is chosen.
+    Chosen,
+    /// A slot entered this replica's chosen log.
+    Learned,
+    /// The proposer retreated (outbid, nacked, or a rival took over).
+    StepDown,
+}
+
+/// A passive record of one consensus transition, for the control-plane
+/// flight recorder (DESIGN.md §14). The state machine only *writes*
+/// notes — it never reads them back — and only while [`Consensus::notes_on`]
+/// is set, so recording cannot perturb any transition: with the flag off
+/// the protocol state evolves identically, which is what keeps the
+/// journal bit-invisible to the determinism fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsensusNote {
+    /// The transition class.
+    pub kind: NoteKind,
+    /// The slot involved.
+    pub slot: Slot,
+    /// The ballot involved (0 where not meaningful, e.g. `Learned`).
+    pub ballot: Ballot,
+}
+
 /// The election round of a ballot.
 pub fn ballot_round(b: Ballot) -> u64 {
     b >> 8
@@ -222,6 +255,10 @@ pub struct Consensus {
     /// First capacity violation observed, sticky: the run degrades and
     /// the oracle layer reports it, rather than the process aborting.
     pub error: Option<ConsensusError>,
+    /// Whether to record [`ConsensusNote`]s. Mirrored from the
+    /// controller's journal attachment each callback; off by default.
+    pub notes_on: bool,
+    notes: Vec<ConsensusNote>,
 }
 
 impl Consensus {
@@ -245,6 +282,21 @@ impl Consensus {
             leader_changes: 0,
             compactions: 0,
             error: None,
+            notes_on: false,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Drain the transition notes recorded since the last drain. Empty
+    /// (and allocation-free) while `notes_on` is unset.
+    pub fn take_notes(&mut self) -> Vec<ConsensusNote> {
+        std::mem::take(&mut self.notes)
+    }
+
+    #[inline]
+    fn note(&mut self, kind: NoteKind, slot: Slot, ballot: Ballot) {
+        if self.notes_on {
+            self.notes.push(ConsensusNote { kind, slot, ballot });
         }
     }
 
@@ -340,6 +392,9 @@ impl Consensus {
     }
 
     fn step_down(&mut self) {
+        if self.role != Role::Follower {
+            self.note(NoteKind::StepDown, self.commit, self.bal);
+        }
         self.role = Role::Follower;
         self.inflight = None;
         self.queue.clear();
@@ -388,6 +443,7 @@ impl Consensus {
             grants: Vec::new(),
             best: None,
         });
+        self.note(NoteKind::PrepareIssued, slot, self.bal);
         let prep = CtrlPrepare {
             from: self.me,
             ballot: self.bal,
@@ -445,6 +501,7 @@ impl Consensus {
         let granted = m.ballot >= self.acceptor.floor && m.slot >= self.acceptor.base;
         if granted {
             self.acceptor.floor = m.ballot;
+            self.note(NoteKind::PromiseGranted, m.slot, m.ballot);
         }
         let acc = self.acceptor.cell(m.slot);
         CtrlPromise {
@@ -476,6 +533,7 @@ impl Consensus {
         if granted {
             if self.acceptor.set_cell(m.slot, m.ballot, m.cmd) {
                 self.acceptor.floor = m.ballot;
+                self.note(NoteKind::Accepted, m.slot, m.ballot);
             } else {
                 granted = false;
                 self.error.get_or_insert(ConsensusError::LogOverflow {
@@ -613,6 +671,7 @@ impl Consensus {
         let slot = f.slot;
         let value = f.value.expect("phase-2 value");
         self.inflight = None;
+        self.note(NoteKind::Chosen, slot, self.bal);
         let learn = CtrlLearn {
             from: self.me,
             slot,
@@ -673,6 +732,9 @@ impl Consensus {
             self.chosen[i].is_none() || self.chosen[i] == Some(cmd),
             "two different values chosen at slot {slot}"
         );
+        if self.chosen[i].is_none() {
+            self.note(NoteKind::Learned, slot, 0);
+        }
         self.chosen[i] = Some(cmd);
         self.advance_commit();
     }

@@ -25,12 +25,15 @@
 //! from the switches' broadcasts.
 
 use crate::config::{RegisterSpec, SwishConfig};
-use crate::consensus::{Consensus, ConsensusError, Role, Slot};
+use crate::consensus::{Consensus, ConsensusError, NoteKind, Role, Slot};
 use crate::directory::{DirectoryService, RangeEntry};
 use crate::layer::{ChainView, REPLICA_GROUP};
 use crate::reconfig::{
     decode_trigger, MigrationPhase, RangeView, ReconfigEvent, ReconfigLogEntry, TriggerOp,
     MAX_RANGE_OWNERS,
+};
+use crate::telemetry::journal::{
+    CtrlEvent, ABORT_DEST_FAILED, ABORT_OWNER_FAILED, ABORT_SOLE_OWNER_PROMOTE,
 };
 use swishmem_simnet::{Ctx, Node, SimDuration, SimTime};
 use swishmem_wire::swish::{
@@ -550,9 +553,81 @@ impl Controller {
         }
     }
 
+    /// Mirror the journal attachment into the consensus note buffer.
+    /// Called at the top of every node callback so the pure state
+    /// machine records transitions exactly while a recorder listens.
+    fn sync_notes(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(rep) = self.rep.as_mut() {
+            rep.cons.notes_on = ctx.journaling();
+        }
+    }
+
+    /// Translate buffered consensus transition notes into journal
+    /// events, stamped at the current callback's time (the transitions
+    /// happened inside this callback, so the stamp is exact).
+    fn drain_notes(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(rep) = self.rep.as_mut() else { return };
+        if !rep.cons.notes_on {
+            return;
+        }
+        for n in rep.cons.take_notes() {
+            let ev = match n.kind {
+                NoteKind::PrepareIssued => CtrlEvent::Propose {
+                    slot: n.slot,
+                    ballot: n.ballot,
+                },
+                NoteKind::PromiseGranted => CtrlEvent::Promise {
+                    slot: n.slot,
+                    ballot: n.ballot,
+                },
+                NoteKind::Accepted => CtrlEvent::Accepted {
+                    slot: n.slot,
+                    ballot: n.ballot,
+                },
+                NoteKind::Chosen => CtrlEvent::Chosen {
+                    slot: n.slot,
+                    ballot: n.ballot,
+                },
+                NoteKind::Learned => CtrlEvent::Learned { slot: n.slot },
+                NoteKind::StepDown => CtrlEvent::StepDown {
+                    slot: n.slot,
+                    ballot: n.ballot,
+                },
+            };
+            ev.emit(ctx);
+        }
+    }
+
+    /// Journal the semantic effect of a decree after applying it.
+    /// Leader/singleton side only so each transition appears once.
+    fn journal_decree(&mut self, slot: Slot, cmd: &CtrlCmd, ctx: &mut Ctx<'_>) {
+        match *cmd {
+            CtrlCmd::Reassert { leader } => CtrlEvent::LeaderElected {
+                leader,
+                epoch: self.view.epoch,
+                slot,
+            }
+            .emit(ctx),
+            CtrlCmd::AddReplica { node } => CtrlEvent::MemberChange {
+                node,
+                add: true,
+                slot,
+            }
+            .emit(ctx),
+            CtrlCmd::RemoveReplica { node } => CtrlEvent::MemberChange {
+                node,
+                add: false,
+                slot,
+            }
+            .emit(ctx),
+            _ => {}
+        }
+    }
+
     /// Apply every newly chosen decree, in slot order. Only the leader
     /// emits the resulting fabric messages.
     fn drain_chosen(&mut self, ctx: &mut Ctx<'_>) {
+        self.drain_notes(ctx);
         loop {
             let Some(rep) = self.rep.as_mut() else { return };
             if rep.applied >= rep.cons.commit {
@@ -562,8 +637,19 @@ impl Controller {
             let cmd = rep.cons.chosen_at(slot).expect("slot below commit");
             rep.applied += 1;
             let emit = rep.cons.role == Role::Leader;
+            if ctx.journaling() {
+                CtrlEvent::Applied {
+                    slot,
+                    tag: cmd_tag(&cmd),
+                }
+                .emit(ctx);
+            }
+            let journal_cmd = (emit && ctx.journaling()).then_some(cmd);
             let mut io = Io { ctx, emit };
             self.apply_cmd(cmd, &mut io);
+            if let Some(cmd) = journal_cmd {
+                self.journal_decree(slot, &cmd, ctx);
+            }
         }
     }
 
@@ -668,9 +754,17 @@ impl Controller {
                 // makes the prefix recoverable is costed in wire bytes as
                 // if persisted to the snapshot register region.
                 let snap_len = SwishMsg::CtrlSnap(self.make_snapshot()).wire_len() as u64;
+                let journal = io.emit && io.ctx.journaling();
                 let Some(rep) = self.rep.as_mut() else { return };
                 if rep.cons.compact_to(upto) {
                     rep.snapshot_bytes += snap_len;
+                    if journal {
+                        CtrlEvent::Compact {
+                            upto,
+                            snap_bytes: snap_len,
+                        }
+                        .emit(io.ctx);
+                    }
                 }
             }
             CtrlCmd::AddReplica { node } => self.apply_replica_change(node, true, io),
@@ -996,6 +1090,14 @@ impl Controller {
             .position(|m| m.reg == reg && m.start == start)
     }
 
+    /// Journal a migration lifecycle event (leader/singleton side only,
+    /// so a replicated apply records each step once).
+    fn journal_mig(&self, io: &mut Io<'_, '_>, ev: CtrlEvent) {
+        if io.emit {
+            ev.emit(io.ctx);
+        }
+    }
+
     /// Commit `owners` as the range's owner set at a fresh per-range
     /// epoch: update the directory, retire any open migration, start the
     /// planner cooldown, and broadcast the `OwnershipCommit`.
@@ -1004,11 +1106,18 @@ impl Controller {
             return;
         };
         let now = io.now();
+        let was_dual = matches!(
+            &self.rmeta[i].mig,
+            Some(m) if m.phase == MigrationPhase::DualOwner
+        );
         self.rmeta[i].issued_epoch += 1;
         let epoch = self.rmeta[i].issued_epoch;
         let end = self.rmeta[i].end;
         self.rmeta[i].committed_epoch = epoch;
         self.rmeta[i].mig = None;
+        if was_dual {
+            self.journal_mig(io, CtrlEvent::MigCommit { reg, start, epoch });
+        }
         self.rmeta[i].cooldown_until = Some(now + self.cfg.reconfig.cooldown);
         self.directory.set_owners(reg, start, &owners);
         self.log_reconfig(
@@ -1087,6 +1196,16 @@ impl Controller {
         self.log_reconfig(
             now,
             ReconfigEvent::Begin {
+                reg,
+                start: range.start,
+                from,
+                to,
+                epoch,
+            },
+        );
+        self.journal_mig(
+            io,
+            CtrlEvent::MigBegin {
                 reg,
                 start: range.start,
                 from,
@@ -1213,6 +1332,15 @@ impl Controller {
                     pass,
                 },
             );
+            self.journal_mig(
+                io,
+                CtrlEvent::MigDualOwner {
+                    reg,
+                    start,
+                    epoch,
+                    pass,
+                },
+            );
             self.commit_range(reg, start, owners, io);
         }
     }
@@ -1249,6 +1377,15 @@ impl Controller {
                             reason: "destination failed",
                         },
                     );
+                    self.journal_mig(
+                        io,
+                        CtrlEvent::MigAbort {
+                            reg,
+                            start,
+                            epoch: mig.epoch,
+                            reason: ABORT_DEST_FAILED,
+                        },
+                    );
                     // Re-assert the current owners at a fresh epoch:
                     // clears `mig_to` at every switch and stops the
                     // source's streamer.
@@ -1263,6 +1400,15 @@ impl Controller {
                                 reason: "sole owner failed; promoting destination",
                             },
                         );
+                        self.journal_mig(
+                            io,
+                            CtrlEvent::MigAbort {
+                                reg,
+                                start,
+                                epoch: mig.epoch,
+                                reason: ABORT_SOLE_OWNER_PROMOTE,
+                            },
+                        );
                         self.commit_range(reg, start, vec![mig.to], io);
                     } else {
                         self.log_reconfig(
@@ -1271,6 +1417,15 @@ impl Controller {
                                 reg,
                                 start,
                                 reason: "owner failed during transfer",
+                            },
+                        );
+                        self.journal_mig(
+                            io,
+                            CtrlEvent::MigAbort {
+                                reg,
+                                start,
+                                epoch: mig.epoch,
+                                reason: ABORT_OWNER_FAILED,
                             },
                         );
                         self.commit_range(reg, start, survivors, io);
@@ -1346,6 +1501,13 @@ impl Controller {
                 .filter(|(n, t)| *n != me && group.contains(n) && now.since(*t) <= retry_pace)
                 .count();
             if heard + 1 < rep.cons.quorum() {
+                if ctx.journaling() {
+                    CtrlEvent::LeaseLost {
+                        heard: heard as u32,
+                        quorum: rep.cons.quorum() as u32,
+                    }
+                    .emit(ctx);
+                }
                 rep.cons.on_restart();
                 rep.last_leader_hb = now;
                 rep.last_attempt = now;
@@ -1431,11 +1593,26 @@ impl Controller {
             if !rep.suspected {
                 rep.suspected = true;
                 rep.suspect_events += 1;
+                if ctx.journaling() {
+                    CtrlEvent::Suspect {
+                        target: rep.cons.leader_hint.unwrap_or(me),
+                        silence_ns: now.since(rep.last_leader_hb).0,
+                        timeout_ns: election_timeout.0,
+                    }
+                    .emit(ctx);
+                }
             }
             if now.since(rep.last_attempt) > retry_pace {
                 rep.last_attempt = now;
                 rep.elections += 1;
                 let out = rep.cons.start_candidacy();
+                if ctx.journaling() {
+                    CtrlEvent::ElectionStart {
+                        ballot: rep.cons.bal,
+                        timeout_ns: election_timeout.0,
+                    }
+                    .emit(ctx);
+                }
                 self.send_consensus(out, ctx);
                 self.drain_chosen(ctx);
             }
@@ -1474,6 +1651,9 @@ impl Controller {
                     rep.hb_gaps.remove(0);
                 }
             }
+            if rep.suspected && ctx.journaling() {
+                CtrlEvent::Unsuspect { target: hb.from }.emit(ctx);
+            }
             rep.last_leader_hb = now;
             rep.suspected = false;
         }
@@ -1496,8 +1676,18 @@ impl Controller {
         let needs_snap = hb.commit < rep.cons.base();
         let needs_replay = hb.commit < rep.cons.commit;
         if needs_snap {
-            let snap = SwishMsg::CtrlSnap(self.make_snapshot());
-            self.send_consensus(vec![(hb.from, snap)], ctx);
+            let snap = self.make_snapshot();
+            let base = snap.base;
+            let msg = SwishMsg::CtrlSnap(snap);
+            if ctx.journaling() {
+                CtrlEvent::SnapshotSent {
+                    base,
+                    bytes: msg.wire_len() as u64,
+                    to: hb.from,
+                }
+                .emit(ctx);
+            }
+            self.send_consensus(vec![(hb.from, msg)], ctx);
         }
         if needs_replay {
             let rep = self.rep.as_ref().expect("replica");
@@ -1576,6 +1766,9 @@ impl Controller {
             return;
         }
         rep.applied = s.base;
+        if ctx.journaling() {
+            CtrlEvent::SnapshotInstalled { base: s.base }.emit(ctx);
+        }
         // Re-key peer liveness to the adopted membership.
         let me = rep.cons.me;
         let group = rep.cons.group.clone();
@@ -1641,8 +1834,27 @@ fn phase_from_code(c: u8) -> MigrationPhase {
     }
 }
 
+/// Stable command codes carried by `Applied` journal events.
+fn cmd_tag(cmd: &CtrlCmd) -> u16 {
+    match cmd {
+        CtrlCmd::Bootstrap => 1,
+        CtrlCmd::Reassert { .. } => 2,
+        CtrlCmd::Fail { .. } => 3,
+        CtrlCmd::Admit { .. } => 4,
+        CtrlCmd::Promote { .. } => 5,
+        CtrlCmd::Move { .. } => 6,
+        CtrlCmd::Grow { .. } => 7,
+        CtrlCmd::Shrink { .. } => 8,
+        CtrlCmd::MigDone { .. } => 9,
+        CtrlCmd::Compact { .. } => 10,
+        CtrlCmd::AddReplica { .. } => 11,
+        CtrlCmd::RemoveReplica { .. } => 12,
+    }
+}
+
 impl Node for Controller {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.sync_notes(ctx);
         let now = ctx.now();
         if self.started {
             // Recovery re-entry: the engine re-dispatches `on_start`
@@ -1721,6 +1933,7 @@ impl Node for Controller {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        self.sync_notes(ctx);
         let PacketBody::Swish(msg) = pkt.body else {
             return;
         };
@@ -1743,6 +1956,13 @@ impl Node for Controller {
                             return;
                         }
                         rep.follower_reads += 1;
+                        if ctx.journaling() {
+                            CtrlEvent::FollowerRead {
+                                reg: q.reg,
+                                key: q.key,
+                            }
+                            .emit(ctx);
+                        }
                     }
                 }
                 let owners = self.directory.lookup(q.reg, q.key, q.from);
@@ -1837,6 +2057,7 @@ impl Node for Controller {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        self.sync_notes(ctx);
         if let Some((op, reg, key, to)) = decode_trigger(token) {
             // Replica-group reconfiguration bypasses the leader gate:
             // every replica records the operator's intent and whoever

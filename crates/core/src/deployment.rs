@@ -652,6 +652,23 @@ impl Deployment {
         self.sim.clear_spans();
     }
 
+    /// Attach the control-plane flight recorder: every consensus
+    /// transition, leadership/lease change, detector edge, membership
+    /// decree and migration lifecycle step is journaled into the
+    /// returned handle, capped at `capacity` records. Purely passive —
+    /// attaching changes no simulation outcome (see the determinism
+    /// tests). Decode with [`crate::telemetry::journal::Journal`].
+    pub fn attach_journal(&mut self, capacity: usize) -> swishmem_simnet::JournalHandle {
+        let h = swishmem_simnet::JournalCollector::new(capacity);
+        self.sim.set_journal(h.clone());
+        h
+    }
+
+    /// Detach the flight recorder; journal emission reverts to a no-op.
+    pub fn detach_journal(&mut self) {
+        self.sim.clear_journal();
+    }
+
     /// Run to absolute time `t`, pausing every `sampler.interval()` to
     /// take a metrics sample of every switch.
     pub fn run_sampled(&mut self, t: SimTime, sampler: &mut crate::telemetry::TimeSeriesSampler) {
@@ -861,19 +878,47 @@ impl<'a> ReplicatedController<'a> {
         self.consensus_metrics().leader_changes
     }
 
-    /// `LeaderElected` events from the most-advanced replica's log, for
-    /// failover-gap measurement.
+    /// Consensus protocol messages sent, summed across the group.
+    pub fn consensus_msgs(&self) -> u64 {
+        self.consensus_metrics().msgs_sent
+    }
+
+    /// Lease-gated directory lookups served by non-leading replicas,
+    /// summed across the group.
+    pub fn follower_reads(&self) -> u64 {
+        self.consensus_metrics().follower_reads
+    }
+
+    /// Controller-state snapshot bytes persisted across compactions
+    /// (max across replicas: every replica applies the same decrees).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.consensus_metrics().snapshot_bytes
+    }
+
+    /// `LeaderElected` events merged across every replica's log, keeping
+    /// the earliest record per epoch: each replica stamps the decree at
+    /// its own apply, so the earliest is the new leader's apply — the
+    /// instant the election takes effect (and the instant the flight
+    /// recorder journals). Sorted by time, for failover-gap measurement.
     pub fn elections(&self) -> Vec<ConfigEvent> {
-        let best = self
-            .reps
-            .iter()
-            .flatten()
-            .max_by_key(|c| c.events().len())
-            .map(|c| c.events())
-            .unwrap_or(&[]);
-        best.iter()
-            .filter(|e| matches!(e.kind, crate::controller::ConfigEventKind::LeaderElected(_)))
-            .cloned()
-            .collect()
+        let mut by_epoch: std::collections::BTreeMap<u32, ConfigEvent> =
+            std::collections::BTreeMap::new();
+        for c in self.reps.iter().flatten() {
+            for e in c.events() {
+                if matches!(e.kind, crate::controller::ConfigEventKind::LeaderElected(_)) {
+                    by_epoch
+                        .entry(e.epoch)
+                        .and_modify(|cur| {
+                            if e.time < cur.time {
+                                *cur = e.clone();
+                            }
+                        })
+                        .or_insert_with(|| e.clone());
+                }
+            }
+        }
+        let mut out: Vec<ConfigEvent> = by_epoch.into_values().collect();
+        out.sort_by_key(|e| (e.time, e.epoch));
+        out
     }
 }

@@ -71,10 +71,13 @@ pub use deployment::{
 pub use directory::DirectoryService;
 pub use layer::{ChainView, REPLICA_GROUP};
 pub use metrics::{CpMetrics, DpMetrics, Histogram, HistogramSummary, SwitchMetrics};
-pub use oracle::{OracleConfig, OracleSuite, Violation, ViolationKind};
+pub use oracle::{OracleConfig, OracleSuite, SloBudgets, Violation, ViolationKind};
 pub use reconfig::{
     decode_trigger, trigger_token, trigger_token_op, MigrationPhase, RangeView, ReconfigEvent,
     ReconfigLogEntry, TriggerOp,
+};
+pub use telemetry::journal::{
+    CompactionRecord, CtrlEvent, Failover, Journal, JournalEntry, MigrationTimeline,
 };
 pub use telemetry::{MetricsSample, RingBuffer, TimeSeriesSampler};
 pub use typed::{SharedCounter, SharedValue};

@@ -51,18 +51,31 @@
 //!   Ranges whose *entire* owner set was simultaneously failed are
 //!   tainted permanently — their state legally died with the owners
 //!   (sole-owner crash, or promote-on-source-death during a transfer).
+//! * **Journal SLO budgets** — when a control-plane flight recorder is
+//!   attached ([`OracleSuite::attach_journal`]), three online monitors
+//!   run over the decoded journal: every reconstructed failover must
+//!   close within the failover-gap budget, every migration's dual-owner
+//!   window (including still-open ones) must stay under its budget, and
+//!   election churn (campaign starts per sliding window) must stay
+//!   under the churn budget. The first violation of *any* oracle is
+//!   enriched with the last journal events before it
+//!   ([`OracleSuite::violation_context`]).
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
-use swishmem_simnet::{NetEvent, NetObserver, ObserverHandle, SimDuration, SimTime};
+use swishmem_simnet::{JournalHandle, NetEvent, NetObserver, ObserverHandle, SimDuration, SimTime};
 use swishmem_wire::swish::{Key, RegId, WriteOp};
 use swishmem_wire::{NodeId, PacketBody, SwishMsg};
 
 use crate::config::{RegisterClass, SwishConfig};
 use crate::deployment::Deployment;
+use crate::telemetry::journal::{CtrlEvent, Journal};
+
+/// How many journal entries before a violation are kept as context.
+pub const VIOLATION_CONTEXT_EVENTS: usize = 12;
 
 /// Oracle tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +102,36 @@ impl OracleConfig {
             pending_bound: SimDuration::millis(25),
             quiesce_at,
             convergence_grace: SimDuration::millis(150),
+        }
+    }
+}
+
+/// Latency/stability budgets enforced by the journal SLO monitors
+/// (active only when a flight recorder is attached via
+/// [`OracleSuite::attach_journal`]). Defaults are generous enough that
+/// healthy runs never trip them; diagnosis runs tighten them to turn
+/// "the failover felt slow" into a typed, replayable violation.
+#[derive(Debug, Clone, Copy)]
+pub struct SloBudgets {
+    /// Max reconstructed failover gap: old leader's last beacon (or
+    /// suspicion, for bootstrap elections) to the election decree apply.
+    pub failover_gap: SimDuration,
+    /// Max dual-owner window per migration (flip to commit); still-open
+    /// windows are measured against the poll time.
+    pub dual_owner_window: SimDuration,
+    /// Sliding window for the election-churn budget.
+    pub election_window: SimDuration,
+    /// Max campaign starts allowed inside one `election_window`.
+    pub max_elections_per_window: u32,
+}
+
+impl Default for SloBudgets {
+    fn default() -> SloBudgets {
+        SloBudgets {
+            failover_gap: SimDuration::millis(100),
+            dual_owner_window: SimDuration::millis(50),
+            election_window: SimDuration::millis(200),
+            max_elections_per_window: 8,
         }
     }
 }
@@ -283,6 +326,40 @@ pub enum ViolationKind {
         /// The staleness bound the reply violated, in nanoseconds.
         bound_ns: u64,
     },
+    /// A reconstructed failover exceeded its SLO budget: the gap from
+    /// the old leader's last beacon to the new leader's election decree.
+    FailoverGapExceeded {
+        /// The new leader.
+        leader: NodeId,
+        /// Fabric epoch of the election decree.
+        epoch: u32,
+        /// The measured gap, in nanoseconds.
+        gap_ns: u64,
+        /// The budget it broke, in nanoseconds.
+        budget_ns: u64,
+    },
+    /// A migration's dual-owner window (flip to commit, or flip to the
+    /// current poll when still open) exceeded its SLO budget.
+    DualOwnerWindowExceeded {
+        /// Register.
+        reg: RegId,
+        /// Range start key.
+        start: Key,
+        /// The measured window, in nanoseconds.
+        window_ns: u64,
+        /// The budget it broke, in nanoseconds.
+        budget_ns: u64,
+    },
+    /// More campaign starts inside one sliding window than the churn
+    /// budget allows — the replica group is thrashing on elections.
+    ElectionChurn {
+        /// Campaign starts observed in the window.
+        elections: u32,
+        /// The sliding window, in nanoseconds.
+        window_ns: u64,
+        /// The budget it broke.
+        budget: u32,
+    },
     /// Replicas still disagree after the fault horizon plus grace.
     Diverged {
         /// Register.
@@ -428,6 +505,35 @@ impl fmt::Display for ViolationKind {
                 f,
                 "stale directory read: {replica} served reg {reg} key {key} \
                  owners {served:?} not authoritative within the last {bound_ns} ns"
+            ),
+            ViolationKind::FailoverGapExceeded {
+                leader,
+                epoch,
+                gap_ns,
+                budget_ns,
+            } => write!(
+                f,
+                "failover SLO broken: {leader} (epoch {epoch}) took {gap_ns} ns \
+                 from last beacon to election decree (budget {budget_ns} ns)"
+            ),
+            ViolationKind::DualOwnerWindowExceeded {
+                reg,
+                start,
+                window_ns,
+                budget_ns,
+            } => write!(
+                f,
+                "dual-owner SLO broken: reg {reg} range@{start} dual-owned for \
+                 {window_ns} ns (budget {budget_ns} ns)"
+            ),
+            ViolationKind::ElectionChurn {
+                elections,
+                window_ns,
+                budget,
+            } => write!(
+                f,
+                "election churn: {elections} campaign starts within {window_ns} ns \
+                 (budget {budget})"
             ),
             ViolationKind::Diverged {
                 reg,
@@ -590,6 +696,16 @@ pub struct OracleSuite {
     /// leadership during an election handover is legal; only
     /// persistence beyond the leader-lease bound is a violation.
     dual_since: Option<SimTime>,
+    /// Attached control-plane flight recorder, when diagnosis is on.
+    journal: Option<JournalHandle>,
+    /// Record count at the last decode (re-decode only on growth).
+    journal_seen: usize,
+    /// The decoded journal as of `journal_seen` records.
+    journal_cache: Journal,
+    /// Budgets for the journal SLO monitors.
+    slo: SloBudgets,
+    /// The last journal events before the first violation.
+    first_context: Vec<String>,
     first: Option<Violation>,
 }
 
@@ -615,13 +731,51 @@ impl OracleSuite {
             dead_ranges: BTreeSet::new(),
             table_hist: BTreeMap::new(),
             dual_since: None,
+            journal: None,
+            journal_seen: 0,
+            journal_cache: Journal::default(),
+            slo: SloBudgets::default(),
+            first_context: Vec::new(),
             first: None,
         }
+    }
+
+    /// Attach a control-plane flight recorder: arms the journal SLO
+    /// monitors and enriches the first violation (of *any* oracle) with
+    /// the last journal events before it.
+    pub fn attach_journal(&mut self, handle: JournalHandle) {
+        self.journal = Some(handle);
+    }
+
+    /// Override the journal SLO budgets (defaults never trip on a
+    /// healthy run).
+    pub fn set_slo(&mut self, slo: SloBudgets) {
+        self.slo = slo;
     }
 
     /// The first violation, if any.
     pub fn violation(&self) -> Option<&Violation> {
         self.first.as_ref()
+    }
+
+    /// Journal context captured with the first violation: the last
+    /// [`VIOLATION_CONTEXT_EVENTS`] events at or before it, rendered as
+    /// human lines. Empty when no journal was attached (or no
+    /// violation).
+    pub fn violation_context(&self) -> &[String] {
+        &self.first_context
+    }
+
+    /// The first violation plus its journal context as a multi-line
+    /// report, or `None` when the run was clean.
+    pub fn violation_report(&self) -> Option<String> {
+        let v = self.first.as_ref()?;
+        let mut s = v.to_string();
+        for line in &self.first_context {
+            s.push_str("\n    ");
+            s.push_str(line);
+        }
+        Some(s)
     }
 
     /// Drive the deployment to `until`, polling every `poll_interval`.
@@ -641,6 +795,10 @@ impl OracleSuite {
 
     fn record(&mut self, at: SimTime, kind: ViolationKind) {
         if self.first.is_none() {
+            if let Some(h) = &self.journal {
+                let decoded = Journal::decode(h.borrow().records());
+                self.first_context = decoded.tail_strings_at(at, VIOLATION_CONTEXT_EVENTS);
+            }
             self.first = Some(Violation { at, kind });
         }
     }
@@ -882,6 +1040,37 @@ impl OracleSuite {
             let replies = std::mem::take(&mut self.wire.borrow_mut().dir_replies);
             for kind in stale_read_errors(&replies, &self.table_hist, bound) {
                 self.record(now, kind);
+            }
+        }
+
+        // 2f. Journal SLO monitors: failover gap, dual-owner window and
+        //     election churn over the decoded flight recorder. The
+        //     decode is cached (re-run only when records arrived); the
+        //     dual-owner monitor re-runs every poll regardless because
+        //     a *still-open* window ages against `now` without emitting
+        //     any new records.
+        if let Some(h) = self.journal.clone() {
+            let len = h.borrow().len();
+            if len != self.journal_seen {
+                self.journal_cache = Journal::decode(h.borrow().records());
+                self.journal_seen = len;
+                for (at, kind) in
+                    failover_gap_violations(&self.journal_cache, self.slo.failover_gap)
+                {
+                    self.record(at, kind);
+                }
+                for (at, kind) in election_churn_violations(
+                    &self.journal_cache,
+                    self.slo.election_window,
+                    self.slo.max_elections_per_window,
+                ) {
+                    self.record(at, kind);
+                }
+            }
+            for (at, kind) in
+                dual_owner_violations(&self.journal_cache, now, self.slo.dual_owner_window)
+            {
+                self.record(at, kind);
             }
         }
 
@@ -1357,6 +1546,104 @@ pub fn range_split_brain_errors(
     out
 }
 
+/// Failover-gap SLO (journal monitor): every reconstructed failover
+/// must close within `budget`, measured from the old leader's last
+/// beacon (falling back to the suspicion or campaign start when the
+/// journal holds no beacon evidence, e.g. a bootstrap election) to the
+/// moment the new leader applied its election decree. Pure over the
+/// decoded journal, so tests can feed hand-built histories.
+pub fn failover_gap_violations(
+    journal: &Journal,
+    budget: SimDuration,
+) -> Vec<(SimTime, ViolationKind)> {
+    let mut out = Vec::new();
+    for f in journal.failovers() {
+        let Some(from) = f.last_beacon.or(f.suspect_at).or(f.election_start) else {
+            continue;
+        };
+        let gap = f.elected_at.since(from).0;
+        if gap > budget.as_nanos() {
+            out.push((
+                f.elected_at,
+                ViolationKind::FailoverGapExceeded {
+                    leader: f.leader,
+                    epoch: f.epoch,
+                    gap_ns: gap,
+                    budget_ns: budget.as_nanos(),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Dual-owner-window SLO (journal monitor): a migration may hold a
+/// range in dual-owner for at most `budget` — measured flip-to-commit
+/// for closed migrations and flip-to-`now` for ones still open (an
+/// aborted transfer never reaches dual-owner commit accounting). Pure
+/// over the decoded journal.
+pub fn dual_owner_violations(
+    journal: &Journal,
+    now: SimTime,
+    budget: SimDuration,
+) -> Vec<(SimTime, ViolationKind)> {
+    let mut out = Vec::new();
+    for m in journal.migrations() {
+        let (at, window) = match (m.dual_owner_at, m.commit_at, m.abort_at) {
+            (Some(d), Some(c), _) => (c, c.since(d).0),
+            (Some(d), None, None) => (now, now.since(d).0),
+            _ => continue,
+        };
+        if window > budget.as_nanos() {
+            out.push((
+                at,
+                ViolationKind::DualOwnerWindowExceeded {
+                    reg: m.reg,
+                    start: m.start,
+                    window_ns: window,
+                    budget_ns: budget.as_nanos(),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Election-churn SLO (journal monitor): at most `budget` campaign
+/// starts inside any sliding `window`. Flags the first start that tips
+/// each over-budget window. Pure over the decoded journal.
+pub fn election_churn_violations(
+    journal: &Journal,
+    window: SimDuration,
+    budget: u32,
+) -> Vec<(SimTime, ViolationKind)> {
+    let starts: Vec<SimTime> = journal
+        .entries()
+        .iter()
+        .filter(|e| matches!(e.event, CtrlEvent::ElectionStart { .. }))
+        .map(|e| e.time)
+        .collect();
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    for i in 0..starts.len() {
+        while starts[i].since(starts[lo]).0 > window.as_nanos() {
+            lo += 1;
+        }
+        let n = (i - lo + 1) as u32;
+        if n > budget {
+            out.push((
+                starts[i],
+                ViolationKind::ElectionChurn {
+                    elections: n,
+                    window_ns: window.as_nanos(),
+                    budget,
+                },
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1562,6 +1849,242 @@ mod tests {
         assert!(range_split_brain_errors(4, &[(na, mk(5, 1)), (nb, mk(4, 2))]).is_empty());
         // Agreement is legal.
         assert!(range_split_brain_errors(4, &[(na, mk(5, 1)), (nb, mk(5, 1))]).is_empty());
+    }
+
+    fn jrec(time: u64, node: u16, ev: CtrlEvent) -> swishmem_simnet::JournalRecord {
+        let (kind, cause, a, b, c) = ev.encode();
+        swishmem_simnet::JournalRecord {
+            time: SimTime(time),
+            node: NodeId(node),
+            kind,
+            cause,
+            a,
+            b,
+            c,
+        }
+    }
+
+    /// A hand-built failover journal whose gap (last beacon at 600 ns to
+    /// the election decree at 1 200 000 ns) SHOULD break a tight budget
+    /// and hold under a looser one.
+    #[test]
+    fn failover_gap_slo_fires_on_slow_failover() {
+        let leader = NodeId(u16::MAX - 1);
+        let records = vec![
+            jrec(
+                1_000_000,
+                leader.0,
+                CtrlEvent::Suspect {
+                    target: NodeId(u16::MAX),
+                    silence_ns: 400_000,
+                    timeout_ns: 350_000,
+                },
+            ),
+            jrec(
+                1_100_000,
+                leader.0,
+                CtrlEvent::ElectionStart {
+                    ballot: 257,
+                    timeout_ns: 350_000,
+                },
+            ),
+            jrec(
+                1_200_000,
+                leader.0,
+                CtrlEvent::LeaderElected {
+                    leader,
+                    epoch: 2,
+                    slot: 8,
+                },
+            ),
+        ];
+        let j = Journal::decode(&records);
+        // Gap = 1_200_000 - (1_000_000 - 400_000) = 600_000 ns.
+        assert!(failover_gap_violations(&j, SimDuration::micros(600)).is_empty());
+        let v = failover_gap_violations(&j, SimDuration::micros(500));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].0, SimTime(1_200_000));
+        assert!(matches!(
+            v[0].1,
+            ViolationKind::FailoverGapExceeded {
+                epoch: 2,
+                gap_ns: 600_000,
+                budget_ns: 500_000,
+                ..
+            }
+        ));
+    }
+
+    /// Closed, open, and aborted dual-owner windows against the budget:
+    /// only commit closes the clock; an open window ages with `now`; an
+    /// abort stops it.
+    #[test]
+    fn dual_owner_window_slo_fires_for_closed_and_open_windows() {
+        use crate::telemetry::journal::ABORT_DEST_FAILED;
+        let begin = CtrlEvent::MigBegin {
+            reg: 1,
+            start: 0,
+            from: NodeId(0),
+            to: NodeId(2),
+            epoch: 1,
+        };
+        let dual = CtrlEvent::MigDualOwner {
+            reg: 1,
+            start: 0,
+            epoch: 1,
+            pass: 1,
+        };
+        let commit = CtrlEvent::MigCommit {
+            reg: 1,
+            start: 0,
+            epoch: 2,
+        };
+        // Closed: dual-owner at 100, commit at 700 → 600 ns window.
+        let j = Journal::decode(&[jrec(50, 0, begin), jrec(100, 0, dual), jrec(700, 0, commit)]);
+        assert!(dual_owner_violations(&j, SimTime(10_000), SimDuration::nanos(600)).is_empty());
+        let v = dual_owner_violations(&j, SimTime(10_000), SimDuration::nanos(500));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].0, SimTime(700));
+        assert!(matches!(
+            v[0].1,
+            ViolationKind::DualOwnerWindowExceeded {
+                reg: 1,
+                start: 0,
+                window_ns: 600,
+                ..
+            }
+        ));
+        // Open: no terminal event yet, the window ages against `now`.
+        let j = Journal::decode(&[jrec(50, 0, begin), jrec(100, 0, dual)]);
+        assert!(dual_owner_violations(&j, SimTime(500), SimDuration::nanos(500)).is_empty());
+        assert_eq!(
+            dual_owner_violations(&j, SimTime(1_000), SimDuration::nanos(500)).len(),
+            1
+        );
+        // Aborted before commit: the clock must stop.
+        let abort = CtrlEvent::MigAbort {
+            reg: 1,
+            start: 0,
+            epoch: 1,
+            reason: ABORT_DEST_FAILED,
+        };
+        let j = Journal::decode(&[jrec(50, 0, begin), jrec(100, 0, dual), jrec(200, 0, abort)]);
+        assert!(dual_owner_violations(&j, SimTime(1 << 40), SimDuration::nanos(500)).is_empty());
+    }
+
+    /// Five campaign starts 100 ns apart: a 400 ns window holds 5, so a
+    /// budget of 4 breaks and 5 holds; a 100 ns window never sees > 2.
+    #[test]
+    fn election_churn_slo_fires_on_thrash() {
+        let records: Vec<_> = (0..5u64)
+            .map(|i| {
+                jrec(
+                    1_000 + i * 100,
+                    7,
+                    CtrlEvent::ElectionStart {
+                        ballot: 257 + i,
+                        timeout_ns: 50,
+                    },
+                )
+            })
+            .collect();
+        let j = Journal::decode(&records);
+        assert!(election_churn_violations(&j, SimDuration::nanos(400), 5).is_empty());
+        let v = election_churn_violations(&j, SimDuration::nanos(400), 4);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(
+            v[0].1,
+            ViolationKind::ElectionChurn {
+                elections: 5,
+                budget: 4,
+                ..
+            }
+        ));
+        assert!(election_churn_violations(&j, SimDuration::nanos(100), 2).is_empty());
+    }
+
+    /// End to end: an attached suite with a tight failover budget and a
+    /// journal carrying a slow failover MUST surface the SLO violation
+    /// through its normal violation machinery, enriched with the journal
+    /// events leading up to it.
+    #[test]
+    fn slo_violation_fires_through_the_suite_with_journal_context() {
+        use crate::api::{NfApp, NfDecision, SharedState};
+        use crate::deployment::{DeploymentBuilder, HOST_BASE};
+        use swishmem_wire::DataPacket;
+
+        struct NoopNf;
+        impl NfApp for NoopNf {
+            fn process(
+                &mut self,
+                pkt: &DataPacket,
+                _i: NodeId,
+                _st: &mut dyn SharedState,
+            ) -> NfDecision {
+                NfDecision::Forward {
+                    dst: NodeId(HOST_BASE),
+                    pkt: *pkt,
+                }
+            }
+        }
+
+        let mut dep = DeploymentBuilder::new(3).build(|_| Box::new(NoopNf));
+        dep.settle();
+        let handle = dep.attach_journal(1 << 12);
+        let mut suite = OracleSuite::attach(&mut dep, OracleConfig::new(SimTime(1 << 60)));
+        suite.attach_journal(handle.clone());
+        suite.set_slo(SloBudgets {
+            failover_gap: SimDuration::nanos(1),
+            ..SloBudgets::default()
+        });
+
+        let leader = NodeId(u16::MAX - 1);
+        {
+            let mut col = handle.borrow_mut();
+            col.record(jrec(
+                1_000,
+                leader.0,
+                CtrlEvent::Suspect {
+                    target: NodeId(u16::MAX),
+                    silence_ns: 400,
+                    timeout_ns: 350,
+                },
+            ));
+            col.record(jrec(
+                1_100,
+                leader.0,
+                CtrlEvent::ElectionStart {
+                    ballot: 257,
+                    timeout_ns: 350,
+                },
+            ));
+            col.record(jrec(
+                1_200,
+                leader.0,
+                CtrlEvent::LeaderElected {
+                    leader,
+                    epoch: 2,
+                    slot: 8,
+                },
+            ));
+        }
+        suite.poll(&dep);
+        let v = suite.violation().expect("budget violation must fire");
+        assert!(
+            matches!(
+                v.kind,
+                ViolationKind::FailoverGapExceeded {
+                    epoch: 2,
+                    gap_ns: 600,
+                    ..
+                }
+            ),
+            "{v}"
+        );
+        assert!(!suite.violation_context().is_empty());
+        let report = suite.violation_report().unwrap();
+        assert!(report.contains("failover SLO broken"), "{report}");
+        assert!(report.contains("election started"), "{report}");
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! steps and never injects events or draws randomness — so a sampled run
 //! is bit-identical to an unsampled one.
 
+pub mod journal;
+
 use crate::deployment::Deployment;
 use swishmem_simnet::{SimDuration, SimTime};
 

@@ -1,5 +1,6 @@
 //! The per-callback context handed to nodes.
 
+use crate::journal::{JournalCollector, JournalRecord};
 use crate::span::{SpanCollector, SpanPhase};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -47,6 +48,9 @@ pub struct Ctx<'a> {
     /// `SpanHandle` (an `Rc<RefCell<..>>`), a shard core lends its owned
     /// collector.
     pub(crate) spans: Option<&'a RefCell<SpanCollector>>,
+    /// The control-plane journal sink, when one is attached. Same
+    /// lending scheme as `spans`.
+    pub(crate) journal: Option<&'a RefCell<JournalCollector>>,
 }
 
 impl<'a> Ctx<'a> {
@@ -127,5 +131,39 @@ impl<'a> Ctx<'a> {
     #[inline]
     pub fn tracing(&self) -> bool {
         self.spans.is_some()
+    }
+
+    /// Emit a journal record stamped at the current time.
+    ///
+    /// A pure observation, exactly like [`Self::span`]: the record goes
+    /// to the attached [`crate::journal::JournalCollector`] (if any) and
+    /// nowhere else — no event is scheduled and no RNG is consumed, so
+    /// journaling never perturbs the deterministic event order.
+    #[inline]
+    pub fn journal(&mut self, kind: u16, cause: u64, a: u64, b: u64, c: u64) {
+        self.journal_at(self.now, kind, cause, a, b, c);
+    }
+
+    /// Emit a journal record stamped with an explicit time.
+    #[inline]
+    pub fn journal_at(&mut self, at: SimTime, kind: u16, cause: u64, a: u64, b: u64, c: u64) {
+        if let Some(j) = self.journal {
+            j.borrow_mut().record(JournalRecord {
+                time: at,
+                node: self.node,
+                kind,
+                cause,
+                a,
+                b,
+                c,
+            });
+        }
+    }
+
+    /// Whether a journal collector is attached (lets callers skip
+    /// assembling payload words when nobody is listening).
+    #[inline]
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
     }
 }

@@ -38,6 +38,7 @@
 pub mod ctx;
 pub(crate) mod events;
 pub mod fault;
+pub mod journal;
 pub mod link;
 pub mod node;
 pub mod observe;
@@ -52,6 +53,7 @@ pub mod trace;
 
 pub use ctx::{Ctx, GroupId};
 pub use fault::{FaultAction, FaultEvent, FaultGen, FaultSchedule, LinkOverlay};
+pub use journal::{JournalCollector, JournalHandle, JournalRecord};
 pub use link::{Link, LinkParams, LinkState};
 pub use node::{Node, NodeId, RelayNode};
 pub use observe::{NetEvent, NetObserver, ObserverHandle};

@@ -41,6 +41,7 @@
 use crate::ctx::{Command, Ctx, GroupId};
 use crate::events::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultSchedule, LinkOverlay};
+use crate::journal::{JournalCollector, JournalRecord};
 use crate::observe::{ObserverHandle, OwnedNetEvent};
 use crate::sim::NodeObj;
 use crate::span::{SpanCollector, SpanEvent};
@@ -148,6 +149,8 @@ struct Engine {
     trace_buf: Option<Vec<(u64, u64, Packet)>>,
     /// Owned span sink, when a span handle is attached upstream.
     spans: Option<RefCell<SpanCollector>>,
+    /// Owned journal sink, when a journal handle is attached upstream.
+    journal: Option<RefCell<JournalCollector>>,
     /// Observer-event buffer `(time, key, event)`, when observers are
     /// registered upstream; replayed through them after each run segment.
     obs_buf: Option<Vec<(u64, u64, OwnedNetEvent)>>,
@@ -191,6 +194,7 @@ impl Engine {
             peak_queue_depth: 0,
             trace_buf: None,
             spans: None,
+            journal: None,
             obs_buf: None,
             outbox: (0..shards).map(|_| Vec::new()).collect(),
             group_out: Vec::new(),
@@ -455,6 +459,7 @@ impl Engine {
                 rng,
                 commands: &mut commands,
                 spans: self.spans.as_ref(),
+                journal: self.journal.as_ref(),
             };
             f(self.nodes[slot].node.as_mut(), &mut ctx);
         }
@@ -642,11 +647,13 @@ pub struct ShardedEngine {
     frozen: bool,
     trace: Option<TraceHandle>,
     spans: Option<SpanHandle>,
+    journal: Option<JournalHandle>,
     observers: Vec<ObserverHandle>,
     wire_check: bool,
     crit_ns: u64,
 }
 
+use crate::journal::JournalHandle;
 use crate::span::SpanHandle;
 
 impl ShardedEngine {
@@ -671,6 +678,7 @@ impl ShardedEngine {
             frozen: false,
             trace: None,
             spans: None,
+            journal: None,
             observers: Vec::new(),
             wire_check: false,
             crit_ns: 0,
@@ -738,6 +746,12 @@ impl ShardedEngine {
     /// Attach a span collector (merged deterministically per run call).
     pub fn set_spans(&mut self, spans: SpanHandle) {
         self.spans = Some(spans);
+    }
+
+    /// Attach a journal collector (merged deterministically per run
+    /// call, like the span collector).
+    pub fn set_journal(&mut self, journal: JournalHandle) {
+        self.journal = Some(journal);
     }
 
     /// Attach a passive observer. Events are buffered per shard during a
@@ -1037,6 +1051,7 @@ impl ShardedEngine {
     fn sync_sinks(&mut self) {
         let trace_on = self.trace.is_some();
         let spans_on = self.spans.is_some();
+        let journal_on = self.journal.is_some();
         let obs_on = !self.observers.is_empty();
         let wc = self.wire_check;
         for e in &mut self.engines {
@@ -1047,6 +1062,9 @@ impl ShardedEngine {
                 // Per-shard collectors are unbounded; the attached handle
                 // enforces its own capacity at merge time.
                 e.spans = Some(RefCell::new(SpanCollector::detached(usize::MAX)));
+            }
+            if journal_on && e.journal.is_none() {
+                e.journal = Some(RefCell::new(JournalCollector::detached(usize::MAX)));
             }
             if obs_on && e.obs_buf.is_none() {
                 e.obs_buf = Some(Vec::new());
@@ -1284,6 +1302,25 @@ impl ShardedEngine {
             let mut sp = handle.borrow_mut();
             for e in &all {
                 sp.record(e.time, e.trace, e.node, e.phase);
+            }
+        }
+        if let Some(handle) = &self.journal {
+            let mut all: Vec<JournalRecord> = Vec::new();
+            for e in &mut self.engines {
+                if let Some(col) = &e.journal {
+                    all.append(&mut col.borrow_mut().take_records());
+                }
+            }
+            if !single {
+                // Journal records carry no key; sort on all fields (exact
+                // duplicates are interchangeable, so this order is still
+                // shard-count-invariant). Single-shard runs keep emission
+                // order — bit-exact with the sequential engine.
+                all.sort();
+            }
+            let mut j = handle.borrow_mut();
+            for r in &all {
+                j.record(*r);
             }
         }
         if !self.observers.is_empty() {

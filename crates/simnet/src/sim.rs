@@ -17,6 +17,7 @@
 use crate::ctx::{Command, Ctx, GroupId};
 use crate::events::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultSchedule, LinkOverlay};
+use crate::journal::JournalHandle;
 use crate::node::Node;
 use crate::observe::{NetEvent, ObserverHandle};
 use crate::span::SpanHandle;
@@ -76,6 +77,7 @@ pub struct Simulator {
     peak_queue_depth: usize,
     trace: Option<TraceHandle>,
     spans: Option<SpanHandle>,
+    journal: Option<JournalHandle>,
     observers: Vec<ObserverHandle>,
     wire_check: bool,
     /// Pooled command buffer reused across dispatches.
@@ -101,6 +103,7 @@ impl Simulator {
             peak_queue_depth: 0,
             trace: None,
             spans: None,
+            journal: None,
             observers: Vec::new(),
             wire_check: false,
             cmd_scratch: Vec::new(),
@@ -138,6 +141,24 @@ impl Simulator {
     /// The attached span collector, if any.
     pub fn spans(&self) -> Option<&SpanHandle> {
         self.spans.as_ref()
+    }
+
+    /// Attach a journal collector: [`Ctx::journal`] records emitted by
+    /// nodes are recorded into it. Strictly passive, exactly like the
+    /// span collector — attaching it never changes the event order or
+    /// the RNG stream (`tests/determinism.rs` pins this).
+    pub fn set_journal(&mut self, journal: JournalHandle) {
+        self.journal = Some(journal);
+    }
+
+    /// Detach the journal collector (journal emission becomes a no-op).
+    pub fn clear_journal(&mut self) {
+        self.journal = None;
+    }
+
+    /// The attached journal collector, if any.
+    pub fn journal(&self) -> Option<&JournalHandle> {
+        self.journal.as_ref()
     }
 
     /// Attach a passive observer notified of deliveries and fault-plane
@@ -475,6 +496,7 @@ impl Simulator {
                 rng: &mut self.rng,
                 commands: &mut commands,
                 spans: self.spans.as_deref(),
+                journal: self.journal.as_deref(),
             };
             f(self.nodes[slot].node.as_mut(), &mut ctx);
         }

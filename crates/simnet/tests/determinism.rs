@@ -25,8 +25,8 @@
 
 use std::net::Ipv4Addr;
 use swishmem_simnet::{
-    Ctx, DropReason, FaultGen, FaultSchedule, GroupId, LinkParams, Node, SimDuration, SimTime,
-    Simulator, SpanCollector, SpanHandle, SpanPhase, Trace,
+    Ctx, DropReason, FaultGen, FaultSchedule, GroupId, JournalCollector, JournalHandle, LinkParams,
+    Node, SimDuration, SimTime, Simulator, SpanCollector, SpanHandle, SpanPhase, Trace,
 };
 use swishmem_wire::{DataPacket, FlowKey, NodeId, Packet, PacketBody, TraceId};
 
@@ -59,6 +59,15 @@ impl Node for Churn {
                 TraceId::new(ctx.self_id(), u64::from(d.flow_seq) + 1),
                 SpanPhase::Ingress,
             );
+            // Likewise unconditional journal emission: a no-op unless a
+            // collector is attached (the journal-invariance tests below).
+            ctx.journal(
+                1,
+                u64::from(d.flow_seq),
+                u64::from(pkt.src.0),
+                u64::from(d.payload_len),
+                0,
+            );
             if d.flow_seq < self.ttl {
                 ctx.send(pkt.src, body(d.flow_seq + 1, d.payload_len));
             }
@@ -72,6 +81,7 @@ impl Node for Churn {
             TraceId::new(ctx.self_id(), 1_000 + self.timer_rounds),
             SpanPhase::SyncRound,
         );
+        ctx.journal(2, self.timer_rounds, 0, 0, 0);
         ctx.multicast(GroupId(1), body(0, 100));
         ctx.send_random(GroupId(1), body(0, 40));
         if self.timer_rounds < 20 {
@@ -105,23 +115,27 @@ fn fnv(h: &mut u64, v: u64) {
 }
 
 fn run_scenario(seed: u64) -> Fingerprint {
-    run_scenario_full(seed, None, None)
+    run_scenario_full(seed, None, None, None)
 }
 
 fn run_scenario_with(seed: u64, faults: Option<&FaultSchedule>) -> Fingerprint {
-    run_scenario_full(seed, faults, None)
+    run_scenario_full(seed, faults, None, None)
 }
 
 fn run_scenario_full(
     seed: u64,
     faults: Option<&FaultSchedule>,
     spans: Option<SpanHandle>,
+    journal: Option<JournalHandle>,
 ) -> Fingerprint {
     let mut sim = Simulator::new(seed);
     let trace = Trace::new(200_000);
     sim.set_trace(trace.clone());
     if let Some(s) = spans {
         sim.set_spans(s);
+    }
+    if let Some(j) = journal {
+        sim.set_journal(j);
     }
 
     for i in 0..5u16 {
@@ -282,7 +296,7 @@ fn empty_fault_schedule_is_a_no_op() {
 #[test]
 fn span_collector_attach_is_invisible() {
     let spans = SpanCollector::new(1_000_000);
-    let attached = run_scenario_full(1234, None, Some(spans.clone()));
+    let attached = run_scenario_full(1234, None, Some(spans.clone()), None);
     let detached = run_scenario(1234);
     assert_eq!(
         attached, detached,
@@ -310,9 +324,77 @@ fn span_collector_attach_is_invisible() {
 #[test]
 fn span_collector_overflow_is_counted_and_passive() {
     let spans = SpanCollector::new(16);
-    let attached = run_scenario_full(1234, None, Some(spans.clone()));
+    let attached = run_scenario_full(1234, None, Some(spans.clone()), None);
     assert_eq!(attached, run_scenario(1234));
     let c = spans.borrow();
     assert_eq!(c.events().len(), 16);
     assert!(c.overflowed() > 0);
+}
+
+/// Attaching the flight-recorder journal must be invisible to the run:
+/// the nodes emit `ctx.journal(..)` on every packet and timer either
+/// way, and the fingerprint — including the golden one — must not move
+/// by a bit. The journal-only counterpart of
+/// `span_collector_attach_is_invisible`.
+#[test]
+fn journal_collector_attach_is_invisible() {
+    let journal = JournalCollector::new(1_000_000);
+    let attached = run_scenario_full(1234, None, None, Some(journal.clone()));
+    let detached = run_scenario(1234);
+    assert_eq!(
+        attached, detached,
+        "attaching the journal collector perturbed the event order"
+    );
+
+    let j = journal.borrow();
+    assert!(
+        !j.records().is_empty(),
+        "the scenario should have recorded journal entries while attached"
+    );
+    assert_eq!(j.overflowed(), 0);
+    // Every delivered data packet records exactly one kind-1 entry.
+    let ingress = j.records().iter().filter(|r| r.kind == 1).count() as u64;
+    assert_eq!(ingress, attached.delivered_pkts);
+}
+
+/// Replaying a fault-swept run with the same seed must reproduce the
+/// journal **byte for byte** — not just the aggregate fingerprint, the
+/// full record stream (times, nodes, kinds, causes, payload words).
+#[test]
+fn journal_replay_is_byte_identical_under_fault_sweep() {
+    let ids: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let links: Vec<(NodeId, NodeId)> = (0..5u16)
+        .flat_map(|i| ((i + 1)..5).map(move |j| (NodeId(i), NodeId(j))))
+        .collect();
+    let sched = FaultGen::new(99).generate(&ids, &links, SimDuration::millis(2), 5);
+    assert!(!sched.is_empty());
+
+    let run = || {
+        let journal = JournalCollector::new(1_000_000);
+        let fp = run_scenario_full(1234, Some(&sched), None, Some(journal.clone()));
+        let records = journal.borrow().records().to_vec();
+        (fp, records)
+    };
+    let (fp_a, rec_a) = run();
+    let (fp_b, rec_b) = run();
+    assert_eq!(fp_a, fp_b, "fault-swept replay must be deterministic");
+    assert!(!rec_a.is_empty());
+    assert_eq!(
+        rec_a, rec_b,
+        "same seed + same FaultSchedule must reproduce the journal byte-for-byte"
+    );
+    // And the collector itself must stay passive under faults too.
+    assert_eq!(fp_a, run_scenario_with(1234, Some(&sched)));
+}
+
+/// A tiny journal must bound memory and count the overflow, while still
+/// not perturbing the run.
+#[test]
+fn journal_collector_overflow_is_counted_and_passive() {
+    let journal = JournalCollector::new(16);
+    let attached = run_scenario_full(1234, None, None, Some(journal.clone()));
+    assert_eq!(attached, run_scenario(1234));
+    let j = journal.borrow();
+    assert_eq!(j.records().len(), 16);
+    assert!(j.overflowed() > 0);
 }

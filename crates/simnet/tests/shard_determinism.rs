@@ -17,8 +17,9 @@ use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 use swishmem_simnet::{
-    Ctx, DropReason, FaultGen, FaultSchedule, GroupId, LinkParams, NetEvent, NetObserver, Node,
-    RelayNode, ShardedEngine, SimDuration, SimTime, Simulator, Trace,
+    Ctx, DropReason, FaultGen, FaultSchedule, GroupId, JournalCollector, JournalHandle,
+    JournalRecord, LinkParams, NetEvent, NetObserver, Node, RelayNode, ShardedEngine, SimDuration,
+    SimTime, Simulator, Trace,
 };
 use swishmem_wire::{DataPacket, FlowKey, NodeId, Packet, PacketBody};
 
@@ -46,6 +47,15 @@ impl Node for Churn {
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         if let PacketBody::Data(d) = pkt.body {
+            // Unconditional journal emission: a no-op unless a collector
+            // is attached (the journal-invariance tests below exploit it).
+            ctx.journal(
+                1,
+                u64::from(d.flow_seq),
+                u64::from(pkt.src.0),
+                u64::from(d.payload_len),
+                0,
+            );
             if d.flow_seq < self.ttl {
                 ctx.send(pkt.src, body(d.flow_seq + 1, d.payload_len));
             }
@@ -55,6 +65,7 @@ impl Node for Churn {
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         assert_eq!(token, 1);
         self.timer_rounds += 1;
+        ctx.journal(2, self.timer_rounds, 0, 0, 0);
         ctx.multicast(GroupId(1), body(0, 100));
         ctx.send_random(GroupId(1), body(0, 40));
         if self.timer_rounds < 20 {
@@ -143,6 +154,15 @@ enum EngineUnderTest {
 }
 
 fn run_churn(seed: u64, engine: EngineUnderTest, faults: Option<&FaultSchedule>) -> Fingerprint {
+    run_churn_full(seed, engine, faults, None)
+}
+
+fn run_churn_full(
+    seed: u64,
+    engine: EngineUnderTest,
+    faults: Option<&FaultSchedule>,
+    journal: Option<JournalHandle>,
+) -> Fingerprint {
     let ids: Vec<NodeId> = (0..5).map(NodeId).collect();
     let trace = Trace::new(200_000);
     let params = LinkParams::lossy(0.08).with_jitter(SimDuration::micros(2));
@@ -174,6 +194,9 @@ fn run_churn(seed: u64, engine: EngineUnderTest, faults: Option<&FaultSchedule>)
         EngineUnderTest::Legacy => {
             let mut sim = Simulator::new(seed);
             sim.set_trace(trace.clone());
+            if let Some(j) = journal {
+                sim.set_journal(j);
+            }
             for &id in &ids {
                 sim.add_node(
                     id,
@@ -212,6 +235,9 @@ fn run_churn(seed: u64, engine: EngineUnderTest, faults: Option<&FaultSchedule>)
         EngineUnderTest::Sharded(shards) => {
             let mut sim = ShardedEngine::new(seed, shards);
             sim.set_trace(trace.clone());
+            if let Some(j) = journal {
+                sim.set_journal(j);
+            }
             for &id in &ids {
                 sim.add_node(
                     id,
@@ -288,6 +314,69 @@ fn single_shard_matches_legacy_simulator_under_faults() {
         let sharded = run_churn(seed, EngineUnderTest::Sharded(1), Some(&sched));
         assert_eq!(legacy, sharded, "seed {seed}: S=1 diverged from Simulator");
     }
+}
+
+/// Attaching the flight-recorder journal to a single-shard run must be
+/// invisible: the golden fingerprint — the same constants as the
+/// sequential harness — must not move by a bit, while the collector
+/// fills with one kind-1 record per delivered packet.
+#[test]
+fn single_shard_journal_attach_matches_golden_fingerprint() {
+    let journal = JournalCollector::new(1_000_000);
+    let attached = run_churn_full(
+        1234,
+        EngineUnderTest::Sharded(1),
+        None,
+        Some(journal.clone()),
+    );
+    let detached = run_churn(1234, EngineUnderTest::Sharded(1), None);
+    assert_eq!(
+        attached, detached,
+        "attaching the journal perturbed the single-shard run"
+    );
+    assert_eq!(attached.trace_hash, 11_977_170_304_909_245_025);
+    let j = journal.borrow();
+    assert!(!j.records().is_empty());
+    assert_eq!(j.overflowed(), 0);
+    let ingress = j.records().iter().filter(|r| r.kind == 1).count() as u64;
+    assert_eq!(ingress, attached.delivered_pkts);
+}
+
+/// The journal record stream is shard-count invariant for S >= 2 (like
+/// stats and traces, per guarantee 2 — S = 1 is its own RNG-partitioning
+/// regime, pinned against the golden above): S = 2 and S = 4 attached
+/// runs produce the same fingerprint and — after canonical full-field
+/// ordering — the identical record stream, and attaching at S >= 2 is
+/// just as passive as at S = 1.
+#[test]
+fn journal_is_shard_count_invariant() {
+    let canonical = |shards: usize| -> (Fingerprint, Vec<JournalRecord>) {
+        let journal = JournalCollector::new(1_000_000);
+        let fp = run_churn_full(
+            1234,
+            EngineUnderTest::Sharded(shards),
+            None,
+            Some(journal.clone()),
+        );
+        let mut recs = journal.borrow().records().to_vec();
+        // Multi-shard drains merge per-shard sinks in full-field order;
+        // sort both streams to that canonical order before comparing.
+        recs.sort();
+        (fp, recs)
+    };
+    let (fp2, rec2) = canonical(2);
+    let (fp4, rec4) = canonical(4);
+    assert_eq!(fp2, fp4, "S=4 attached fingerprint diverged from S=2");
+    assert_eq!(
+        fp2,
+        run_churn(1234, EngineUnderTest::Sharded(2), None),
+        "attaching the journal perturbed the 2-shard run"
+    );
+    assert!(!rec2.is_empty());
+    assert_eq!(
+        rec2, rec4,
+        "journal record stream diverged across shard counts"
+    );
 }
 
 // ---------------------------------------------------------------------

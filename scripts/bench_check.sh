@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run a fresh perf_baseline pass and compare each
+# scenario's events/s against the newest recorded run in
+# BENCH_simnet.json. Fails if any scenario regresses more than
+# MAX_REGRESSION_PCT (default 10%) — generous enough for shared-runner
+# noise, tight enough to catch a real event-core slowdown.
+#
+# Usage: scripts/bench_check.sh [--reps N] [--baseline PATH]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS=5
+BASELINE=BENCH_simnet.json
+MAX_REGRESSION_PCT=${MAX_REGRESSION_PCT:-10}
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --reps) REPS="$2"; shift ;;
+        --baseline) BASELINE="$2"; shift ;;
+        *) echo "unknown flag: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+if [ ! -f "$BASELINE" ]; then
+    echo "bench_check: no baseline at $BASELINE — record one first:" >&2
+    echo "  cargo run -p swishmem-bench --release --bin perf_baseline -- --label baseline" >&2
+    exit 2
+fi
+
+FRESH=$(mktemp /tmp/bench_check.XXXXXX.json)
+trap 'rm -f "$FRESH"' EXIT
+rm -f "$FRESH" # perf_baseline appends to an existing array or creates anew
+
+echo "==> fresh perf_baseline run (reps=$REPS)"
+cargo run -q -p swishmem-bench --release --bin perf_baseline -- \
+    --label bench-check --out "$FRESH" --reps "$REPS" >/dev/null
+
+# Both files are perf_baseline's own output: an array of runs, each with
+# a "scenarios" list of {"name": ..., "events_per_sec": ...}. Keep the
+# LAST occurrence per scenario name (the newest recorded run) on both
+# sides, then compare.
+awk -v max_pct="$MAX_REGRESSION_PCT" '
+    /"name":/ {
+        gsub(/[",]/, "", $2); name = $2
+    }
+    /"events_per_sec":/ {
+        gsub(/,/, "", $2)
+        if (NR == FNR) base[name] = $2; else fresh[name] = $2
+    }
+    END {
+        fail = 0; n = 0
+        for (name in base) {
+            if (!(name in fresh)) {
+                printf "  %-32s baseline only — skipped\n", name
+                continue
+            }
+            n++
+            pct = (fresh[name] / base[name] - 1.0) * 100.0
+            verdict = "ok"
+            if (pct < -max_pct) { verdict = "REGRESSION"; fail = 1 }
+            printf "  %-32s %12.0f -> %12.0f ev/s  (%+6.1f%%)  %s\n", \
+                name, base[name], fresh[name], pct, verdict
+        }
+        if (n == 0) { print "bench_check: no comparable scenarios" > "/dev/stderr"; exit 2 }
+        if (fail) {
+            printf "bench_check: FAIL — a scenario regressed more than %s%%\n", max_pct > "/dev/stderr"
+            exit 1
+        }
+        print "bench_check: OK"
+    }
+' "$BASELINE" "$FRESH"

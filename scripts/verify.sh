@@ -56,6 +56,15 @@ cargo test -q --test consensus_hardening gray_links_cause_no_spurious_elections
 echo "==> cargo test --test determinism (span attach invisible to fingerprint)"
 cargo test -q -p swishmem-simnet --test determinism
 
+# Flight-recorder gates (DESIGN.md §14), by name: attaching the journal
+# must be bit-invisible to both golden fingerprints (sequential and
+# sharded), a fault-swept replay must reproduce the record stream byte
+# for byte, and the record stream must be shard-count invariant.
+echo "==> cargo test --test determinism journal (journal passivity + byte-identical replay)"
+cargo test -q -p swishmem-simnet --test determinism journal
+echo "==> cargo test --test shard_determinism journal (journal under the sharded engine)"
+cargo test -q -p swishmem-simnet --test shard_determinism journal
+
 # Parallel-engine gates (DESIGN.md §11), by name: a single-shard
 # ShardedEngine must reproduce the sequential golden fingerprint
 # bit-for-bit, shard/worker count must be pure performance knobs, and a
@@ -64,8 +73,10 @@ echo "==> cargo test --test shard_determinism (sharded PDES determinism)"
 cargo test -q -p swishmem-simnet --test shard_determinism
 echo "==> cargo test shardnet:: (2-shard fault-sweep smoke)"
 cargo test -q -p swishmem-bench --lib shardnet::
-echo "==> cargo test --release --test trace_overhead (detached tracing overhead)"
+echo "==> cargo test --release --test trace_overhead (detached tracing + journaling overhead)"
 cargo test -q --release -p swishmem-bench --test trace_overhead
+echo "==> cargo test --release --test trace_overhead detached_journal_overhead_is_small (E23 smoke)"
+cargo test -q --release -p swishmem-bench --test trace_overhead detached_journal_overhead_is_small
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
