@@ -1,0 +1,370 @@
+//! E24 — the workload capture + replay lab: binary flow traces at
+//! millions of flows, ring-buffer ingest, and deterministic replay.
+//!
+//! Four gates, all asserted:
+//!
+//! 1. **Synthesis + round-trip at scale** — a heavy-tail trace (1M flows
+//!    in full mode) streams into the `.swtrace` binary format and reads
+//!    back with an identical record count and validated superblock.
+//! 2. **Determinism, sequential and sharded** — the same trace replayed
+//!    through the leaf-spine fabric yields one digest at 1 shard, again
+//!    at 1 shard (repeat), and at 2 shards: *trace + seed = a run*.
+//! 3. **Ring-ingest parity** — replaying through the protocol deployment
+//!    with the ring buffer in the path sustains ≥ 90% of the
+//!    generator-driven (ring-free) injection rate: backpressure
+//!    accounting is free.
+//! 4. **Scenario packs** — all five oracle-armed packs pass clean, and a
+//!    sabotaged feed fails (the oracle is demonstrably live).
+
+use std::time::Instant;
+
+use crate::shardnet::{
+    run_leaf_spine_injected, trace_to_leaf_spine, LeafSpineSpec, ShardRunConfig,
+};
+use crate::table::{ExperimentResult, Table};
+use swishmem::prelude::*;
+use swishmem::{NfDecision, RegisterSpec, SharedState};
+use swishmem_replay::{
+    from_swtrace_bytes, replay_digest, replay_trace, run_pack, synth_trace_bytes, to_swtrace_bytes,
+    PackConfig, PackKind, ReplayConfig, Sabotage, SynthConfig, TraceMeta, TraceReader,
+};
+
+/// Every packet bumps a per-destination EWO counter (the protocol-path
+/// replay workload).
+struct CountNf;
+
+impl swishmem::NfApp for CountNf {
+    fn process(
+        &mut self,
+        pkt: &DataPacket,
+        _ingress: NodeId,
+        st: &mut dyn SharedState,
+    ) -> NfDecision {
+        st.add(0, u32::from(pkt.flow.dst) % 256, 1);
+        NfDecision::Forward {
+            dst: NodeId(HOST_BASE),
+            pkt: *pkt,
+        }
+    }
+}
+
+fn proto_dep(seed: u64) -> Deployment {
+    let mut dep = DeploymentBuilder::new(3)
+        .hosts(2)
+        .seed(seed)
+        .register(RegisterSpec::ewo_counter(0, "cnt", 256))
+        .build(|_| Box::new(CountNf));
+    dep.settle();
+    dep
+}
+
+/// Generator-driven baseline: parse the trace stream and inject
+/// directly — no ring in the path — batched exactly like the replay
+/// engine. Returns engine events processed and wall ns.
+fn direct_replay(dep: &mut Deployment, bytes: &[u8]) -> (u64, u64) {
+    let pre = dep.sim.events_processed();
+    let start = SimTime(dep.now().0 + 1_000_000);
+    let wall = Instant::now();
+    let mut reader =
+        TraceReader::new(std::io::Cursor::new(bytes)).expect("in-memory trace must parse");
+    let base = reader.meta().clock_base_ns;
+    let n_hosts = dep.host_ids().len().max(1);
+    'outer: loop {
+        let mut last = dep.now();
+        for _ in 0..512 {
+            let Some(rec) = reader.next_record().expect("in-memory read") else {
+                dep.run_until(last);
+                break 'outer;
+            };
+            let t = SimTime(start.0 + (rec.time_ns - base)).max(dep.now());
+            let sw = usize::from(rec.ingress) % 3;
+            let from = (rec.flow_hash() as usize) % n_hosts;
+            dep.inject(t, sw, from, rec.to_packet());
+            last = last.max(t);
+        }
+        dep.run_until(last);
+    }
+    (
+        dep.sim.events_processed() - pre,
+        wall.elapsed().as_nanos() as u64,
+    )
+}
+
+/// Ring-path run: the replay engine proper (reader → FlowRing → inject)
+/// over the same trace stream.
+fn ring_replay(dep: &mut Deployment, bytes: &[u8]) -> (u64, u64) {
+    let pre = dep.sim.events_processed();
+    let start = SimTime(dep.now().0 + 1_000_000);
+    let wall = Instant::now();
+    let mut reader =
+        TraceReader::new(std::io::Cursor::new(bytes)).expect("in-memory trace must parse");
+    replay_trace(
+        dep,
+        &mut reader,
+        &ReplayConfig {
+            start,
+            ..ReplayConfig::default()
+        },
+    )
+    .expect("in-memory replay");
+    (
+        dep.sim.events_processed() - pre,
+        wall.elapsed().as_nanos() as u64,
+    )
+}
+
+/// The §3 parity measurement at smoke scale (the CI gate hook): best-of-
+/// `reps` events/s for the generator-driven path and the ring path over
+/// the same `n_records`-record synthesized slice. Returns
+/// `(generator_driven, ring)`.
+pub fn measure_ring_parity(n_records: usize, reps: u32) -> (f64, f64) {
+    let cfg = SynthConfig {
+        flows: (n_records as u64 / 2).max(100),
+        ingress: 3,
+        ..SynthConfig::default()
+    };
+    let bytes = synth_trace_bytes(&cfg, 7);
+    let (_, records) = from_swtrace_bytes(&bytes).expect("synthesized trace must parse");
+    let slice = &records[..records.len().min(n_records)];
+    let slice_bytes = to_swtrace_bytes(slice, TraceMeta::default()).expect("slice serializes");
+    let mut best_direct: f64 = 0.0;
+    let mut best_ring: f64 = 0.0;
+    for _ in 0..reps {
+        let mut dep = proto_dep(7);
+        let (ev, ns) = direct_replay(&mut dep, &slice_bytes);
+        best_direct = best_direct.max(ev as f64 / (ns as f64 / 1e9));
+        let mut dep = proto_dep(7);
+        let (ev, ns) = ring_replay(&mut dep, &slice_bytes);
+        best_ring = best_ring.max(ev as f64 / (ns as f64 / 1e9));
+    }
+    (best_direct, best_ring)
+}
+
+/// Run E24.
+pub fn run(quick: bool) -> ExperimentResult {
+    let (flows, spec) = if quick {
+        (
+            20_000u64,
+            LeafSpineSpec {
+                leaves: 16,
+                spines: 4,
+            },
+        )
+    } else {
+        (
+            1_000_000u64,
+            LeafSpineSpec {
+                leaves: 56,
+                spines: 4,
+            },
+        )
+    };
+    let synth_cfg = SynthConfig {
+        flows,
+        clients: 4_096,
+        servers: 256,
+        ingress: u32::from(spec.leaves),
+        duration: flows.max(10_000) * 100, // ~10 flow arrivals / µs
+        ..SynthConfig::default()
+    };
+    let seed = 24;
+
+    // ------------------------------------------------------------------
+    // 1. Synthesis + binary round-trip at scale.
+    // ------------------------------------------------------------------
+    let t0 = Instant::now();
+    let bytes = synth_trace_bytes(&synth_cfg, seed);
+    let synth_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = Instant::now();
+    let (meta, records) = from_swtrace_bytes(&bytes).expect("synthesized trace must read back");
+    let read_ns = t1.elapsed().as_nanos() as u64;
+    assert_eq!(meta.record_count, records.len() as u64, "count round-trip");
+    assert!(meta.record_count >= flows, "every flow has >= 1 record");
+    let trace_mb = bytes.len() as f64 / 1e6;
+    drop(bytes);
+
+    let mut synth_t = Table::new(
+        &format!("Trace synthesis + .swtrace round-trip ({flows} flows, seed {seed})"),
+        &[
+            "flows",
+            "records",
+            "trace MB",
+            "synth ms",
+            "synth records/s",
+            "read-back ms",
+            "read records/s",
+        ],
+    );
+    synth_t.row(vec![
+        flows.to_string(),
+        meta.record_count.to_string(),
+        format!("{trace_mb:.1}"),
+        format!("{:.0}", synth_ns as f64 / 1e6),
+        format!("{:.0}", meta.record_count as f64 / (synth_ns as f64 / 1e9)),
+        format!("{:.0}", read_ns as f64 / 1e6),
+        format!("{:.0}", meta.record_count as f64 / (read_ns as f64 / 1e9)),
+    ]);
+
+    // ------------------------------------------------------------------
+    // 2. Determinism: sequential (1 shard, twice) and 2-shard replay of
+    //    the same trace must produce one digest.
+    // ------------------------------------------------------------------
+    let injections = trace_to_leaf_spine(&spec, &records);
+    let mut det_t = Table::new(
+        &format!(
+            "Replay determinism, {}x{} leaf-spine ({} injected records)",
+            spec.leaves,
+            spec.spines,
+            injections.len()
+        ),
+        &["run", "shards", "events", "digest", "wall events/s"],
+    );
+    let mut digests = Vec::new();
+    for (label, shards) in [("seq", 1usize), ("seq-repeat", 1), ("sharded", 2)] {
+        let cfg = ShardRunConfig::scaling(spec, shards, 0);
+        let o = run_leaf_spine_injected(&cfg, &injections);
+        det_t.row(vec![
+            label.to_string(),
+            shards.to_string(),
+            o.events.to_string(),
+            format!("{:016x}", o.digest),
+            format!("{:.0}", o.wall_events_per_sec()),
+        ]);
+        digests.push(o.digest);
+    }
+    assert_eq!(digests[0], digests[1], "sequential replay must repeat");
+    assert_eq!(
+        digests[0], digests[2],
+        "2-shard replay must match sequential"
+    );
+    drop(injections);
+
+    // ------------------------------------------------------------------
+    // 3. Ring-ingest parity on the protocol deployment, plus the
+    //    protocol-level digest determinism check.
+    // ------------------------------------------------------------------
+    let slice = &records[..records.len().min(if quick { 8_000 } else { 20_000 })];
+    let slice_bytes = to_swtrace_bytes(slice, TraceMeta::default()).expect("slice serializes");
+    let reps = 3;
+    let mut best_direct: f64 = 0.0;
+    let mut best_ring: f64 = 0.0;
+    let mut ring_digests = Vec::new();
+    for _ in 0..reps {
+        let mut dep = proto_dep(seed);
+        let (ev, ns) = direct_replay(&mut dep, &slice_bytes);
+        best_direct = best_direct.max(ev as f64 / (ns as f64 / 1e9));
+
+        let mut dep = proto_dep(seed);
+        let (ev, ns) = ring_replay(&mut dep, &slice_bytes);
+        best_ring = best_ring.max(ev as f64 / (ns as f64 / 1e9));
+        dep.run_for(SimDuration::millis(10));
+        ring_digests.push(replay_digest(&dep, 256));
+    }
+    assert!(
+        ring_digests.windows(2).all(|w| w[0] == w[1]),
+        "protocol-path replay digest must be deterministic: {ring_digests:x?}"
+    );
+    let ratio = best_ring / best_direct.max(1.0);
+    let mut ring_t = Table::new(
+        &format!(
+            "Ring-ingest parity, protocol deployment ({} records, best of {reps})",
+            slice.len()
+        ),
+        &["path", "events/s", "vs generator-driven", "replay digest"],
+    );
+    ring_t.row(vec![
+        "generator-driven (no ring)".into(),
+        format!("{best_direct:.0}"),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+    ring_t.row(vec![
+        "ring ingest (reader→ring→inject)".into(),
+        format!("{best_ring:.0}"),
+        format!("{ratio:.2}x"),
+        format!("{:016x}", ring_digests[0]),
+    ]);
+    assert!(
+        ratio >= 0.9,
+        "ring ingest fell below 90% of the generator-driven baseline: {ratio:.2}"
+    );
+    drop(records);
+
+    // ------------------------------------------------------------------
+    // 4. Scenario packs: five clean passes + one sabotaged failure.
+    // ------------------------------------------------------------------
+    let mut pack_t = Table::new(
+        "Scenario packs (oracle suite + replay guard + state gates armed)",
+        &["pack", "records", "stalls", "verdict", "headline measure"],
+    );
+    for kind in PackKind::ALL {
+        let report = run_pack(&PackConfig::new(kind, seed, quick));
+        assert!(
+            report.pass,
+            "pack {} failed: {:?}",
+            report.name, report.violations
+        );
+        let headline = report
+            .measures
+            .first()
+            .map(|(k, v)| format!("{k}={v:.0}"))
+            .unwrap_or_default();
+        pack_t.row(vec![
+            report.name.to_string(),
+            report.records.to_string(),
+            report.stalls.to_string(),
+            "pass".into(),
+            headline,
+        ]);
+    }
+    let sabotaged = run_pack(&PackConfig {
+        sabotage: Some(Sabotage::DuplicateFlowRecord),
+        ..PackConfig::new(PackKind::FlashCrowd, seed, quick)
+    });
+    assert!(
+        !sabotaged.pass,
+        "the sabotaged run must fail — otherwise the oracle gate is dead"
+    );
+    pack_t.row(vec![
+        "flash_crowd (sabotaged)".into(),
+        sabotaged.records.to_string(),
+        sabotaged.stalls.to_string(),
+        format!("FAIL ({})", sabotaged.violations.len()),
+        sabotaged
+            .violations
+            .first()
+            .cloned()
+            .unwrap_or_default()
+            .chars()
+            .take(48)
+            .collect(),
+    ]);
+
+    let findings = vec![
+        format!(
+            "{} flows -> {} records round-trip the .swtrace format ({:.1} MB) with a validated \
+             superblock",
+            flows, meta.record_count, trace_mb
+        ),
+        "one digest across sequential, repeated-sequential, and 2-shard replay — a trace plus \
+         a seed is a run"
+            .into(),
+        format!(
+            "ring-buffer ingest sustains {ratio:.2}x the generator-driven rate (gate: >= 0.90x) \
+             — backpressure accounting costs nothing measurable"
+        ),
+        "all five scenario packs pass their oracle gates; the sabotaged feed fails through the \
+         replay guard, proving the gate is live"
+            .into(),
+    ];
+    ExperimentResult {
+        id: "E24".into(),
+        title: "Workload capture + replay lab: binary traces, ring ingest, scenario packs".into(),
+        paper_anchor: "§7 evaluation workloads (stateful NFs under realistic traffic)".into(),
+        expectation: "deterministic replay at every shard count; ring ingest within 10% of \
+                      generator-driven; five oracle-armed packs pass, sabotage fails"
+            .into(),
+        tables: vec![synth_t, det_t, ring_t, pack_t],
+        findings,
+    }
+}

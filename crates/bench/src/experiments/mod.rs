@@ -25,6 +25,7 @@ pub mod e20_shard_scaling;
 pub mod e21_failover;
 pub mod e22_consensus_hardening;
 pub mod e23_ctrl_recorder;
+pub mod e24_replay_lab;
 
 use crate::table::ExperimentResult;
 
@@ -57,5 +58,6 @@ pub fn all() -> Vec<(&'static str, RunFn)> {
         ("e21", e21_failover::run),
         ("e22", e22_consensus_hardening::run),
         ("e23", e23_ctrl_recorder::run),
+        ("e24", e24_replay_lab::run),
     ]
 }

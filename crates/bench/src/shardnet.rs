@@ -269,6 +269,52 @@ impl ShardRunOutcome {
 
 /// Build and drive one sharded leaf-spine run to quiescence.
 pub fn run_leaf_spine(cfg: &ShardRunConfig) -> ShardRunOutcome {
+    run_leaf_spine_impl(cfg, None)
+}
+
+/// Same fabric and drive, but the injection stream is supplied by the
+/// caller — a replayed `.swtrace` instead of the synthetic Zipf
+/// workload. `cfg.injections` is ignored; the stream must be
+/// time-sorted. Digest invariance across shard counts holds exactly as
+/// for the synthetic stream (lossless links ⇒ no RNG on the data path).
+pub fn run_leaf_spine_injected(
+    cfg: &ShardRunConfig,
+    stream: &[(SimTime, Packet)],
+) -> ShardRunOutcome {
+    run_leaf_spine_impl(cfg, Some(stream))
+}
+
+/// Map a `.swtrace` record stream onto leaf-spine injections: the
+/// record's ingress slot picks the source leaf, its flow hash a distinct
+/// destination leaf, and the record timestamp is used unchanged — the
+/// injection stream (and therefore the run digest) is a pure function of
+/// the trace bytes.
+pub fn trace_to_leaf_spine(
+    spec: &LeafSpineSpec,
+    records: &[swishmem_replay::TraceRecord],
+) -> Vec<(SimTime, Packet)> {
+    debug_assert!(spec.leaves >= 2, "need two leaves to carry traffic");
+    let leaves = u64::from(spec.leaves);
+    records
+        .iter()
+        .map(|r| {
+            let src = (u64::from(r.ingress) % leaves) as u16;
+            let mut dst = (r.flow_hash() % leaves) as u16;
+            if dst == src {
+                dst = (dst + 1) % spec.leaves;
+            }
+            (
+                SimTime(r.time_ns),
+                Packet::data(NodeId(src), NodeId(dst), r.to_packet()),
+            )
+        })
+        .collect()
+}
+
+fn run_leaf_spine_impl(
+    cfg: &ShardRunConfig,
+    stream: Option<&[(SimTime, Packet)]>,
+) -> ShardRunOutcome {
     let spec = cfg.spec;
     let mut sim = ShardedEngine::new(cfg.seed, cfg.shards);
     sim.set_workers(cfg.workers);
@@ -307,36 +353,46 @@ pub fn run_leaf_spine(cfg: &ShardRunConfig) -> ShardRunOutcome {
         }
     }
 
-    // Zipf flow keys drawn outside the engine: the injection stream is a
-    // pure function of the seed, identical for every shard count.
-    let mut wl_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5a1f);
-    let zipf = Zipf::new(cfg.zipf_keys, cfg.zipf_alpha);
-    for i in 0..cfg.injections {
-        let src = (i % u64::from(spec.leaves)) as u16;
-        let dst = ((i * 7 + 3) % u64::from(spec.leaves)) as u16;
-        if src == dst {
-            continue;
+    match stream {
+        Some(pkts) => {
+            for (t, pkt) in pkts {
+                sim.inject(*t, pkt.clone());
+            }
         }
-        let key = zipf.sample(&mut wl_rng) as u32;
-        // Dense schedule: many injections per lookahead window, so each
-        // barrier interval carries real per-shard work.
-        sim.inject(
-            SimTime(i * 50),
-            Packet::data(
-                NodeId(src),
-                NodeId(dst),
-                DataPacket::udp(
-                    FlowKey::udp(
-                        Ipv4Addr::new(10, 0, 0, 1),
-                        (key & 0xffff) as u16,
-                        Ipv4Addr::new(10, 0, 0, 2),
-                        (key >> 16) as u16 | 1,
+        None => {
+            // Zipf flow keys drawn outside the engine: the injection
+            // stream is a pure function of the seed, identical for every
+            // shard count.
+            let mut wl_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5a1f);
+            let zipf = Zipf::new(cfg.zipf_keys, cfg.zipf_alpha);
+            for i in 0..cfg.injections {
+                let src = (i % u64::from(spec.leaves)) as u16;
+                let dst = ((i * 7 + 3) % u64::from(spec.leaves)) as u16;
+                if src == dst {
+                    continue;
+                }
+                let key = zipf.sample(&mut wl_rng) as u32;
+                // Dense schedule: many injections per lookahead window,
+                // so each barrier interval carries real per-shard work.
+                sim.inject(
+                    SimTime(i * 50),
+                    Packet::data(
+                        NodeId(src),
+                        NodeId(dst),
+                        DataPacket::udp(
+                            FlowKey::udp(
+                                Ipv4Addr::new(10, 0, 0, 1),
+                                (key & 0xffff) as u16,
+                                Ipv4Addr::new(10, 0, 0, 2),
+                                (key >> 16) as u16 | 1,
+                            ),
+                            0,
+                            64,
+                        ),
                     ),
-                    0,
-                    64,
-                ),
-            ),
-        );
+                );
+            }
+        }
     }
 
     if cfg.fault_episodes > 0 {

@@ -320,6 +320,8 @@ impl DeploymentBuilder {
             recordings,
             cfg: self.swish_cfg,
             specs: self.registers,
+            ingest_records: 0,
+            ingest_stalls: 0,
         }
     }
 }
@@ -338,6 +340,12 @@ pub struct Deployment {
     recordings: Vec<Recording>,
     cfg: SwishConfig,
     specs: Vec<RegisterSpec>,
+    /// Trace records fed into the fabric by a replay engine (cumulative;
+    /// sampled into `MetricsSample::ingest_records` deltas).
+    ingest_records: u64,
+    /// Ring-ingest backpressure stalls observed while feeding this
+    /// deployment (cumulative).
+    ingest_stalls: u64,
 }
 
 impl Deployment {
@@ -373,6 +381,39 @@ impl Deployment {
     pub fn inject(&mut self, t: SimTime, sw: usize, from: usize, pkt: DataPacket) {
         let p = Packet::data(self.hosts[from], self.switches[sw], pkt);
         self.sim.inject(t, p);
+    }
+
+    /// Account trace-replay ingest against this deployment: `records`
+    /// fed, `stalls` backpressure bounces. Pure bookkeeping — it never
+    /// touches the simulator, so replay accounting cannot perturb a run.
+    pub fn note_ingest(&mut self, records: u64, stalls: u64) {
+        self.ingest_records += records;
+        self.ingest_stalls += stalls;
+    }
+
+    /// Cumulative trace records fed by a replay engine.
+    pub fn ingest_records(&self) -> u64 {
+        self.ingest_records
+    }
+
+    /// Cumulative replay backpressure stalls.
+    pub fn ingest_stalls(&self) -> u64 {
+        self.ingest_stalls
+    }
+
+    /// Attach an ingress capture tap of `capacity` records to the
+    /// underlying simulator and return its handle. Every subsequent
+    /// [`Deployment::inject`] (and any raw `sim.inject`) is recorded so
+    /// the run's input stream can be exported as a `.swtrace`.
+    pub fn attach_capture(&mut self, capacity: usize) -> swishmem_simnet::CaptureHandle {
+        let h = swishmem_simnet::CaptureBuffer::handle(capacity);
+        self.sim.set_capture(h.clone());
+        h
+    }
+
+    /// Detach the ingress capture tap.
+    pub fn detach_capture(&mut self) {
+        self.sim.clear_capture();
     }
 
     /// Typed access to switch `i` (panics if the node is missing).

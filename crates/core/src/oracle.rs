@@ -360,6 +360,25 @@ pub enum ViolationKind {
         /// The budget it broke.
         budget: u32,
     },
+    /// A replayed TCP flow's per-flow sequence number went backwards at
+    /// the ingress without an intervening SYN (a corrupt or reordered
+    /// trace feed — replayed inputs must be exactly the recorded stream).
+    ReplayFlowSeqRegressed {
+        /// The flow.
+        flow: swishmem_wire::FlowKey,
+        /// Previously ingested sequence.
+        from: u32,
+        /// Newly ingested (not larger) sequence.
+        to: u32,
+    },
+    /// The ingress stream carried the exact same record of a flow twice
+    /// in a row (a duplicated trace record — replay must not amplify).
+    ReplayDuplicateRecord {
+        /// The flow.
+        flow: swishmem_wire::FlowKey,
+        /// The duplicated per-flow sequence.
+        seq: u32,
+    },
     /// Replicas still disagree after the fault horizon plus grace.
     Diverged {
         /// Register.
@@ -535,6 +554,14 @@ impl fmt::Display for ViolationKind {
                 "election churn: {elections} campaign starts within {window_ns} ns \
                  (budget {budget})"
             ),
+            ViolationKind::ReplayFlowSeqRegressed { flow, from, to } => write!(
+                f,
+                "replay flow-seq regression: flow {flow:?}: {from} -> {to} without SYN"
+            ),
+            ViolationKind::ReplayDuplicateRecord { flow, seq } => write!(
+                f,
+                "replay duplicate record: flow {flow:?} seq {seq} ingested twice in a row"
+            ),
             ViolationKind::Diverged {
                 reg,
                 key,
@@ -650,6 +677,95 @@ impl NetObserver for WireState {
                 _ => {}
             },
             _ => {}
+        }
+    }
+}
+
+/// An ingress-stream replay oracle: watches the host→switch data stream
+/// (the packets a replay engine injects) and checks the *input* side of
+/// a replayed run — per-TCP-flow sequence numbers must not regress
+/// without a SYN restart, and no flow may deliver the exact same record
+/// twice in a row. State-side invariants stay with [`OracleSuite`];
+/// this guard catches a corrupt trace feed (reordered ring, duplicated
+/// slot, bad transform) *before* it can masquerade as a protocol bug.
+///
+/// Strictly passive, like every observer. Attach with
+/// [`ReplayGuard::attach`], then ask [`ReplayGuard::violation`] after
+/// (or during) the run.
+#[derive(Debug, Default)]
+pub struct ReplayGuard {
+    /// Per flow: last ingested `flow_seq`.
+    last_seq: BTreeMap<swishmem_wire::FlowKey, u32>,
+    /// Ingress data packets seen.
+    seen: u64,
+    violation: Option<Violation>,
+}
+
+impl ReplayGuard {
+    /// Build a guard and register it as an observer on `dep`.
+    pub fn attach(dep: &mut Deployment) -> Rc<RefCell<ReplayGuard>> {
+        let guard = Rc::new(RefCell::new(ReplayGuard::default()));
+        dep.add_observer(guard.clone() as ObserverHandle);
+        guard
+    }
+
+    /// Ingress data packets observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The first ingress-stream violation, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.violation.as_ref()
+    }
+}
+
+impl NetObserver for ReplayGuard {
+    fn on_net_event(&mut self, now: SimTime, ev: &NetEvent<'_>) {
+        let NetEvent::Delivered { pkt, .. } = ev else {
+            return;
+        };
+        // Only the ingress stream: a host-sourced data frame arriving at
+        // the fabric. Switch-to-switch and switch-to-host traffic is the
+        // protocol's business, not the trace feed's.
+        if pkt.src.0 < crate::deployment::HOST_BASE {
+            return;
+        }
+        let PacketBody::Data(data) = &pkt.body else {
+            return;
+        };
+        self.seen += 1;
+        let syn = data.flow.proto == 6 && data.tcp_flags.syn;
+        match self.last_seq.get(&data.flow) {
+            // A SYN legally restarts the flow (new incarnation of a
+            // recycled 5-tuple).
+            _ if syn => {
+                self.last_seq.insert(data.flow, data.flow_seq);
+            }
+            Some(&prev) if data.flow_seq == prev && self.violation.is_none() => {
+                self.violation = Some(Violation {
+                    at: now,
+                    kind: ViolationKind::ReplayDuplicateRecord {
+                        flow: data.flow,
+                        seq: data.flow_seq,
+                    },
+                });
+            }
+            Some(&prev) if data.flow.proto == 6 && data.flow_seq < prev => {
+                if self.violation.is_none() {
+                    self.violation = Some(Violation {
+                        at: now,
+                        kind: ViolationKind::ReplayFlowSeqRegressed {
+                            flow: data.flow,
+                            from: prev,
+                            to: data.flow_seq,
+                        },
+                    });
+                }
+            }
+            _ => {
+                self.last_seq.insert(data.flow, data.flow_seq);
+            }
         }
     }
 }

@@ -124,6 +124,12 @@ pub struct MetricsSample {
     /// Directory lookups served by non-leading replicas this window
     /// (fabric-global).
     pub follower_reads: u64,
+    /// Trace records fed by a replay engine this window (fabric-global,
+    /// from [`crate::deployment::Deployment::note_ingest`]).
+    pub ingest_records: u64,
+    /// Replay ring-ingest backpressure stalls this window
+    /// (fabric-global).
+    pub ingest_stalls: u64,
     /// Gauge: writes awaiting acknowledgment at sample time.
     pub outstanding_writes: usize,
     /// Gauge: jobs buffered in CP DRAM at sample time.
@@ -153,6 +159,8 @@ struct Cumulative {
     snapshot_bytes: u64,
     suspect_events: u64,
     follower_reads: u64,
+    ingest_records: u64,
+    ingest_stalls: u64,
 }
 
 /// Periodic per-switch metrics sampler (see module docs).
@@ -217,6 +225,8 @@ impl TimeSeriesSampler {
                 snapshot_bytes: cons.snapshot_bytes,
                 suspect_events: cons.suspect_events,
                 follower_reads: cons.follower_reads,
+                ingest_records: dep.ingest_records(),
+                ingest_stalls: dep.ingest_stalls(),
             };
             let prev = self.last[i];
             let d = |a: u64, b: u64| a.saturating_sub(b);
@@ -240,6 +250,8 @@ impl TimeSeriesSampler {
                 snapshot_bytes: d(cur.snapshot_bytes, prev.snapshot_bytes),
                 suspect_events: d(cur.suspect_events, prev.suspect_events),
                 follower_reads: d(cur.follower_reads, prev.follower_reads),
+                ingest_records: d(cur.ingest_records, prev.ingest_records),
+                ingest_stalls: d(cur.ingest_stalls, prev.ingest_stalls),
                 outstanding_writes: sw.cp_app().outstanding_writes(),
                 buffered_jobs: sw.cp_app().buffered_jobs(),
                 snapshot_backlog: sw.cp_app().snapshot_backlog(),

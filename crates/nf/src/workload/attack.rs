@@ -85,6 +85,26 @@ mod tests {
     }
 
     #[test]
+    fn attack_schedule_is_deterministic_per_seed() {
+        // The generator is part of the replay determinism contract:
+        // (config, seed) must pin the schedule bit-for-bit.
+        let cfg = AttackConfig::default();
+        let router = EcmpRouter::new(4, RoutingMode::EcmpStable);
+        let a = generate_attack(&cfg, &router, 9);
+        let b = generate_attack(&cfg, &router, 9);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.time == y.time && x.ingress == y.ingress && x.pkt == y.pkt));
+        let c = generate_attack(&cfg, &router, 10);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.pkt != y.pkt),
+            "a different seed must perturb the schedule"
+        );
+    }
+
+    #[test]
     fn schedule_sorted_within_window() {
         let cfg = AttackConfig::default();
         let router = EcmpRouter::new(2, RoutingMode::EcmpStable);

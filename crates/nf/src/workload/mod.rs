@@ -9,5 +9,5 @@ pub mod zipf;
 pub use attack::{generate_attack, AttackConfig};
 pub use flowgen::{FlowGen, FlowGenConfig, ScheduledPacket};
 pub use routing::{EcmpRouter, RoutingMode};
-pub use tracefile::{from_text, to_text, TraceParseError};
+pub use tracefile::{from_text, to_text, TraceParseError, TraceParseReason};
 pub use zipf::Zipf;

@@ -13,13 +13,54 @@ use swishmem_simnet::SimTime;
 use swishmem_wire::l4::TcpFlags;
 use swishmem_wire::{DataPacket, FlowKey};
 
+/// Why a trace line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseReason {
+    /// Wrong whitespace-separated field count.
+    FieldCount {
+        /// Fields found on the line.
+        got: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// Which field.
+        field: &'static str,
+    },
+    /// The line's timestamp went backwards relative to the previous
+    /// record — schedules must be time-sorted.
+    TimeRegression {
+        /// Previous record's timestamp.
+        prev: u64,
+        /// This line's timestamp.
+        got: u64,
+    },
+    /// The exact same record (time, ingress, and packet) appeared twice
+    /// in a row — a duplicated line, not a retransmission.
+    DuplicateRecord,
+}
+
+impl std::fmt::Display for TraceParseReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseReason::FieldCount { got } => write!(f, "expected 8 fields, got {got}"),
+            TraceParseReason::BadField { field } => write!(f, "bad {field}"),
+            TraceParseReason::TimeRegression { prev, got } => {
+                write!(f, "time went backwards: {prev} -> {got}")
+            }
+            TraceParseReason::DuplicateRecord => {
+                write!(f, "exact duplicate of the previous record")
+            }
+        }
+    }
+}
+
 /// Errors while parsing a trace line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceParseError {
     /// 1-based line number.
     pub line: usize,
     /// What went wrong.
-    pub reason: String,
+    pub reason: TraceParseReason,
 }
 
 impl std::fmt::Display for TraceParseError {
@@ -83,37 +124,44 @@ pub fn to_text(sched: &[ScheduledPacket]) -> String {
 }
 
 /// Parse a trace file back into a schedule.
+///
+/// Rejects (with the 1-based line number and a typed
+/// [`TraceParseReason`]) any line whose timestamp goes backwards and any
+/// exact consecutive duplicate record — the same ordering contract the
+/// binary `.swtrace` writer enforces, so a text trace that parses here
+/// always converts cleanly.
 pub fn from_text(text: &str) -> Result<Vec<ScheduledPacket>, TraceParseError> {
-    let mut out = Vec::new();
+    let mut out: Vec<ScheduledPacket> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |reason: &str| TraceParseError {
+        let err = |reason: TraceParseReason| TraceParseError {
             line: i + 1,
-            reason: reason.to_string(),
+            reason,
         };
+        let bad = |field: &'static str| err(TraceParseReason::BadField { field });
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 8 {
-            return Err(err(&format!("expected 8 fields, got {}", parts.len())));
+            return Err(err(TraceParseReason::FieldCount { got: parts.len() }));
         }
-        let time: u64 = parts[0].parse().map_err(|_| err("bad time"))?;
-        let ingress: usize = parts[1].parse().map_err(|_| err("bad ingress"))?;
-        let proto: u8 = parts[2].parse().map_err(|_| err("bad proto"))?;
+        let time: u64 = parts[0].parse().map_err(|_| bad("time"))?;
+        let ingress: usize = parts[1].parse().map_err(|_| bad("ingress"))?;
+        let proto: u8 = parts[2].parse().map_err(|_| bad("proto"))?;
         let parse_ep = |s: &str| -> Result<(Ipv4Addr, u16), TraceParseError> {
-            let (ip, port) = s.rsplit_once(':').ok_or_else(|| err("bad endpoint"))?;
+            let (ip, port) = s.rsplit_once(':').ok_or_else(|| bad("endpoint"))?;
             Ok((
-                Ipv4Addr::from_str(ip).map_err(|_| err("bad ip"))?,
-                port.parse().map_err(|_| err("bad port"))?,
+                Ipv4Addr::from_str(ip).map_err(|_| bad("ip"))?,
+                port.parse().map_err(|_| bad("port"))?,
             ))
         };
         let (src, src_port) = parse_ep(parts[3])?;
         let (dst, dst_port) = parse_ep(parts[4])?;
         let tcp_flags = flags_parse(parts[5]);
-        let flow_seq: u32 = parts[6].parse().map_err(|_| err("bad seq"))?;
-        let payload_len: u16 = parts[7].parse().map_err(|_| err("bad payload"))?;
-        out.push(ScheduledPacket {
+        let flow_seq: u32 = parts[6].parse().map_err(|_| bad("seq"))?;
+        let payload_len: u16 = parts[7].parse().map_err(|_| bad("payload"))?;
+        let rec = ScheduledPacket {
             time: SimTime(time),
             ingress,
             pkt: DataPacket {
@@ -128,7 +176,19 @@ pub fn from_text(text: &str) -> Result<Vec<ScheduledPacket>, TraceParseError> {
                 flow_seq,
                 payload_len,
             },
-        });
+        };
+        if let Some(prev) = out.last() {
+            if rec.time < prev.time {
+                return Err(err(TraceParseReason::TimeRegression {
+                    prev: prev.time.nanos(),
+                    got: rec.time.nanos(),
+                }));
+            }
+            if rec.time == prev.time && rec.ingress == prev.ingress && rec.pkt == prev.pkt {
+                return Err(err(TraceParseReason::DuplicateRecord));
+            }
+        }
+        out.push(rec);
     }
     Ok(out)
 }
@@ -183,5 +243,42 @@ mod tests {
             let e = from_text(text).unwrap_err();
             assert_eq!(e.line, line, "for {text:?}");
         }
+    }
+
+    #[test]
+    fn typed_reasons_survive_matching() {
+        let e = from_text("only three fields\n").unwrap_err();
+        assert_eq!(e.reason, TraceParseReason::FieldCount { got: 3 });
+        let e = from_text("zzz 0 17 1.2.3.4:50 5.6.7.8:60 - 0 100\n").unwrap_err();
+        assert_eq!(e.reason, TraceParseReason::BadField { field: "time" });
+    }
+
+    #[test]
+    fn out_of_order_lines_rejected_with_line_number() {
+        let text = "2000 0 17 1.2.3.4:50 5.6.7.8:60 - 0 100\n\
+                    1000 0 17 1.2.3.4:51 5.6.7.8:60 - 0 100\n";
+        let e = from_text(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(
+            e.reason,
+            TraceParseReason::TimeRegression {
+                prev: 2000,
+                got: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn consecutive_duplicate_lines_rejected() {
+        let text = "# hdr\n1000 0 17 1.2.3.4:50 5.6.7.8:60 - 0 100\n\
+                    1000 0 17 1.2.3.4:50 5.6.7.8:60 - 0 100\n";
+        let e = from_text(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.reason, TraceParseReason::DuplicateRecord);
+        // Same timestamp with any differing field is legal (equal-time
+        // records are common in merged schedules).
+        let ok = "1000 0 17 1.2.3.4:50 5.6.7.8:60 - 0 100\n\
+                  1000 0 17 1.2.3.4:51 5.6.7.8:60 - 0 100\n";
+        assert_eq!(from_text(ok).unwrap().len(), 2);
     }
 }

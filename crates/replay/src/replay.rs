@@ -1,0 +1,312 @@
+//! The replay engine: stream a trace through a [`Deployment`] at a
+//! controlled speed-up with backpressure accounting.
+//!
+//! Records flow `TraceReader → FlowRing → Deployment::inject` in
+//! batches: the ring is refilled from the (streaming) reader, a batch is
+//! drained and injected, and the simulator runs up to the batch's last
+//! timestamp before the next refill. That keeps the event queue bounded
+//! by `batch` regardless of trace length — a 1M-flow trace replays in
+//! the memory of one ring slab — while the ring's stall counter makes
+//! the producer/consumer imbalance a first-class measurement.
+//!
+//! Determinism contract: the injected schedule depends only on the trace
+//! bytes and [`ReplayConfig`], never on wall-clock or iteration order,
+//! so **trace + deployment seed ⇒ identical run digest**
+//! ([`replay_digest`]).
+
+use std::io::Read;
+use std::time::Instant;
+
+use swishmem::prelude::*;
+use swishmem_wire::swish::RegId;
+
+use crate::format::{TraceError, TraceReader, TraceRecord};
+use crate::ring::FlowRing;
+
+/// Replay pacing and ingest parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Time compression: recorded gaps are divided by this factor
+    /// (2.0 replays twice as fast as recorded). Must be > 0.
+    pub speedup: f64,
+    /// Records injected per engine step.
+    pub batch: usize,
+    /// Ring-buffer slots between the reader and the injector.
+    pub ring_capacity: usize,
+    /// Absolute time the first record lands at (trace times are
+    /// rebased to this offset).
+    pub start: SimTime,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig {
+            speedup: 1.0,
+            batch: 512,
+            ring_capacity: 4096,
+            start: SimTime(2_000_000),
+        }
+    }
+}
+
+/// What a replay did: ingest accounting plus wall-clock cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayStats {
+    /// Records read from the trace.
+    pub records: u64,
+    /// Records injected into the deployment (== `records` on success).
+    pub injected: u64,
+    /// Ring backpressure stalls (push found the ring full).
+    pub stalls: u64,
+    /// Ring occupancy high-water mark.
+    pub max_occupancy: usize,
+    /// Simulated time of the last injected record.
+    pub last_inject: SimTime,
+    /// Wall-clock nanoseconds spent reading + injecting + running.
+    pub wall_ns: u64,
+    /// Ingest rate: records per wall-clock second.
+    pub records_per_sec: f64,
+}
+
+/// Map a trace timestamp onto the deployment clock: rebase to
+/// `cfg.start` and compress by `cfg.speedup`.
+fn map_time(cfg: &ReplayConfig, base: u64, t: u64, floor: SimTime) -> SimTime {
+    let rel = (t.saturating_sub(base)) as f64 / cfg.speedup;
+    SimTime(cfg.start.0 + rel as u64).max(floor)
+}
+
+/// Replay a `.swtrace` stream through `dep`. The deployment should be
+/// settled; faults and oracles are the caller's business.
+pub fn replay_trace<R: Read>(
+    dep: &mut Deployment,
+    reader: &mut TraceReader<R>,
+    cfg: &ReplayConfig,
+) -> Result<ReplayStats, TraceError> {
+    assert!(cfg.speedup > 0.0, "speedup must be positive");
+    let wall = Instant::now();
+    let base = reader.meta().clock_base_ns;
+    let n_switches = dep.switch_ids().len();
+    let n_hosts = dep.host_ids().len().max(1);
+    let mut ring = FlowRing::new(cfg.ring_capacity);
+    let mut stats = ReplayStats::default();
+    let mut pending: Option<TraceRecord> = None;
+    let mut source_done = false;
+
+    while !source_done || pending.is_some() || !ring.is_empty() {
+        // Refill: push until the ring stalls or the reader runs dry.
+        loop {
+            let rec = match pending.take() {
+                Some(r) => r,
+                None => match reader.next_record()? {
+                    Some(r) => {
+                        stats.records += 1;
+                        r
+                    }
+                    None => {
+                        source_done = true;
+                        break;
+                    }
+                },
+            };
+            if let Err(bounced) = ring.push(rec) {
+                pending = Some(bounced);
+                break;
+            }
+        }
+        // Drain one batch into the deployment.
+        let mut last = dep.now();
+        for _ in 0..cfg.batch.max(1) {
+            let Some(rec) = ring.pop() else {
+                break;
+            };
+            let t = map_time(cfg, base, rec.time_ns, dep.now());
+            let sw = usize::from(rec.ingress) % n_switches;
+            let from = (rec.flow_hash() as usize) % n_hosts;
+            dep.inject(t, sw, from, rec.to_packet());
+            stats.injected += 1;
+            last = last.max(t);
+        }
+        // Let the fabric chew through the batch before the next refill.
+        dep.run_until(last);
+        stats.last_inject = stats.last_inject.max(last);
+    }
+
+    stats.stalls = ring.stalls();
+    stats.max_occupancy = ring.max_occupancy();
+    stats.wall_ns = wall.elapsed().as_nanos() as u64;
+    stats.records_per_sec = if stats.wall_ns == 0 {
+        0.0
+    } else {
+        stats.injected as f64 / (stats.wall_ns as f64 / 1e9)
+    };
+    dep.note_ingest(stats.injected, stats.stalls);
+    Ok(stats)
+}
+
+/// Replay an in-memory record slice (tests and scenario packs).
+pub fn replay_records(
+    dep: &mut Deployment,
+    records: &[TraceRecord],
+    cfg: &ReplayConfig,
+) -> ReplayStats {
+    let meta = crate::format::TraceMeta::default();
+    let bytes = crate::format::to_swtrace_bytes(records, meta)
+        .expect("in-memory records must be well-formed");
+    let mut reader =
+        TraceReader::new(std::io::Cursor::new(bytes)).expect("in-memory trace must parse");
+    replay_trace(dep, &mut reader, cfg).expect("in-memory replay cannot fail on i/o")
+}
+
+/// A deterministic digest of a replayed deployment: FNV-1a over every
+/// switch's registered state (all keys of all registers), the fabric
+/// delivery counters, and the final clock. Identical traces + seeds
+/// must produce identical digests — the determinism gate of E24.
+pub fn replay_digest(dep: &Deployment, keys_per_register: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for i in 0..dep.switch_ids().len() {
+        for spec in dep.register_specs() {
+            let reg: RegId = spec.id;
+            for key in 0..keys_per_register.min(u64::from(spec.keys)) {
+                mix(dep.peek(i, reg, key as u32));
+            }
+        }
+        let m = dep.metrics(i);
+        mix(m.dp.nf_writes);
+        mix(m.dp.nf_reads);
+        mix(m.dp.chain_applies);
+        mix(m.dp.ewo_writes);
+    }
+    let st = dep.sim.stats();
+    mix(st.delivered_total().packets);
+    mix(st.delivered_total().bytes);
+    mix(dep.now().nanos());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_trace_bytes, SynthConfig};
+    use swishmem::{NfDecision, SharedState};
+
+    /// Every packet bumps an EWO counter at `dst_port % 64`.
+    struct CountNf;
+
+    impl swishmem::NfApp for CountNf {
+        fn process(
+            &mut self,
+            pkt: &DataPacket,
+            _ingress: NodeId,
+            st: &mut dyn SharedState,
+        ) -> NfDecision {
+            st.add(0, u32::from(pkt.flow.dst_port) % 64, 1);
+            NfDecision::Forward {
+                dst: NodeId(HOST_BASE),
+                pkt: *pkt,
+            }
+        }
+    }
+
+    fn small_dep(seed: u64) -> Deployment {
+        let mut dep = DeploymentBuilder::new(3)
+            .hosts(2)
+            .seed(seed)
+            .register(RegisterSpec::ewo_counter(0, "cnt", 64))
+            .build(|_| Box::new(CountNf));
+        dep.settle();
+        dep
+    }
+
+    fn small_trace() -> Vec<u8> {
+        synth_trace_bytes(
+            &SynthConfig {
+                flows: 400,
+                ingress: 3,
+                ..SynthConfig::default()
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn same_trace_same_seed_same_digest() {
+        let trace = small_trace();
+        let mut digests = Vec::new();
+        for _ in 0..2 {
+            let mut dep = small_dep(11);
+            let mut reader = TraceReader::new(std::io::Cursor::new(trace.clone())).unwrap();
+            let stats = replay_trace(&mut dep, &mut reader, &ReplayConfig::default()).unwrap();
+            assert_eq!(stats.injected, stats.records);
+            dep.run_for(SimDuration::millis(5));
+            digests.push(replay_digest(&dep, 64));
+        }
+        assert_eq!(digests[0], digests[1], "replay must be deterministic");
+    }
+
+    #[test]
+    fn different_trace_different_digest() {
+        let mut digests = Vec::new();
+        for synth_seed in [5, 6] {
+            let trace = synth_trace_bytes(
+                &SynthConfig {
+                    flows: 400,
+                    ingress: 3,
+                    ..SynthConfig::default()
+                },
+                synth_seed,
+            );
+            let mut dep = small_dep(11);
+            let mut reader = TraceReader::new(std::io::Cursor::new(trace)).unwrap();
+            replay_trace(&mut dep, &mut reader, &ReplayConfig::default()).unwrap();
+            dep.run_for(SimDuration::millis(5));
+            digests.push(replay_digest(&dep, 64));
+        }
+        assert_ne!(digests[0], digests[1]);
+    }
+
+    #[test]
+    fn small_ring_stalls_but_loses_nothing() {
+        let trace = small_trace();
+        let mut dep = small_dep(11);
+        let mut reader = TraceReader::new(std::io::Cursor::new(trace)).unwrap();
+        let cfg = ReplayConfig {
+            ring_capacity: 16,
+            batch: 8,
+            ..ReplayConfig::default()
+        };
+        let stats = replay_trace(&mut dep, &mut reader, &cfg).unwrap();
+        assert!(stats.stalls > 0, "a tiny ring must backpressure");
+        assert_eq!(
+            stats.injected, stats.records,
+            "backpressure must never drop records"
+        );
+        assert_eq!(dep.ingest_records(), stats.injected);
+        assert_eq!(dep.ingest_stalls(), stats.stalls);
+    }
+
+    #[test]
+    fn speedup_compresses_the_schedule() {
+        let trace = small_trace();
+        let mut ends = Vec::new();
+        for speedup in [1.0, 4.0] {
+            let mut dep = small_dep(11);
+            let mut reader = TraceReader::new(std::io::Cursor::new(trace.clone())).unwrap();
+            let cfg = ReplayConfig {
+                speedup,
+                ..ReplayConfig::default()
+            };
+            let stats = replay_trace(&mut dep, &mut reader, &cfg).unwrap();
+            ends.push(stats.last_inject.nanos());
+        }
+        assert!(
+            ends[1] < ends[0],
+            "4x speedup must finish earlier: {ends:?}"
+        );
+    }
+}

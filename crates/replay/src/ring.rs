@@ -1,0 +1,169 @@
+//! Single-producer/single-consumer ring-buffer ingest.
+//!
+//! The replay hot loop moves records from a streaming [`crate::format::TraceReader`]
+//! into a [`swishmem::Deployment`] at millions of records per run; the
+//! ring decouples the two at **zero per-record allocation**: one slab of
+//! `capacity` fixed-width [`TraceRecord`] slots is allocated up front
+//! and records are copied in and out by value (32-byte POD moves).
+//!
+//! The discipline mirrors the PSHM producer/consumer slot protocol from
+//! SNIPPETS.md — a bounded slot array with head/tail cursors and
+//! explicit backpressure — minus the atomics: the simulator is
+//! single-threaded, so the producer and consumer interleave in one
+//! thread and a full ring surfaces as an `Err(record)` the caller
+//! accounts as a **stall** instead of a spin.
+
+use crate::format::TraceRecord;
+
+/// Fixed-capacity SPSC ring of trace records with backpressure
+/// accounting. All storage is preallocated at construction.
+#[derive(Debug)]
+pub struct FlowRing {
+    slab: Box<[TraceRecord]>,
+    head: usize,
+    len: usize,
+    produced: u64,
+    consumed: u64,
+    stalls: u64,
+    max_occupancy: usize,
+}
+
+impl FlowRing {
+    /// Allocate a ring with `capacity` slots (rounded up to 1 minimum).
+    pub fn new(capacity: usize) -> FlowRing {
+        let capacity = capacity.max(1);
+        FlowRing {
+            slab: vec![TraceRecord::default(); capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            produced: 0,
+            consumed: 0,
+            stalls: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Records currently queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no records are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when a push would stall.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slab.len()
+    }
+
+    /// Enqueue a record. On a full ring the record is handed back and
+    /// the stall counter increments — the producer must drain before
+    /// retrying (backpressure, never silent drop).
+    pub fn push(&mut self, rec: TraceRecord) -> Result<(), TraceRecord> {
+        if self.len == self.slab.len() {
+            self.stalls += 1;
+            return Err(rec);
+        }
+        let tail = (self.head + self.len) % self.slab.len();
+        self.slab[tail] = rec;
+        self.len += 1;
+        self.produced += 1;
+        if self.len > self.max_occupancy {
+            self.max_occupancy = self.len;
+        }
+        Ok(())
+    }
+
+    /// Dequeue the oldest record, if any.
+    pub fn pop(&mut self) -> Option<TraceRecord> {
+        if self.len == 0 {
+            return None;
+        }
+        let rec = self.slab[self.head];
+        self.head = (self.head + 1) % self.slab.len();
+        self.len -= 1;
+        self.consumed += 1;
+        Some(rec)
+    }
+
+    /// Total records ever enqueued.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Total records ever dequeued.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Times a push found the ring full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// High-water mark of queued records.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64) -> TraceRecord {
+        TraceRecord {
+            time_ns: t,
+            ..TraceRecord::default()
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_wraparound() {
+        let mut ring = FlowRing::new(4);
+        for round in 0..5u64 {
+            for i in 0..4 {
+                ring.push(rec(round * 10 + i)).unwrap();
+            }
+            assert!(ring.is_full());
+            for i in 0..4 {
+                assert_eq!(ring.pop().unwrap().time_ns, round * 10 + i);
+            }
+            assert!(ring.is_empty());
+        }
+        assert_eq!(ring.produced(), 20);
+        assert_eq!(ring.consumed(), 20);
+        assert_eq!(ring.stalls(), 0);
+        assert_eq!(ring.max_occupancy(), 4);
+    }
+
+    #[test]
+    fn full_ring_stalls_and_returns_record() {
+        let mut ring = FlowRing::new(2);
+        ring.push(rec(1)).unwrap();
+        ring.push(rec(2)).unwrap();
+        let back = ring.push(rec(3)).unwrap_err();
+        assert_eq!(back.time_ns, 3);
+        assert_eq!(ring.stalls(), 1);
+        // Drain one slot; the bounced record now fits.
+        assert_eq!(ring.pop().unwrap().time_ns, 1);
+        ring.push(back).unwrap();
+        assert_eq!(ring.pop().unwrap().time_ns, 2);
+        assert_eq!(ring.pop().unwrap().time_ns, 3);
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up() {
+        let mut ring = FlowRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(rec(1)).unwrap();
+        assert!(ring.push(rec(2)).is_err());
+    }
+}

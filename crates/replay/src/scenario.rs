@@ -1,0 +1,789 @@
+//! Scenario packs: named, oracle-armed workload scenarios with pass/fail
+//! gates.
+//!
+//! Each pack composes three ingredients: a **trace transform** (a
+//! synthesized heavy-tail base stream plus a scenario-specific
+//! perturbation — a flash crowd surge, a diurnal locality shift, a SYN
+//! scan, a carpet-bomb flood, NAT-style 5-tuple churn), a **fault
+//! schedule** (link degradation, outages, switch crashes timed against
+//! the perturbation window), and an **oracle gate** (the full
+//! [`OracleSuite`] plus the ingress-side [`ReplayGuard`] plus a
+//! pack-specific assertion about the state the workload must leave
+//! behind). A pack passes only if the protocol invariants held *and*
+//! the scenario's own signature is visible in the replicated state.
+//!
+//! Packs are deterministic: `(kind, seed, quick)` fully determines the
+//! trace, the faults, and therefore the verdict. The [`Sabotage`] knob
+//! corrupts the trace feed on purpose — the negative test proving the
+//! oracle actually fires.
+
+use swishmem::prelude::*;
+use swishmem::{NfDecision, OracleConfig, OracleSuite, ReplayGuard, SharedState};
+use swishmem_simnet::{FaultSchedule, LinkOverlay};
+
+use crate::format::TraceRecord;
+use crate::replay::{replay_records, ReplayConfig, ReplayStats};
+use crate::synth::{synth_trace_bytes, SynthConfig};
+
+/// The five scenario packs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackKind {
+    /// A sudden popularity spike: one server's traffic multiplies inside
+    /// a window while a fabric link degrades under the extra load.
+    FlashCrowd,
+    /// A locality shift: the second half of the trace moves to a
+    /// disjoint server pool (day pool → night pool).
+    DiurnalShift,
+    /// A port scanner sweeps the server pool with SYNs mid-trace while
+    /// an inter-switch link flaps.
+    ScanStorm,
+    /// A spoofed-source UDP flood onto one victim with degraded sync
+    /// links during the bombardment.
+    CarpetBomb,
+    /// NAT-style churn: 5-tuples are recycled with SYN restarts while a
+    /// switch crashes and recovers mid-replay.
+    NatChurn,
+}
+
+impl PackKind {
+    /// All packs, in canonical order.
+    pub const ALL: [PackKind; 5] = [
+        PackKind::FlashCrowd,
+        PackKind::DiurnalShift,
+        PackKind::ScanStorm,
+        PackKind::CarpetBomb,
+        PackKind::NatChurn,
+    ];
+
+    /// Stable name (JSON keys, CLI arguments).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PackKind::FlashCrowd => "flash_crowd",
+            PackKind::DiurnalShift => "diurnal_shift",
+            PackKind::ScanStorm => "scan_storm",
+            PackKind::CarpetBomb => "carpet_bomb",
+            PackKind::NatChurn => "nat_churn",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<PackKind> {
+        PackKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+/// Deliberate trace-feed corruption for negative tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Re-deliver a flow's last record (same `flow_seq`) later in the
+    /// trace — [`ReplayGuard`] must flag a duplicate.
+    DuplicateFlowRecord,
+    /// Deliver a smaller `flow_seq` for a flow without a SYN restart —
+    /// [`ReplayGuard`] must flag a regression.
+    RegressFlowSeq,
+}
+
+/// Pack run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PackConfig {
+    /// Which scenario.
+    pub kind: PackKind,
+    /// Seed for trace synthesis and the deployment.
+    pub seed: u64,
+    /// Smaller trace for CI gates.
+    pub quick: bool,
+    /// Optional deliberate corruption (negative testing).
+    pub sabotage: Option<Sabotage>,
+}
+
+impl PackConfig {
+    /// A clean (un-sabotaged) pack run.
+    pub fn new(kind: PackKind, seed: u64, quick: bool) -> PackConfig {
+        PackConfig {
+            kind,
+            seed,
+            quick,
+            sabotage: None,
+        }
+    }
+}
+
+/// The verdict and evidence of one pack run.
+#[derive(Debug, Clone)]
+pub struct PackReport {
+    /// Pack name.
+    pub name: &'static str,
+    /// All gates held.
+    pub pass: bool,
+    /// Trace records replayed.
+    pub records: u64,
+    /// Ring backpressure stalls during ingest.
+    pub stalls: u64,
+    /// Every gate failure and oracle violation, human-readable.
+    pub violations: Vec<String>,
+    /// Scenario-specific measurements, `(label, value)`.
+    pub measures: Vec<(&'static str, f64)>,
+}
+
+/// Counter keys per register in pack deployments (low 10 bits of an
+/// address map to a distinct key for every pool used here).
+const KEYS: u32 = 1024;
+const N_SWITCHES: usize = 3;
+
+/// How a pack's NF keys its counter.
+#[derive(Clone, Copy)]
+enum PackNfMode {
+    /// `reg0[dst_ip % KEYS] += 1` for every packet (server load).
+    PerServer,
+    /// `reg0[src_ip % KEYS] += 1` for every SYN (scan detection).
+    PerSourceSyn,
+    /// `reg0[0] += 1` on SYN, `reg0[1] += 1` on FIN (NAT bindings).
+    SynFin,
+}
+
+struct PackNf {
+    mode: PackNfMode,
+}
+
+impl swishmem::NfApp for PackNf {
+    fn process(
+        &mut self,
+        pkt: &DataPacket,
+        _ingress: NodeId,
+        st: &mut dyn SharedState,
+    ) -> NfDecision {
+        match self.mode {
+            PackNfMode::PerServer => {
+                st.add(0, u32::from(pkt.flow.dst) % KEYS, 1);
+            }
+            PackNfMode::PerSourceSyn => {
+                if pkt.flow.proto == 6 && pkt.tcp_flags.syn {
+                    st.add(0, u32::from(pkt.flow.src) % KEYS, 1);
+                }
+            }
+            PackNfMode::SynFin => {
+                if pkt.flow.proto == 6 && pkt.tcp_flags.syn {
+                    st.add(0, 0, 1);
+                }
+                if pkt.flow.proto == 6 && pkt.tcp_flags.fin {
+                    st.add(0, 1, 1);
+                }
+            }
+        }
+        NfDecision::Forward {
+            dst: NodeId(HOST_BASE),
+            pkt: *pkt,
+        }
+    }
+}
+
+/// Run one scenario pack end to end.
+pub fn run_pack(cfg: &PackConfig) -> PackReport {
+    let flows = if cfg.quick { 1_500 } else { 10_000 };
+    let base_cfg = SynthConfig {
+        flows,
+        clients: 200,
+        servers: 32,
+        ingress: N_SWITCHES as u32,
+        duration: 20_000_000,
+        pkt_gap: 2_000,
+        tcp: true,
+        ..SynthConfig::default()
+    };
+    match cfg.kind {
+        PackKind::FlashCrowd => flash_crowd(cfg, &base_cfg),
+        PackKind::DiurnalShift => diurnal_shift(cfg, &base_cfg),
+        PackKind::ScanStorm => scan_storm(cfg, &base_cfg),
+        PackKind::CarpetBomb => carpet_bomb(cfg, &base_cfg),
+        PackKind::NatChurn => nat_churn(cfg, &base_cfg),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared harness
+// ---------------------------------------------------------------------
+
+/// One pack run's survivors: the quiesced deployment (for state gates)
+/// and the ingest accounting.
+struct Harness {
+    dep: Deployment,
+    stats: ReplayStats,
+}
+
+fn build_dep(seed: u64, mode: PackNfMode) -> Deployment {
+    let mut dep = DeploymentBuilder::new(N_SWITCHES)
+        .hosts(2)
+        .seed(seed)
+        .register(RegisterSpec::ewo_counter(0, "pack", KEYS))
+        .build(move |_| Box::new(PackNf { mode }));
+    dep.settle();
+    dep
+}
+
+/// Replay `records` through a fresh deployment with `faults` scheduled
+/// relative to the replay start, then quiesce and poll the full oracle
+/// suite to completion.
+fn run_armed(
+    seed: u64,
+    mode: PackNfMode,
+    records: &[TraceRecord],
+    faults: FaultSchedule,
+    violations: &mut Vec<String>,
+) -> Harness {
+    let mut dep = build_dep(seed, mode);
+    // The deployment settled past its warm-up, so the replay (and the
+    // faults timed against it) start just after "now".
+    let start = SimTime(dep.now().0 + 1_000_000);
+    let horizon = faults.horizon();
+    if !faults.is_empty() {
+        dep.schedule_faults(start, &faults);
+    }
+    let trace_span = records
+        .last()
+        .map(|r| r.time_ns - records[0].time_ns)
+        .unwrap_or(0);
+    let quiesce = SimTime(start.0 + trace_span.max(horizon.as_nanos()) + 20_000_000);
+    let mut suite = OracleSuite::attach(&mut dep, OracleConfig::new(quiesce));
+    let guard = ReplayGuard::attach(&mut dep);
+    let stats = replay_records(
+        &mut dep,
+        records,
+        &ReplayConfig {
+            start,
+            ..ReplayConfig::default()
+        },
+    );
+    let end = SimTime(quiesce.0 + 200_000_000);
+    if let Err(v) = suite.run(&mut dep, end) {
+        violations.push(format!("oracle: {v}"));
+    }
+    if let Some(v) = guard.borrow().violation() {
+        violations.push(format!("replay-guard: {v}"));
+    }
+    Harness { dep, stats }
+}
+
+/// Converged fabric-wide value of `reg0[key]`: EWO G-counters merge to
+/// the same total everywhere, so take the max across switches to be
+/// robust against a still-syncing straggler.
+fn count(dep: &Deployment, key: u32) -> u64 {
+    (0..N_SWITCHES).map(|i| dep.peek(i, 0, key)).max().unwrap()
+}
+
+/// Apply sabotage: re-deliver (or regress) the trailing record of the
+/// longest flow at the end of the trace. Times stay monotone, so the
+/// format layer accepts the trace — only [`ReplayGuard`] can catch it.
+fn apply_sabotage(records: &mut Vec<TraceRecord>, sabotage: Sabotage) {
+    let victim = records
+        .iter()
+        .filter(|r| r.proto == 6 && r.flow_seq >= 2)
+        .max_by_key(|r| r.flow_seq)
+        .copied()
+        .expect("pack traces always hold a multi-packet TCP flow");
+    let last_t = records.last().expect("non-empty").time_ns;
+    let mut evil = victim;
+    evil.time_ns = last_t + 1_000;
+    evil.tcp_flags = swishmem_wire::l4::TcpFlags::data().raw();
+    if sabotage == Sabotage::RegressFlowSeq {
+        evil.flow_seq -= 1;
+    }
+    records.push(evil);
+}
+
+/// Merge two time-sorted record streams into one (stable: `a` first on
+/// ties, keeping equal-time ordering deterministic).
+fn merge_sorted(a: Vec<TraceRecord>, b: Vec<TraceRecord>) -> Vec<TraceRecord> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        if a[ia].time_ns <= b[ib].time_ns {
+            out.push(a[ia]);
+            ia += 1;
+        } else {
+            out.push(b[ib]);
+            ib += 1;
+        }
+    }
+    out.extend_from_slice(&a[ia..]);
+    out.extend_from_slice(&b[ib..]);
+    out
+}
+
+fn base_records(cfg: &PackConfig, synth: &SynthConfig) -> Vec<TraceRecord> {
+    let bytes = synth_trace_bytes(synth, cfg.seed);
+    crate::format::from_swtrace_bytes(&bytes)
+        .expect("synthesized traces are well-formed")
+        .1
+}
+
+fn server_addr(idx: u32) -> u32 {
+    u32::from(std::net::Ipv4Addr::new(20, 0, 0, 0)) + idx + 1
+}
+
+fn ingress_of(rec: &TraceRecord) -> u16 {
+    (rec.flow_hash() % N_SWITCHES as u64) as u16
+}
+
+/// Switch node ids are deterministic (`0..n`), so fault schedules can
+/// name them before the deployment exists.
+fn switch_node(i: usize) -> NodeId {
+    NodeId(i as u16)
+}
+
+fn finish(
+    name: &'static str,
+    h: &Harness,
+    mut violations: Vec<String>,
+    measures: Vec<(&'static str, f64)>,
+    gates: Vec<(bool, String)>,
+) -> PackReport {
+    for (ok, msg) in gates {
+        if !ok {
+            violations.push(format!("gate: {msg}"));
+        }
+    }
+    PackReport {
+        name,
+        pass: violations.is_empty(),
+        records: h.stats.records,
+        stalls: h.stats.stalls,
+        violations,
+        measures,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The packs
+// ---------------------------------------------------------------------
+
+fn flash_crowd(cfg: &PackConfig, base_cfg: &SynthConfig) -> PackReport {
+    let base = base_records(cfg, base_cfg);
+    // Surge: inside the middle third, every base flow count again hits
+    // the hot server (rank 0) as fresh single-SYN connections.
+    let t0 = base[0].time_ns + base_cfg.duration / 3;
+    let t1 = base[0].time_ns + 2 * base_cfg.duration / 3;
+    let surge_n = base_cfg.flows;
+    let hot = server_addr(0);
+    let mut surge = Vec::with_capacity(surge_n as usize);
+    for i in 0..surge_n {
+        let mut rec = TraceRecord {
+            time_ns: t0 + (t1 - t0) * i / surge_n.max(1),
+            src_ip: u32::from(std::net::Ipv4Addr::new(30, 0, 0, 0)) + (i % 5_000) as u32 + 1,
+            dst_ip: hot,
+            src_port: 2_000 + (i % 30_000) as u16,
+            dst_port: 80,
+            ingress: 0,
+            proto: 6,
+            tcp_flags: swishmem_wire::l4::TcpFlags::syn().raw(),
+            flow_seq: 0,
+            payload_len: 64,
+        };
+        rec.ingress = ingress_of(&rec);
+        surge.push(rec);
+    }
+    let mut records = merge_sorted(base, surge);
+    if let Some(s) = cfg.sabotage {
+        apply_sabotage(&mut records, s);
+    }
+
+    // The crowd arrives while a fabric link is degraded and lossy.
+    let faults = FaultSchedule::new().degrade_for(
+        switch_node(0),
+        switch_node(1),
+        SimDuration::nanos(base_cfg.duration / 3),
+        SimDuration::nanos(base_cfg.duration / 3),
+        LinkOverlay::loss(0.05),
+    );
+
+    let mut violations = Vec::new();
+    let h = run_armed(
+        cfg.seed,
+        PackNfMode::PerServer,
+        &records,
+        faults,
+        &mut violations,
+    );
+    let hot_count = count(&h.dep, hot % KEYS);
+    let runner_up = (1..base_cfg.servers as u32)
+        .map(|s| count(&h.dep, server_addr(s) % KEYS))
+        .max()
+        .unwrap_or(0);
+    let gates = vec![(
+        hot_count >= 2 * runner_up.max(1),
+        format!("flash crowd must dominate: hot={hot_count} runner_up={runner_up}"),
+    )];
+    finish(
+        "flash_crowd",
+        &h,
+        violations,
+        vec![
+            ("hot_server_packets", hot_count as f64),
+            ("runner_up_packets", runner_up as f64),
+        ],
+        gates,
+    )
+}
+
+fn diurnal_shift(cfg: &PackConfig, base_cfg: &SynthConfig) -> PackReport {
+    let mut records = base_records(cfg, base_cfg);
+    // Night shift: everything after the midpoint moves to a disjoint
+    // server pool (dst += 512 lands in untouched counter keys).
+    let mid = records[0].time_ns + base_cfg.duration / 2;
+    for r in &mut records {
+        if r.time_ns >= mid {
+            r.dst_ip += 512;
+        }
+    }
+    if let Some(s) = cfg.sabotage {
+        apply_sabotage(&mut records, s);
+    }
+    let split = records.partition_point(|r| r.time_ns < mid);
+    let (day, night) = records.split_at(split);
+
+    let mut violations = Vec::new();
+    // Phase 1: day pool only.
+    let mut dep = build_dep(cfg.seed, PackNfMode::PerServer);
+    let start = SimTime(dep.now().0 + 1_000_000);
+    let faults = FaultSchedule::new().degrade_for(
+        switch_node(0),
+        switch_node(1),
+        SimDuration::millis(1),
+        SimDuration::millis(8),
+        LinkOverlay::jitter(SimDuration::micros(50)),
+    );
+    dep.schedule_faults(start, &faults);
+    let quiesce = SimTime(start.0 + base_cfg.duration + 40_000_000);
+    let mut suite = OracleSuite::attach(&mut dep, OracleConfig::new(quiesce));
+    let guard = ReplayGuard::attach(&mut dep);
+
+    let day_total = |dep: &Deployment| -> u64 {
+        (0..base_cfg.servers as u32)
+            .map(|s| count(dep, server_addr(s) % KEYS))
+            .sum()
+    };
+    let night_total = |dep: &Deployment| -> u64 {
+        (0..base_cfg.servers as u32)
+            .map(|s| count(dep, (server_addr(s) + 512) % KEYS))
+            .sum()
+    };
+
+    let stats1 = replay_records(
+        &mut dep,
+        day,
+        &ReplayConfig {
+            start,
+            ..ReplayConfig::default()
+        },
+    );
+    // Let the EWO sync fully merge before measuring (max-across-switches
+    // only equals the global total once every switch has converged).
+    dep.run_for(SimDuration::millis(30));
+    let (day1, night1) = (day_total(&dep), night_total(&dep));
+
+    // Phase 2: night pool.
+    let phase2_start = SimTime(dep.now().0 + 1_000_000);
+    let stats2 = replay_records(
+        &mut dep,
+        night,
+        &ReplayConfig {
+            start: phase2_start,
+            ..ReplayConfig::default()
+        },
+    );
+    let end = SimTime(quiesce.0 + 200_000_000);
+    if let Err(v) = suite.run(&mut dep, end) {
+        violations.push(format!("oracle: {v}"));
+    }
+    if let Some(v) = guard.borrow().violation() {
+        violations.push(format!("replay-guard: {v}"));
+    }
+    let (day2, night2) = (day_total(&dep), night_total(&dep));
+
+    let stats = ReplayStats {
+        records: stats1.records + stats2.records,
+        injected: stats1.injected + stats2.injected,
+        stalls: stats1.stalls + stats2.stalls,
+        ..stats1
+    };
+    let h = Harness { dep, stats };
+    let day_delta = day2.saturating_sub(day1);
+    let gates = vec![
+        (
+            night1 == 0,
+            format!("night pool must be silent during the day: {night1}"),
+        ),
+        (
+            night2 > 0,
+            "night pool must carry load after the shift".to_string(),
+        ),
+        (
+            day_delta == 0,
+            format!("day pool must go quiet after the shift: +{day_delta}"),
+        ),
+    ];
+    finish(
+        "diurnal_shift",
+        &h,
+        violations,
+        vec![
+            ("day_phase1", day1 as f64),
+            ("night_phase1", night1 as f64),
+            ("day_phase2_delta", day_delta as f64),
+            ("night_phase2", night2 as f64),
+        ],
+        gates,
+    )
+}
+
+fn scan_storm(cfg: &PackConfig, base_cfg: &SynthConfig) -> PackReport {
+    let base = base_records(cfg, base_cfg);
+    // The scanner sweeps every server × a port range with bare SYNs in
+    // the middle third.
+    let t0 = base[0].time_ns + base_cfg.duration / 3;
+    let t1 = base[0].time_ns + 2 * base_cfg.duration / 3;
+    let scan_n = (base_cfg.flows / 2).max(500);
+    let scanner = u32::from(std::net::Ipv4Addr::new(99, 0, 3, 5));
+    let mut scan = Vec::with_capacity(scan_n as usize);
+    for i in 0..scan_n {
+        let mut rec = TraceRecord {
+            time_ns: t0 + (t1 - t0) * i / scan_n,
+            src_ip: scanner,
+            dst_ip: server_addr((i % base_cfg.servers as u64) as u32),
+            src_port: 40_000 + (i % 20_000) as u16,
+            dst_port: 1_000 + (i % 10_000) as u16,
+            ingress: 0,
+            proto: 6,
+            tcp_flags: swishmem_wire::l4::TcpFlags::syn().raw(),
+            flow_seq: 0,
+            payload_len: 40,
+        };
+        rec.ingress = ingress_of(&rec);
+        scan.push(rec);
+    }
+    let mut records = merge_sorted(base, scan);
+    if let Some(s) = cfg.sabotage {
+        apply_sabotage(&mut records, s);
+    }
+
+    // The fabric link flaps while the scan runs; counting must survive.
+    let faults = FaultSchedule::new().link_outage(
+        switch_node(0),
+        switch_node(1),
+        SimDuration::nanos(base_cfg.duration / 2),
+        SimDuration::millis(3),
+    );
+
+    let mut violations = Vec::new();
+    let h = run_armed(
+        cfg.seed,
+        PackNfMode::PerSourceSyn,
+        &records,
+        faults,
+        &mut violations,
+    );
+    let scanner_count = count(&h.dep, scanner % KEYS);
+    let legit_max = (0..200u32)
+        .map(|c| {
+            count(
+                &h.dep,
+                (u32::from(std::net::Ipv4Addr::new(10, 0, 0, 0)) + c + 1) % KEYS,
+            )
+        })
+        .max()
+        .unwrap_or(0);
+    let gates = vec![
+        (
+            scanner_count >= scan_n * 9 / 10,
+            format!("scanner SYNs must be counted: {scanner_count}/{scan_n}"),
+        ),
+        (
+            scanner_count >= 5 * legit_max.max(1),
+            format!("scanner must dominate legit sources: {scanner_count} vs {legit_max}"),
+        ),
+    ];
+    finish(
+        "scan_storm",
+        &h,
+        violations,
+        vec![
+            ("scanner_syns", scanner_count as f64),
+            ("max_legit_syns", legit_max as f64),
+        ],
+        gates,
+    )
+}
+
+fn carpet_bomb(cfg: &PackConfig, base_cfg: &SynthConfig) -> PackReport {
+    let base = base_records(cfg, base_cfg);
+    // Spoofed-source UDP flood onto the most popular server while the
+    // sync links are lossy — the counting fabric must neither lose the
+    // flood nor corrupt protocol state.
+    let t0 = base[0].time_ns + base_cfg.duration / 4;
+    let t1 = base[0].time_ns + 3 * base_cfg.duration / 4;
+    let bomb_n = base_cfg.flows * 2;
+    let victim = server_addr(0);
+    let mut bomb = Vec::with_capacity(bomb_n as usize);
+    for i in 0..bomb_n {
+        let mut rec = TraceRecord {
+            time_ns: t0 + (t1 - t0) * i / bomb_n,
+            // Spoofed sources: a different address every packet.
+            src_ip: u32::from(std::net::Ipv4Addr::new(50, 0, 0, 0)) + (i % 65_000) as u32 + 1,
+            dst_ip: victim,
+            src_port: 1_024 + (i % 60_000) as u16,
+            dst_port: 53,
+            ingress: 0,
+            proto: 17,
+            tcp_flags: 0,
+            flow_seq: 0,
+            payload_len: 512,
+        };
+        rec.ingress = ingress_of(&rec);
+        bomb.push(rec);
+    }
+    let pre_victim_base = base.iter().filter(|r| r.dst_ip == victim).count() as u64;
+    let mut records = merge_sorted(base, bomb);
+    if let Some(s) = cfg.sabotage {
+        apply_sabotage(&mut records, s);
+    }
+
+    let faults = FaultSchedule::new()
+        .degrade_for(
+            switch_node(0),
+            switch_node(1),
+            SimDuration::nanos(base_cfg.duration / 4),
+            SimDuration::nanos(base_cfg.duration / 2),
+            LinkOverlay::loss(0.2),
+        )
+        .link_outage(
+            switch_node(1),
+            switch_node(2),
+            SimDuration::nanos(base_cfg.duration / 2),
+            SimDuration::millis(2),
+        );
+
+    let mut violations = Vec::new();
+    let h = run_armed(
+        cfg.seed,
+        PackNfMode::PerServer,
+        &records,
+        faults,
+        &mut violations,
+    );
+    let victim_count = count(&h.dep, victim % KEYS);
+    let gates = vec![(
+        victim_count >= bomb_n,
+        format!(
+            "the whole flood must be counted at the ingress: \
+             victim={victim_count} flood={bomb_n} base={pre_victim_base}"
+        ),
+    )];
+    finish(
+        "carpet_bomb",
+        &h,
+        violations,
+        vec![
+            ("victim_packets", victim_count as f64),
+            ("flood_packets", bomb_n as f64),
+        ],
+        gates,
+    )
+}
+
+fn nat_churn(cfg: &PackConfig, base_cfg: &SynthConfig) -> PackReport {
+    let base = base_records(cfg, base_cfg);
+    // Churn: the longest-running flows get their 5-tuples recycled — the
+    // entire flow record sequence re-plays (fresh SYN) shifted past the
+    // end of the base trace. ReplayGuard must accept the reuse (SYN
+    // restarts are legal) while still policing everything else.
+    let last_t = base.last().expect("non-empty").time_ns;
+    let reuse_n = 50;
+    let mut flows_seen: std::collections::BTreeMap<(u32, u16, u32, u16), Vec<TraceRecord>> =
+        std::collections::BTreeMap::new();
+    for r in &base {
+        flows_seen
+            .entry((r.src_ip, r.src_port, r.dst_ip, r.dst_port))
+            .or_default()
+            .push(*r);
+    }
+    let mut churn: Vec<TraceRecord> = Vec::new();
+    let mut taken = 0;
+    for recs in flows_seen.values() {
+        if recs.len() < 3 {
+            continue;
+        }
+        let base_t = recs[0].time_ns;
+        for r in recs {
+            let mut c = *r;
+            c.time_ns = last_t + 10_000 + (r.time_ns - base_t);
+            churn.push(c);
+        }
+        taken += 1;
+        if taken >= reuse_n {
+            break;
+        }
+    }
+    churn.sort_by_key(|r| (r.time_ns, r.src_ip, r.src_port, r.flow_seq));
+    let trace_syns = base
+        .iter()
+        .chain(churn.iter())
+        .filter(|r| swishmem_wire::l4::TcpFlags::from_raw(r.tcp_flags).syn)
+        .count() as u64;
+    let mut records = merge_sorted(base, churn);
+    if let Some(s) = cfg.sabotage {
+        apply_sabotage(&mut records, s);
+    }
+
+    // A switch crashes and recovers mid-replay: its local counter shard
+    // resets, so gates bound rather than pin the totals.
+    let faults = FaultSchedule::new().crash_for(
+        switch_node(2),
+        SimDuration::nanos(base_cfg.duration / 2),
+        SimDuration::millis(4),
+    );
+
+    let mut violations = Vec::new();
+    let h = run_armed(
+        cfg.seed,
+        PackNfMode::SynFin,
+        &records,
+        faults,
+        &mut violations,
+    );
+    let syns = count(&h.dep, 0);
+    let fins = count(&h.dep, 1);
+    let gates = vec![
+        (
+            fins > 0 && syns >= fins,
+            format!("bindings must open before they close: syn={syns} fin={fins}"),
+        ),
+        (
+            syns * 2 >= trace_syns,
+            format!("crash may cost at most half the SYN count: {syns}/{trace_syns}"),
+        ),
+    ];
+    finish(
+        "nat_churn",
+        &h,
+        violations,
+        vec![
+            ("syn_count", syns as f64),
+            ("fin_count", fins as f64),
+            ("trace_syns", trace_syns as f64),
+            ("open_bindings", syns.saturating_sub(fins) as f64),
+        ],
+        gates,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_names_round_trip() {
+        for k in PackKind::ALL {
+            assert_eq!(PackKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(PackKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,282 @@
+//! CAIDA-style heavy-tail trace synthesis at millions of flows.
+//!
+//! The generator streams time-ordered records straight into a
+//! [`TraceWriter`] without materializing the trace: flow arrivals are a
+//! Poisson process, per-flow sizes are Pareto-tailed
+//! (`n = ⌈u^(-1/α)⌉`, capped), server popularity is Zipf — the
+//! mice-and-elephants mix measured on real backbone links. Memory is
+//! bounded by the number of *concurrently active* flows (a calendar
+//! heap of next-packet events), not by the trace length, so a 1M-flow
+//! trace synthesizes in a few tens of megabytes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{Seek, Write};
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swishmem_nf::workload::Zipf;
+use swishmem_wire::l4::TcpFlags;
+
+use crate::format::{TraceError, TraceMeta, TraceRecord, TraceWriter};
+
+/// Heavy-tail synthesis parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Flows to synthesize.
+    pub flows: u64,
+    /// Distinct client addresses (sources).
+    pub clients: usize,
+    /// Distinct server addresses (destinations).
+    pub servers: usize,
+    /// Zipf exponent for server popularity (≈1 is web-like).
+    pub server_alpha: f64,
+    /// Pareto tail exponent for flow sizes; smaller ⇒ heavier
+    /// elephants. Must be > 0.
+    pub size_alpha: f64,
+    /// Per-flow packet cap (keeps the elephant tail finite).
+    pub max_packets: u32,
+    /// Nanoseconds between packets of one flow.
+    pub pkt_gap: u64,
+    /// Window (ns) over which flow arrivals are spread.
+    pub duration: u64,
+    /// Ingress slots to spread flows across (by flow hash).
+    pub ingress: u32,
+    /// TCP flows (SYN/data/FIN flags) vs. plain UDP.
+    pub tcp: bool,
+    /// Base timestamp of the first possible arrival.
+    pub start: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            flows: 10_000,
+            clients: 256,
+            servers: 64,
+            server_alpha: 1.1,
+            size_alpha: 1.3,
+            max_packets: 64,
+            pkt_gap: 2_000,
+            duration: 50_000_000,
+            ingress: 4,
+            tcp: true,
+            start: 1_000,
+        }
+    }
+}
+
+/// An active flow's pending next packet in the calendar heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct FlowEvent {
+    time: u64,
+    /// Spawn order; makes equal-time ordering deterministic.
+    order: u64,
+    client: u32,
+    server: u32,
+    src_port: u16,
+    sent: u32,
+    total: u32,
+}
+
+/// Stream a synthesized trace into `writer`. Returns the record count.
+///
+/// The caller owns `finish()`; that keeps synthesis composable with
+/// scenario-pack transforms that append extra segments.
+pub fn synth_to_writer<W: Write + Seek>(
+    cfg: &SynthConfig,
+    seed: u64,
+    writer: &mut TraceWriter<W>,
+) -> Result<u64, TraceError> {
+    assert!(cfg.flows > 0, "need at least one flow");
+    assert!(cfg.size_alpha > 0.0, "size_alpha must be positive");
+    assert!(cfg.ingress > 0, "need at least one ingress");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let popularity = Zipf::new(cfg.servers.max(1), cfg.server_alpha);
+    // Poisson arrivals: exponential inter-arrival gaps at the rate that
+    // lands `flows` arrivals in `duration` on average.
+    let mean_gap = cfg.duration as f64 / cfg.flows as f64;
+
+    let mut heap: BinaryHeap<Reverse<FlowEvent>> = BinaryHeap::new();
+    let mut next_arrival = cfg.start;
+    let mut spawned: u64 = 0;
+    let mut written: u64 = 0;
+
+    loop {
+        let spawn_next = spawned < cfg.flows
+            && heap
+                .peek()
+                .map(|Reverse(ev)| next_arrival <= ev.time)
+                .unwrap_or(true);
+        if spawn_next {
+            let server = popularity.sample(&mut rng) as u32;
+            // Client round-robin + port per block: the (client, port)
+            // pair is unique for the first clients×60000 flows, so
+            // 5-tuples never collide at the scales we synthesize.
+            let clients = cfg.clients.max(1) as u64;
+            let client = (spawned % clients) as u32;
+            let src_port = 1024 + ((spawned / clients) % 60_000) as u16;
+            let total = pareto_packets(&mut rng, cfg.size_alpha, cfg.max_packets);
+            heap.push(Reverse(FlowEvent {
+                time: next_arrival,
+                order: spawned,
+                client,
+                server,
+                src_port,
+                sent: 0,
+                total,
+            }));
+            spawned += 1;
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            next_arrival += ((-u.ln()) * mean_gap).ceil().max(1.0) as u64;
+            continue;
+        }
+        let Some(Reverse(mut ev)) = heap.pop() else {
+            break;
+        };
+        writer.push(event_record(cfg, &ev))?;
+        written += 1;
+        ev.sent += 1;
+        if ev.sent < ev.total {
+            ev.time += cfg.pkt_gap;
+            heap.push(Reverse(ev));
+        }
+    }
+    Ok(written)
+}
+
+/// One packet of flow `ev` as a trace record.
+fn event_record(cfg: &SynthConfig, ev: &FlowEvent) -> TraceRecord {
+    let flags = if !cfg.tcp {
+        0
+    } else if ev.sent == 0 {
+        TcpFlags::syn().raw()
+    } else if ev.sent + 1 == ev.total {
+        TcpFlags::fin().raw()
+    } else {
+        TcpFlags::data().raw()
+    };
+    let mut rec = TraceRecord {
+        time_ns: ev.time,
+        src_ip: client_ip(ev.client),
+        dst_ip: server_ip(ev.server),
+        src_port: ev.src_port,
+        dst_port: if cfg.tcp { 80 } else { 9000 },
+        ingress: 0,
+        proto: if cfg.tcp { 6 } else { 17 },
+        tcp_flags: flags,
+        flow_seq: ev.sent,
+        payload_len: if ev.sent == 0 { 64 } else { 512 },
+    };
+    rec.ingress = (rec.flow_hash() % u64::from(cfg.ingress)) as u16;
+    rec
+}
+
+/// Pareto-tailed per-flow packet count: `⌊u^(-1/α)⌋` capped at `cap`
+/// (floor keeps the mass at 1 — most flows are single-packet mice).
+fn pareto_packets<R: Rng>(rng: &mut R, alpha: f64, cap: u32) -> u32 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let n = u.powf(-1.0 / alpha).floor();
+    (n as u32).clamp(1, cap.max(1))
+}
+
+/// Client address `10.c.x.y` from a client index.
+fn client_ip(idx: u32) -> u32 {
+    u32::from(Ipv4Addr::new(10, 0, 0, 0)) + idx + 1
+}
+
+/// Server address `20.s.x.y` from a server index.
+fn server_ip(idx: u32) -> u32 {
+    u32::from(Ipv4Addr::new(20, 0, 0, 0)) + idx + 1
+}
+
+/// Synthesize a complete in-memory `.swtrace` byte blob (tests, packs,
+/// bench scenarios; big traces should stream to a file instead).
+pub fn synth_trace_bytes(cfg: &SynthConfig, seed: u64) -> Vec<u8> {
+    let meta = TraceMeta {
+        flow_hint: cfg.flows,
+        ..TraceMeta::new(cfg.ingress, seed, "synth")
+    };
+    let mut w = TraceWriter::new(std::io::Cursor::new(Vec::new()), meta)
+        .expect("in-memory writer cannot fail");
+    synth_to_writer(cfg, seed, &mut w).expect("in-memory synthesis cannot fail");
+    let (cursor, _) = w.finish().expect("in-memory finish cannot fail");
+    cursor.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::from_swtrace_bytes;
+
+    #[test]
+    fn synth_is_time_ordered_and_deterministic() {
+        let cfg = SynthConfig {
+            flows: 500,
+            ..SynthConfig::default()
+        };
+        let a = synth_trace_bytes(&cfg, 7);
+        let b = synth_trace_bytes(&cfg, 7);
+        assert_eq!(a, b, "same seed must produce identical bytes");
+        let c = synth_trace_bytes(&cfg, 8);
+        assert_ne!(a, c, "different seed must differ");
+
+        let (meta, records) = from_swtrace_bytes(&a).unwrap();
+        assert!(meta.record_count >= 500, "every flow has ≥1 packet");
+        assert_eq!(meta.record_count, records.len() as u64);
+        for w in records.windows(2) {
+            assert!(w[0].time_ns <= w[1].time_ns, "must be time-sorted");
+        }
+        // SYN count equals flow count for a TCP trace.
+        let syns = records
+            .iter()
+            .filter(|r| r.tcp_flags == TcpFlags::syn().raw())
+            .count() as u64;
+        assert_eq!(syns, 500);
+    }
+
+    #[test]
+    fn heavy_tail_has_mice_and_elephants() {
+        let cfg = SynthConfig {
+            flows: 2_000,
+            size_alpha: 1.1,
+            max_packets: 256,
+            ..SynthConfig::default()
+        };
+        let (_, records) = from_swtrace_bytes(&synth_trace_bytes(&cfg, 3)).unwrap();
+        let mut sizes = std::collections::HashMap::new();
+        for r in &records {
+            let e = sizes
+                .entry((r.src_ip, r.src_port, r.dst_ip))
+                .or_insert(0u32);
+            *e = (*e).max(r.flow_seq + 1);
+        }
+        let mice = sizes.values().filter(|&&n| n == 1).count();
+        let elephants = sizes.values().filter(|&&n| n >= 50).count();
+        assert!(
+            mice > sizes.len() / 2,
+            "most flows should be single-packet mice"
+        );
+        assert!(elephants > 0, "the tail should hold some elephants");
+    }
+
+    #[test]
+    fn ingress_spread_uses_all_slots() {
+        let cfg = SynthConfig {
+            flows: 1_000,
+            ingress: 4,
+            ..SynthConfig::default()
+        };
+        let (_, records) = from_swtrace_bytes(&synth_trace_bytes(&cfg, 11)).unwrap();
+        let mut seen = [false; 4];
+        for r in &records {
+            assert!(r.ingress < 4);
+            seen[usize::from(r.ingress)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all ingress slots should carry flows"
+        );
+    }
+}

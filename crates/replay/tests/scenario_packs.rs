@@ -1,0 +1,63 @@
+//! Scenario-pack gates: all five packs pass clean, and a sabotaged feed
+//! trips the replay oracle (the negative test proving the gate is live).
+
+use swishmem_replay::scenario::{run_pack, PackConfig, PackKind, Sabotage};
+
+const SEED: u64 = 42;
+
+#[test]
+fn all_packs_pass_clean() {
+    for kind in PackKind::ALL {
+        let report = run_pack(&PackConfig::new(kind, SEED, true));
+        assert!(
+            report.pass,
+            "pack {} failed: {:?}",
+            report.name, report.violations
+        );
+        assert!(report.records > 0, "pack {} replayed nothing", report.name);
+    }
+}
+
+#[test]
+fn packs_are_deterministic() {
+    for kind in [PackKind::FlashCrowd, PackKind::NatChurn] {
+        let a = run_pack(&PackConfig::new(kind, SEED, true));
+        let b = run_pack(&PackConfig::new(kind, SEED, true));
+        assert_eq!(a.pass, b.pass);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.measures, b.measures, "pack {} not deterministic", a.name);
+    }
+}
+
+#[test]
+fn sabotaged_duplicate_trips_the_replay_guard() {
+    let cfg = PackConfig {
+        sabotage: Some(Sabotage::DuplicateFlowRecord),
+        ..PackConfig::new(PackKind::FlashCrowd, SEED, true)
+    };
+    let report = run_pack(&cfg);
+    assert!(!report.pass, "sabotage must fail the pack");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.contains("replay-guard") && v.contains("duplicate")),
+        "expected a replay-guard duplicate violation, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn sabotaged_regression_trips_the_replay_guard() {
+    let cfg = PackConfig {
+        sabotage: Some(Sabotage::RegressFlowSeq),
+        ..PackConfig::new(PackKind::ScanStorm, SEED, true)
+    };
+    let report = run_pack(&cfg);
+    assert!(!report.pass, "sabotage must fail the pack");
+    assert!(
+        report.violations.iter().any(|v| v.contains("replay-guard")),
+        "expected a replay-guard violation, got {:?}",
+        report.violations
+    );
+}

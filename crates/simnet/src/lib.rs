@@ -35,6 +35,7 @@
 //! assert_eq!(log.borrow().len(), 1);
 //! ```
 
+pub mod capture;
 pub mod ctx;
 pub(crate) mod events;
 pub mod fault;
@@ -51,6 +52,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use capture::{CaptureBuffer, CaptureHandle};
 pub use ctx::{Ctx, GroupId};
 pub use fault::{FaultAction, FaultEvent, FaultGen, FaultSchedule, LinkOverlay};
 pub use journal::{JournalCollector, JournalHandle, JournalRecord};

@@ -14,6 +14,7 @@
 //! buffers are pooled. See DESIGN.md's "Performance model" for the
 //! measurements behind these choices.
 
+use crate::capture::CaptureHandle;
 use crate::ctx::{Command, Ctx, GroupId};
 use crate::events::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultSchedule, LinkOverlay};
@@ -78,6 +79,7 @@ pub struct Simulator {
     trace: Option<TraceHandle>,
     spans: Option<SpanHandle>,
     journal: Option<JournalHandle>,
+    capture: Option<CaptureHandle>,
     observers: Vec<ObserverHandle>,
     wire_check: bool,
     /// Pooled command buffer reused across dispatches.
@@ -104,6 +106,7 @@ impl Simulator {
             trace: None,
             spans: None,
             journal: None,
+            capture: None,
             observers: Vec::new(),
             wire_check: false,
             cmd_scratch: Vec::new(),
@@ -123,6 +126,24 @@ impl Simulator {
     /// Attach a packet trace: every delivered frame is recorded into it.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = Some(trace);
+    }
+
+    /// Attach an ingress capture tap: every externally [`Simulator::inject`]ed
+    /// packet is recorded (scheduled time + clone). Strictly passive,
+    /// like the trace/span/journal collectors — attaching it never
+    /// changes the event order or the RNG stream.
+    pub fn set_capture(&mut self, capture: CaptureHandle) {
+        self.capture = Some(capture);
+    }
+
+    /// Detach the capture tap.
+    pub fn clear_capture(&mut self) {
+        self.capture = None;
+    }
+
+    /// The attached capture tap, if any.
+    pub fn capture(&self) -> Option<&CaptureHandle> {
+        self.capture.as_ref()
     }
 
     /// Attach a span collector: [`Ctx::span`] markers emitted by nodes
@@ -267,6 +288,9 @@ impl Simulator {
     /// bypassing links. Used to inject external (ingress) traffic.
     pub fn inject(&mut self, t: SimTime, pkt: Packet) {
         assert!(t >= self.now, "cannot inject into the past");
+        if let Some(cap) = &self.capture {
+            cap.borrow_mut().record(t, &pkt);
+        }
         let to = pkt.dst;
         self.push(
             t,

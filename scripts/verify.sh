@@ -78,6 +78,18 @@ cargo test -q --release -p swishmem-bench --test trace_overhead
 echo "==> cargo test --release --test trace_overhead detached_journal_overhead_is_small (E23 smoke)"
 cargo test -q --release -p swishmem-bench --test trace_overhead detached_journal_overhead_is_small
 
+# Replay-lab gates (DESIGN.md §15), by name: the `.swtrace` format must
+# round-trip at a million records and reject truncation/corruption with
+# typed errors, the five oracle-armed scenario packs must pass clean with
+# the sabotaged feed failing (proving the gate is live), and the E24
+# smoke must hold digest shard-invariance plus ring-ingest parity.
+echo "==> cargo test --test roundtrip (.swtrace round-trip + corruption rejection)"
+cargo test -q -p swishmem-replay --test roundtrip
+echo "==> cargo test --test scenario_packs (five packs clean, sabotage fails)"
+cargo test -q -p swishmem-replay --test scenario_packs
+echo "==> cargo test --release --test replay_lab (E24 smoke: digest invariance + ring parity)"
+cargo test -q --release -p swishmem-bench --test replay_lab
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
